@@ -1,0 +1,41 @@
+# cachecloud — Cache Clouds (ICDCS 2005) reproduction
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures figures-fast examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep: figure reproductions, ablations, micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce every paper figure at full scale (several minutes).
+figures:
+	$(GO) run ./cmd/cloudsim -all -scale 1
+
+# Fast pass over every figure (reduced workload scale).
+figures-fast:
+	$(GO) run ./cmd/cloudsim -all -scale 0.2
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/flashcrowd
+	$(GO) run ./examples/newsfeed
+	$(GO) run ./examples/livecluster
+	$(GO) run ./examples/edgenetwork
+
+clean:
+	$(GO) clean ./...

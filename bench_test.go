@@ -1,0 +1,468 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (Figures 3-9) plus ablation benches for the design choices called out in
+// DESIGN.md. Each figure bench runs the corresponding experiment definition
+// at a reduced scale and reports the figure's headline numbers as custom
+// benchmark metrics, so `go test -bench=.` prints the reproduced series
+// alongside the usual ns/op.
+//
+// The full-scale series (scale 1) are produced by `cloudsim -all` and
+// recorded in EXPERIMENTS.md.
+package cachecloud_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cachecloud/internal/cache"
+	"cachecloud/internal/core"
+	"cachecloud/internal/document"
+	"cachecloud/internal/experiments"
+	"cachecloud/internal/hashing"
+	"cachecloud/internal/loadstats"
+	"cachecloud/internal/placement"
+	"cachecloud/internal/ring"
+	"cachecloud/internal/sim"
+	"cachecloud/internal/trace"
+)
+
+// benchScale keeps each figure bench to a few seconds; the reproduced
+// shapes are scale-invariant (see internal/experiments tests).
+const benchScale = 0.08
+
+// BenchmarkFig3LoadBalanceZipf regenerates Figure 3: beacon load
+// distribution under static vs dynamic hashing on the Zipf-0.9 dataset.
+func BenchmarkFig3LoadBalanceZipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.StaticCoV, "static-CoV")
+		b.ReportMetric(r.DynamicCoV, "dynamic-CoV")
+		b.ReportMetric(r.StaticMaxMean, "static-max/mean")
+		b.ReportMetric(r.DynamicMaxMean, "dynamic-max/mean")
+	}
+}
+
+// BenchmarkFig4LoadBalanceSydney regenerates Figure 4: the same comparison
+// on the Sydney dataset.
+func BenchmarkFig4LoadBalanceSydney(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.StaticCoV, "static-CoV")
+		b.ReportMetric(r.DynamicCoV, "dynamic-CoV")
+		b.ReportMetric(r.DynamicMaxMean, "dynamic-max/mean")
+	}
+}
+
+// BenchmarkFig5RingSize regenerates Figure 5: CoV versus cloud size for
+// ring sizes 2, 5 and 10.
+func BenchmarkFig5RingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cs := range r.CloudSizes {
+			b.ReportMetric(r.StaticCoV[cs], fmt.Sprintf("static-CoV-%dc", cs))
+			for _, rs := range r.RingSizes {
+				b.ReportMetric(r.DynamicCoV[cs][rs], fmt.Sprintf("dyn-CoV-%dc-%dppr", cs, rs))
+			}
+		}
+	}
+}
+
+// BenchmarkFig6ZipfSweep regenerates Figure 6: CoV versus Zipf parameter.
+func BenchmarkFig6ZipfSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(r.Alphas) - 2 // alpha 0.90
+		b.ReportMetric(r.StaticCoV[0], "static-CoV-a0")
+		b.ReportMetric(r.StaticCoV[last], "static-CoV-a0.9")
+		b.ReportMetric(r.DynamicCoV[0], "dynamic-CoV-a0")
+		b.ReportMetric(r.DynamicCoV[last], "dynamic-CoV-a0.9")
+	}
+}
+
+// BenchmarkFig7StoredPct regenerates Figure 7: percentage of documents
+// stored per cache versus update rate (unlimited disk, DsCC off).
+func BenchmarkFig7StoredPct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7and8(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(r.UpdateRates) - 1
+		b.ReportMetric(r.StoredPct["adhoc"][n], "adhoc-pct@1000")
+		b.ReportMetric(r.StoredPct["utility"][0], "utility-pct@10")
+		b.ReportMetric(r.StoredPct["utility"][n], "utility-pct@1000")
+		b.ReportMetric(r.StoredPct["beacon"][n], "beacon-pct@1000")
+	}
+}
+
+// BenchmarkFig8NetworkLoad regenerates Figure 8: network load versus
+// update rate under the three placement schemes (unlimited disk).
+func BenchmarkFig8NetworkLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7and8(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(r.UpdateRates) - 1
+		b.ReportMetric(r.NetworkMB["adhoc"][n], "adhoc-MB@1000")
+		b.ReportMetric(r.NetworkMB["utility"][n], "utility-MB@1000")
+		b.ReportMetric(r.NetworkMB["beacon"][n], "beacon-MB@1000")
+		b.ReportMetric(r.NetworkMB["beacon"][0], "beacon-MB@10")
+	}
+}
+
+// BenchmarkFig9NetworkLoadLimitedDisk regenerates Figure 9: network load
+// with per-cache disk limited to 30% of the corpus, LRU replacement and
+// the DsCC component turned on.
+func BenchmarkFig9NetworkLoadLimitedDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(r.UpdateRates) - 1
+		b.ReportMetric(r.NetworkMB["adhoc"][0], "adhoc-MB@10")
+		b.ReportMetric(r.NetworkMB["utility"][0], "utility-MB@10")
+		b.ReportMetric(r.NetworkMB["adhoc"][n], "adhoc-MB@1000")
+		b.ReportMetric(r.NetworkMB["utility"][n], "utility-MB@1000")
+	}
+}
+
+// --- ablation benches (design choices, beyond the paper's figures) ---
+
+func ablationTrace() *trace.Trace {
+	return trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 3, NumDocs: 20000, Alpha: 0.9, Caches: 10,
+		Duration: 120, ReqPerCache: 30, UpdatesPerUnit: 100,
+	})
+}
+
+// BenchmarkAblationLoadInfoGranularity compares the exact (per-IrH CIrHLd)
+// and approximate (CAvgLoad) sub-range determination modes — the paper's
+// Figure 2-B vs 2-C trade-off at workload scale.
+func BenchmarkAblationLoadInfoGranularity(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		exact, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5, CycleLength: 30}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		approx, err := sim.Run(sim.Config{
+			Arch: sim.DynamicHashing, NumRings: 5, CycleLength: 30, CoarseLoadInfo: true,
+		}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exact.LoadPerUnit().CoV(), "exact-CoV")
+		b.ReportMetric(approx.LoadPerUnit().CoV(), "approx-CoV")
+	}
+}
+
+// BenchmarkAblationCycleLength sweeps the sub-range determination period.
+func BenchmarkAblationCycleLength(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		for _, cycle := range []int64{15, 30, 60} {
+			r, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle}, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.LoadPerUnit().CoV(), fmt.Sprintf("CoV-cycle%d", cycle))
+			b.ReportMetric(float64(r.RecordsMigrated), fmt.Sprintf("migrations-cycle%d", cycle))
+		}
+	}
+}
+
+// BenchmarkAblationConsistentHashing measures the baseline the paper
+// critiques: consistent hashing's beacon-discovery cost (up to O(log N)
+// probes) versus the O(1) static and two-step dynamic resolutions.
+func BenchmarkAblationConsistentHashing(b *testing.B) {
+	nodes := trace.CacheNames(50)
+	ch := hashing.NewConsistent(nodes, 100)
+	st := hashing.NewStatic(nodes)
+	urls := make([]string, 4096)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site/doc/%d", i)
+	}
+	b.Run("consistent", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			u := urls[i%len(urls)]
+			if _, err := ch.BeaconFor(u); err != nil {
+				b.Fatal(err)
+			}
+			steps += ch.DiscoverySteps(u)
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "discovery-steps")
+	})
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.BeaconFor(urls[i%len(urls)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(1, "discovery-steps")
+	})
+	rz := hashing.NewRendezvous(nodes)
+	b.Run("rendezvous", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rz.BeaconFor(urls[i%len(urls)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(nodes)), "score-evals")
+	})
+}
+
+// BenchmarkAblationRecordReplication measures failure resilience: lookup
+// records lost on a beacon crash with and without lazy replication.
+func BenchmarkAblationRecordReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, replicate := range []bool{false, true} {
+			cloud, err := core.New(core.Config{
+				NumRings: 5, IntraGen: 1000, FineGrained: true, ReplicateRecords: replicate,
+			}, trace.CacheNames(10), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for d := 0; d < 2000; d++ {
+				url := fmt.Sprintf("http://site/doc/%d", d)
+				if _, err := cloud.Lookup(url, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := cloud.RegisterHolder(url, "cache-01"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cloud.ReplicateRecords()
+			if err := cloud.RemoveCache("cache-00", false); err != nil {
+				b.Fatal(err)
+			}
+			st := cloud.Stats()
+			label := "lost-norepl"
+			if replicate {
+				label = "lost-repl"
+			}
+			b.ReportMetric(float64(st.RecordsLost), label)
+		}
+	}
+}
+
+// --- micro-benchmarks on the hot paths ---
+
+func BenchmarkHashURL(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = document.HashURL("http://sydney2000.example.org/doc/123456")
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	tr := trace.NewZipf(newRand(), 50000, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Sample()
+	}
+}
+
+func BenchmarkCloudLookup(b *testing.B) {
+	cloud, err := core.New(core.Config{NumRings: 5, IntraGen: 1000, FineGrained: true},
+		trace.CacheNames(10), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := make([]string, 1024)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site/doc/%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cloud.Lookup(urls[i%len(urls)], int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheGetPut(b *testing.B) {
+	c := cache.New("bench", 1<<26)
+	docs := make([]document.Document, 512)
+	for i := range docs {
+		docs[i] = document.Document{URL: fmt.Sprintf("d%d", i), Size: 4096, Version: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := docs[i%len(docs)]
+		if _, ok := c.Get(d.URL, int64(i)); !ok {
+			if _, err := c.Put(document.Copy{Doc: d}, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRingRebalance(b *testing.B) {
+	members := make([]ring.Member, 10)
+	for i := range members {
+		members[i] = ring.Member{ID: trace.CacheNames(10)[i], Capability: 1}
+	}
+	r, err := ring.New(ring.Config{IntraGen: 1000, FineGrained: true}, members)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < 1000; v++ {
+			load := int64(1)
+			if v < 50 {
+				load = 40
+			}
+			if err := r.Record(v, loadstats.Lookup, load); err != nil {
+				b.Fatal(err)
+			}
+		}
+		r.Rebalance()
+	}
+}
+
+// BenchmarkSimulatorThroughput measures end-to-end simulator speed in
+// trace events per second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr := trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 5, NumDocs: 10000, Alpha: 0.9, Caches: 10,
+		Duration: 60, ReqPerCache: 30, UpdatesPerUnit: 60,
+	})
+	events := float64(len(tr.Events))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkUtilityEvaluate measures one placement decision.
+func BenchmarkUtilityEvaluate(b *testing.B) {
+	u, err := placement.NewUtility(placement.EqualOn(true, true, true, true), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := placement.Context{
+		CloudLookupRate: 12, CloudUpdateRate: 3,
+		LocalAccessRate: 2, MeanLocalRate: 1.5,
+		ReplicaCount: 2, Residence: 120, HolderResidence: 90,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.ShouldStore(ctx)
+	}
+}
+
+// newRand returns a deterministic source for benchmark inputs.
+func newRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// BenchmarkAblationReplacementPolicies compares LRU (the paper's
+// limited-disk setting), LFU and GreedyDual-Size under tight disk.
+func BenchmarkAblationReplacementPolicies(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []cache.ReplacementKind{cache.LRU, cache.LFU, cache.GreedyDualSize} {
+			r, err := sim.Run(sim.Config{
+				Arch: sim.DynamicHashing, NumRings: 5,
+				Replacement: kind, CapacityFraction: 0.05, Seed: 1,
+			}, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*r.LocalHitRate(), kind.String()+"-localhit%")
+			b.ReportMetric(r.NetworkMBPerUnit(), kind.String()+"-MB/unit")
+		}
+	}
+}
+
+// BenchmarkAblationTTLConsistency compares the paper's server-driven push
+// consistency against the classical TTL baseline of cooperative proxy
+// caches: TTL trades staleness for the absence of push traffic.
+func BenchmarkAblationTTLConsistency(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		push, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5, Seed: 1}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ttl, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5, TTL: 30, Seed: 1}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(push.StaleServes), "push-stale")
+		b.ReportMetric(push.NetworkMBPerUnit(), "push-MB/unit")
+		b.ReportMetric(float64(ttl.StaleServes), "ttl-stale")
+		b.ReportMetric(ttl.NetworkMBPerUnit(), "ttl-MB/unit")
+	}
+}
+
+// BenchmarkEdgeNetworkScaleOut regenerates the scale-out extension
+// experiment (one origin update message per cloud).
+func BenchmarkEdgeNetworkScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ScaleOutExperiment(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(r.CloudCounts) - 1
+		b.ReportMetric(r.UpdateMessages[last], "msgs/update@8clouds")
+		b.ReportMetric(r.HolderRefreshes[last], "refreshes/update@8clouds")
+	}
+}
+
+// BenchmarkAblationLeaseConsistency compares the three consistency modes:
+// the paper's always-push, cooperative leases (related work [8]) and the
+// TTL baseline — push volume, traffic, staleness, and client latency.
+func BenchmarkAblationLeaseConsistency(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		push, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5, Seed: 1}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lease, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5, LeaseDuration: 30, Seed: 1}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(push.HoldersNotified), "push-refreshes")
+		b.ReportMetric(float64(lease.HoldersNotified), "lease-refreshes")
+		b.ReportMetric(float64(lease.LeaseRenewals), "lease-renewals")
+		b.ReportMetric(lease.Latency.Mean(), "lease-mean-ms")
+		b.ReportMetric(push.Latency.Mean(), "push-mean-ms")
+	}
+}
+
+// BenchmarkLatencyByArchitecture reports client latency (the paper's
+// bottom-line motivation) for each cooperation architecture on the same
+// workload.
+func BenchmarkLatencyByArchitecture(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		for _, arch := range []sim.Architecture{sim.NoCooperation, sim.StaticHashing, sim.DynamicHashing} {
+			r, err := sim.Run(sim.Config{Arch: arch, NumRings: 5, Seed: 1}, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Latency.Mean(), arch.String()+"-mean-ms")
+			b.ReportMetric(r.Latency.Quantile(0.95), arch.String()+"-p95-ms")
+		}
+	}
+}

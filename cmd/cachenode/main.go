@@ -1,0 +1,79 @@
+// Command cachenode runs one live edge-cache node of a cache cloud. Every
+// node of the cluster shares a JSON cluster configuration file describing
+// the rings, the node addresses and the origin address:
+//
+//	{
+//	  "intraGen": 1000,
+//	  "rings": [["n0","n1"],["n2","n3"]],
+//	  "addrs": {"n0":"http://127.0.0.1:8100", "n1":"http://127.0.0.1:8101",
+//	            "n2":"http://127.0.0.1:8102", "n3":"http://127.0.0.1:8103"},
+//	  "originAddr": "http://127.0.0.1:8000",
+//	  "capacityBytes": 0,
+//	  "utilityPlacement": true
+//	}
+//
+// Usage:
+//
+//	cachenode -name n0 -listen 127.0.0.1:8100 -config cluster.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"cachecloud/internal/node"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cachenode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cachenode", flag.ContinueOnError)
+	var (
+		name    = fs.String("name", "", "this node's name (must appear in the cluster config)")
+		listen  = fs.String("listen", "", "listen address, e.g. 127.0.0.1:8100")
+		cfgPath = fs.String("config", "cluster.json", "cluster configuration file")
+		snap    = fs.String("snapshot", "", "snapshot file: loaded at start, written on POST /snapshot/save")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *listen == "" {
+		return fmt.Errorf("both -name and -listen are required")
+	}
+	cfg, err := loadConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	n, err := node.NewCacheNode(*name, cfg)
+	if err != nil {
+		return err
+	}
+	if *snap != "" {
+		n.SetSnapshotPath(*snap)
+		if err := n.LoadSnapshotFile(*snap); err != nil {
+			return fmt.Errorf("load snapshot: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cachenode %s listening on %s\n", *name, *listen)
+	return http.ListenAndServe(*listen, n.Handler())
+}
+
+func loadConfig(path string) (node.ClusterConfig, error) {
+	var cfg node.ClusterConfig
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, fmt.Errorf("read cluster config: %w", err)
+	}
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return cfg, fmt.Errorf("parse cluster config: %w", err)
+	}
+	return cfg, nil
+}

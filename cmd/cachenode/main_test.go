@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	body := `{
+	  "intraGen": 1000,
+	  "rings": [["n0","n1"]],
+	  "addrs": {"n0":"http://127.0.0.1:8100","n1":"http://127.0.0.1:8101"},
+	  "originAddr": "http://127.0.0.1:8000",
+	  "utilityPlacement": true
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := loadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IntraGen != 1000 || len(cfg.Rings) != 1 || !cfg.UtilityPlacement {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Addrs["n1"] != "http://127.0.0.1:8101" {
+		t.Fatalf("addrs = %v", cfg.Addrs)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := loadConfig("/nonexistent.json"); err == nil {
+		t.Fatal("missing config accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadConfig(path); err == nil {
+		t.Fatal("malformed config accepted")
+	}
+}
+
+func TestRunRequiresFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Command cloudsim reproduces the paper's evaluation figures with the
+// trace-driven simulator, or runs a single custom simulation over a trace
+// file.
+//
+// Reproduce a figure (or every figure):
+//
+//	cloudsim -fig fig3 [-scale 1] [-seed 1]
+//	cloudsim -all -scale 0.2
+//
+// Run a custom simulation over a generated trace file:
+//
+//	cloudsim -trace sydney.trace -arch dynamic -rings 5 -policy utility
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachecloud/internal/experiments"
+	"cachecloud/internal/placement"
+	"cachecloud/internal/sim"
+	"cachecloud/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cloudsim", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "", "reproduce one figure: fig3 … fig9")
+		all       = fs.Bool("all", false, "reproduce every figure")
+		scale     = fs.Float64("scale", 1.0, "workload scale (1 = paper-sized)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		traceFile = fs.String("trace", "", "run a custom simulation over this trace file")
+		arch      = fs.String("arch", "dynamic", "custom run: nocoop, static or dynamic")
+		rings     = fs.Int("rings", 0, "custom run: beacon rings (dynamic; 0 = caches/2)")
+		policy    = fs.String("policy", "adhoc", "custom run: adhoc, beacon or utility")
+		diskFrac  = fs.Float64("disk", 0, "custom run: per-cache disk as a fraction of corpus bytes (0 = unlimited)")
+		cycle     = fs.Int64("cycle", 60, "custom run: rebalance cycle length in units")
+		ttl       = fs.Int64("ttl", 0, "custom run: TTL consistency in units (0 = server-driven push)")
+		lease     = fs.Int64("lease", 0, "custom run: cooperative-lease duration in units")
+		series    = fs.Bool("series", false, "custom run: print per-unit convergence series")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *all:
+		for _, name := range experiments.Names() {
+			if name == "fig8" {
+				continue // fig7 prints the shared sweep
+			}
+			fmt.Printf("=== %s ===\n", name)
+			if err := experiments.Run(name, *scale, *seed, os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case *fig != "":
+		return experiments.Run(*fig, *scale, *seed, os.Stdout)
+	case *traceFile != "":
+		return customRun(customOpts{
+			traceFile: *traceFile, arch: *arch, policy: *policy, rings: *rings,
+			diskFrac: *diskFrac, cycle: *cycle, seed: *seed,
+			ttl: *ttl, lease: *lease, series: *series,
+		})
+	default:
+		return fmt.Errorf("nothing to do: pass -fig, -all or -trace (experiments: %v)", experiments.Names())
+	}
+}
+
+// customOpts bundles the custom-run flags.
+type customOpts struct {
+	traceFile, arch, policy string
+	rings                   int
+	diskFrac                float64
+	cycle, seed, ttl, lease int64
+	series                  bool
+}
+
+func customRun(o customOpts) error {
+	f, err := os.Open(o.traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		NumRings: o.rings, CycleLength: o.cycle, Seed: o.seed,
+		CapacityFraction: o.diskFrac, TTL: o.ttl, LeaseDuration: o.lease,
+		CollectSeries: o.series,
+	}
+	arch, policyName, diskFrac := o.arch, o.policy, o.diskFrac
+	switch arch {
+	case "nocoop":
+		cfg.Arch = sim.NoCooperation
+	case "static":
+		cfg.Arch = sim.StaticHashing
+	case "dynamic":
+		cfg.Arch = sim.DynamicHashing
+	default:
+		return fmt.Errorf("unknown architecture %q", arch)
+	}
+	switch policyName {
+	case "adhoc":
+		cfg.Policy = placement.AdHoc{}
+	case "beacon":
+		cfg.Policy = placement.BeaconPoint{}
+	case "utility":
+		u, err := placement.NewUtility(placement.EqualOn(true, true, true, diskFrac > 0), 0.5)
+		if err != nil {
+			return err
+		}
+		cfg.Policy = u
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if o.series && res.Series != nil {
+		printSeries(res.Series)
+	}
+	return nil
+}
+
+// printSeries prints the convergence curve, thinned to at most 20 rows.
+func printSeries(sr *sim.Series) {
+	fmt.Println("\nconvergence (per time unit):")
+	fmt.Printf("%-8s %12s %10s\n", "unit", "network MB", "hit rate")
+	step := len(sr.Units)/20 + 1
+	for i := 0; i < len(sr.Units); i += step {
+		fmt.Printf("%-8d %12.2f %9.1f%%\n", sr.Units[i], sr.NetworkMB[i], 100*sr.HitRate[i])
+	}
+}
+
+func printResult(r *sim.Result) {
+	fmt.Printf("architecture: %s, policy: %s, duration: %d units\n", r.Arch, r.Policy, r.Duration)
+	fmt.Printf("requests: %d (local %.1f%%, cloud %.1f%%, origin %.1f%%)\n",
+		r.Requests, 100*r.LocalHitRate(),
+		100*ratioOf(r.CloudHits, r.Requests), 100*ratioOf(r.GroupMisses, r.Requests))
+	fmt.Printf("updates: %d (holders refreshed: %d)\n", r.Updates, r.HoldersNotified)
+	fmt.Printf("network: %.2f MB/unit (intra-cloud %d B, server %d B, control %d B)\n",
+		r.NetworkMBPerUnit(), r.IntraCloudBytes, r.ServerBytes, r.ControlBytes)
+	fmt.Printf("stored per cache: %.1f%% of catalog (mean)\n", r.StoredPctMean())
+	if r.Latency != nil {
+		fmt.Printf("client latency:  mean %.1f ms, p50 %.1f, p95 %.1f, p99 %.1f\n",
+			r.Latency.Mean(), r.Latency.Quantile(0.5), r.Latency.Quantile(0.95), r.Latency.Quantile(0.99))
+	}
+	if r.Revalidations > 0 || r.StaleServes > 0 || r.LeaseRenewals > 0 {
+		fmt.Printf("consistency:     %d revalidations, %d stale serves, %d lease renewals\n",
+			r.Revalidations, r.StaleServes, r.LeaseRenewals)
+	}
+	if len(r.BeaconLoads.Loads) > 0 {
+		lp := r.LoadPerUnit()
+		fmt.Printf("beacon load: CoV %.3f, max/mean %.2f\n", lp.CoV(), lp.MaxToMean())
+		fmt.Printf("records migrated: %d\n", r.RecordsMigrated)
+	}
+}
+
+func ratioOf(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachecloud/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	tr := trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 1, NumDocs: 300, Caches: 4, Duration: 10, ReqPerCache: 5, UpdatesPerUnit: 3,
+	})
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestCustomRunArchitecturesAndPolicies(t *testing.T) {
+	path := writeTestTrace(t)
+	for _, arch := range []string{"nocoop", "static", "dynamic"} {
+		if err := run([]string{"-trace", path, "-arch", arch}); err != nil {
+			t.Fatalf("arch %s: %v", arch, err)
+		}
+	}
+	for _, pol := range []string{"adhoc", "beacon", "utility"} {
+		if err := run([]string{"-trace", path, "-policy", pol}); err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+	}
+	if err := run([]string{"-trace", path, "-policy", "utility", "-disk", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomRunRejectsBadFlags(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{"-trace", path, "-arch", "bogus"}); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	if err := run([]string{"-trace", path, "-policy", "bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestFigureAtTinyScale(t *testing.T) {
+	if err := run([]string{"-fig", "fig3", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomRunConsistencyModes(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{"-trace", path, "-ttl", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path, "-lease", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path, "-ttl", "5", "-lease", "5"}); err == nil {
+		t.Fatal("mutually exclusive consistency flags accepted")
+	}
+	if err := run([]string{"-trace", path, "-series"}); err != nil {
+		t.Fatal(err)
+	}
+}

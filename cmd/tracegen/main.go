@@ -1,0 +1,93 @@
+// Command tracegen generates workload trace files for the simulator:
+// the paper's synthetic Zipf dataset or the Sydney-like dataset standing in
+// for the IBM 2000 Olympics trace.
+//
+// Usage:
+//
+//	tracegen -type zipf   -out zipf.trace   [-docs 50000] [-alpha 0.9] ...
+//	tracegen -type sydney -out sydney.trace [-docs 51634] ...
+//	tracegen -stats existing.trace          # characterise a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachecloud/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("type", "zipf", "trace type: zipf or sydney")
+		out      = fs.String("out", "", "output file (default stdout)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		docs     = fs.Int("docs", 0, "unique documents (0 = dataset default)")
+		caches   = fs.Int("caches", 10, "number of edge caches")
+		duration = fs.Int64("duration", 0, "trace duration in time units (0 = default)")
+		reqs     = fs.Int("reqs", 0, "requests per cache per unit (zipf) / peak rate (sydney)")
+		updates  = fs.Int("updates", 0, "updates per unit (0 = default 195)")
+		alpha    = fs.Float64("alpha", 0.9, "Zipf exponent (zipf type only)")
+		stats    = fs.String("stats", "", "characterise an existing trace file and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stats != "" {
+		return printStats(*stats)
+	}
+
+	var tr *trace.Trace
+	switch *kind {
+	case "zipf":
+		tr = trace.GenerateZipf(trace.ZipfConfig{
+			Seed: *seed, NumDocs: *docs, Alpha: *alpha, Caches: *caches,
+			Duration: *duration, ReqPerCache: *reqs, UpdatesPerUnit: *updates,
+		})
+	case "sydney":
+		tr = trace.GenerateSydney(trace.SydneyConfig{
+			Seed: *seed, NumDocs: *docs, Caches: *caches,
+			Duration: *duration, PeakReqPerCache: *reqs, UpdatesPerUnit: *updates,
+		})
+	default:
+		return fmt.Errorf("unknown trace type %q (want zipf or sydney)", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d docs, %d requests, %d updates over %d units\n",
+		len(tr.Docs), tr.NumRequests(), tr.NumUpdates(), tr.Duration)
+	return nil
+}
+
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	trace.Analyze(tr).Format(os.Stdout)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachecloud/internal/trace"
+)
+
+func TestRunGeneratesReadableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	err := run([]string{"-type", "zipf", "-docs", "200", "-duration", "5",
+		"-caches", "3", "-reqs", "4", "-updates", "2", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Docs) != 200 || tr.Duration != 5 {
+		t.Fatalf("trace %d docs dur %d", len(tr.Docs), tr.Duration)
+	}
+	if tr.NumRequests() != 5*3*4 || tr.NumUpdates() != 5*2 {
+		t.Fatalf("events %d/%d", tr.NumRequests(), tr.NumUpdates())
+	}
+}
+
+func TestRunSydneyType(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.trace")
+	err := run([]string{"-type", "sydney", "-docs", "300", "-duration", "10",
+		"-caches", "2", "-reqs", "5", "-updates", "3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "sydney2000.example.org") {
+		t.Fatal("sydney trace missing its site")
+	}
+}
+
+func TestRunRejectsUnknownType(t *testing.T) {
+	if err := run([]string{"-type", "bogus"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestRunStatsMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	if err := run([]string{"-type", "zipf", "-docs", "100", "-duration", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stats", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stats", "/nonexistent/file"}); err == nil {
+		t.Fatal("missing stats file accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package cachecloud_test
+
+import (
+	"fmt"
+
+	"cachecloud"
+)
+
+// ExampleNewCloud demonstrates the document lookup and update protocols on
+// an in-process cache cloud with the paper's default topology.
+func ExampleNewCloud() {
+	cloud, err := cachecloud.NewCloud(cachecloud.CloudConfig{
+		NumRings: 5, IntraGen: 1000, FineGrained: true,
+	}, cachecloud.CacheNames(10), nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	server := cachecloud.NewOriginServer([]cachecloud.Document{
+		{URL: "http://example.org/scores", Size: 12_000},
+	})
+	server.AttachCloud(cloud)
+
+	// A cache misses, fetches from the origin, stores, and registers.
+	doc, _ := server.Fetch("http://example.org/scores")
+	_, _ = cloud.Cache("cache-02").Put(cachecloud.Copy{Doc: doc}, 0)
+	_ = cloud.RegisterHolder(doc.URL, "cache-02")
+
+	// The next lookup anywhere in the cloud finds the holder.
+	res, _ := cloud.Lookup(doc.URL, 1)
+	fmt.Println("holders:", res.Holders)
+
+	// The origin publishes an update: one message per cloud, fanned out by
+	// the beacon point to every holder.
+	out, _ := server.PublishUpdate(doc.URL, 2)
+	fmt.Println("refreshed copies:", out.HoldersNotified)
+	// Output:
+	// holders: [cache-02]
+	// refreshed copies: 1
+}
+
+// ExampleNewUtilityPlacement shows a placement decision under the paper's
+// utility function: an update-churned, already-replicated document is not
+// worth another copy.
+func ExampleNewUtilityPlacement() {
+	policy, err := cachecloud.NewUtilityPlacement(
+		cachecloud.EqualWeights(true, true, true, false), 0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	hot := cachecloud.PlacementContext{
+		CloudLookupRate: 20, CloudUpdateRate: 0.1, // read-mostly
+		LocalAccessRate: 2, MeanLocalRate: 1,
+		ReplicaCount: 1,
+	}
+	churned := cachecloud.PlacementContext{
+		CloudLookupRate: 2, CloudUpdateRate: 40, // write-dominated
+		LocalAccessRate: 1, MeanLocalRate: 1,
+		ReplicaCount: 3,
+	}
+	fmt.Println("store read-mostly doc:", policy.ShouldStore(hot).Store)
+	fmt.Println("store churned doc:", policy.ShouldStore(churned).Store)
+	// Output:
+	// store read-mostly doc: true
+	// store churned doc: false
+}
+
+// ExampleSimulate runs a small trace through the simulator under the
+// paper's dynamic-hashing architecture.
+func ExampleSimulate() {
+	tr := cachecloud.GenerateZipfTrace(cachecloud.ZipfTraceConfig{
+		Seed: 1, NumDocs: 1000, Caches: 10, Duration: 30,
+		ReqPerCache: 20, UpdatesPerUnit: 10,
+	})
+	res, err := cachecloud.Simulate(cachecloud.SimConfig{
+		Arch: cachecloud.DynamicHashing, NumRings: 5,
+	}, tr)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("all requests accounted:",
+		res.LocalHits+res.CloudHits+res.GroupMisses == res.Requests)
+	fmt.Println("in-network hit rate above half:", res.CloudHitRate() > 0.5)
+	// Output:
+	// all requests accounted: true
+	// in-network hit rate above half: true
+}
+
+// ExampleNewRing reproduces the paper's Figure 2 worked example: the
+// sub-range determination process shifts two IrH values when per-value
+// load information is available.
+func ExampleNewRing() {
+	ring, err := cachecloud.NewRing(cachecloud.RingConfig{IntraGen: 10, FineGrained: true},
+		[]cachecloud.RingMember{{ID: "Pc00", Capability: 1}, {ID: "Pc10", Capability: 1}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	loads := []int64{175, 100, 135, 30, 60, 50, 25, 75, 50, 100}
+	for v, load := range loads {
+		_ = ring.Record(v, cachecloud.LookupLoad, load)
+	}
+	ring.Rebalance()
+	for _, a := range ring.Assignments() {
+		fmt.Printf("%s owns %s\n", a.ID, a.Sub)
+	}
+	// Output:
+	// Pc00 owns (0,2)
+	// Pc10 owns (3,9)
+}

@@ -1,0 +1,122 @@
+// Livecluster: boots a real cache cloud — six edge-cache HTTP nodes in
+// three beacon rings plus an origin node — on loopback, then drives it over
+// the wire: client requests through GET /doc, an update through the
+// origin's POST /publish, and one sub-range determination cycle through
+// POST /rebalance.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"cachecloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Catalog of 100 "scoreboard" documents.
+	docs := make([]cachecloud.Document, 100)
+	for i := range docs {
+		docs[i] = cachecloud.Document{
+			URL:  fmt.Sprintf("http://games.example.org/scores/%d", i),
+			Size: int64(2_000 + 37*i),
+		}
+	}
+
+	names := []string{"syd-a", "syd-b", "syd-c", "syd-d", "syd-e", "syd-f"}
+	cluster, err := cachecloud.StartLocalCluster(names, 2, docs, cachecloud.ClusterConfig{
+		IntraGen: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster up: %d cache nodes in %d rings + origin at %s\n\n",
+		len(cluster.Caches), len(cluster.Cfg.Rings), cluster.Cfg.OriginAddr)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(base, docURL string) (map[string]any, error) {
+		resp, err := client.Get(base + "/doc?url=" + url.QueryEscape(docURL))
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var out map[string]any
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+
+	// Drive requests: every node asks for a skewed slice of the catalog.
+	fmt.Println("driving 300 client requests across the cluster…")
+	for i := 0; i < 300; i++ {
+		nodeName := names[i%len(names)]
+		docURL := docs[(i*i)%40].URL // skewed toward low indexes
+		if _, err := get(cluster.Cfg.Addrs[nodeName], docURL); err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+
+	// Publish an update through the origin.
+	hot := docs[0].URL
+	body := strings.NewReader(fmt.Sprintf(`{"url":%q}`, hot))
+	resp, err := client.Post(cluster.Cfg.OriginAddr+"/publish", "application/json", body)
+	if err != nil {
+		return err
+	}
+	var pub struct {
+		Version  int `json:"version"`
+		Notified int `json:"notified"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	fmt.Printf("published update of %s → version %d, %d holders refreshed over HTTP\n\n",
+		hot, pub.Version, pub.Notified)
+
+	// Run one sub-range determination cycle.
+	resp, err = client.Post(cluster.Cfg.OriginAddr+"/rebalance", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	var reb struct {
+		Moves int `json:"moves"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reb); err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	fmt.Printf("rebalance cycle complete: %d sub-range boundary moves\n\n", reb.Moves)
+
+	// Per-node statistics.
+	fmt.Printf("%-8s %10s %10s %10s %10s %8s\n", "node", "stored", "localHits", "peerHits", "origin", "hit%")
+	for _, n := range names {
+		resp, err := client.Get(cluster.Cfg.Addrs[n] + "/stats")
+		if err != nil {
+			return err
+		}
+		var st struct {
+			StoredDocs int     `json:"storedDocs"`
+			LocalHits  int64   `json:"localHits"`
+			PeerHits   int64   `json:"peerHits"`
+			OriginMiss int64   `json:"originMiss"`
+			HitRate    float64 `json:"hitRate"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return err
+		}
+		_ = resp.Body.Close()
+		fmt.Printf("%-8s %10d %10d %10d %10d %7.1f%%\n",
+			n, st.StoredDocs, st.LocalHits, st.PeerHits, st.OriginMiss, 100*st.HitRate)
+	}
+	return nil
+}

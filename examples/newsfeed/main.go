@@ -1,0 +1,72 @@
+// Newsfeed: live-updated documents (scoreboards, tickers) stress the
+// consistency-maintenance side of a cache cloud. This example compares the
+// three placement schemes on the same high-update workload: ad hoc
+// replication pays an update-fanout for every cached copy, beacon-point
+// placement pays a peer fetch on almost every request, and the
+// utility-based scheme replicates hot-and-stable documents while keeping
+// update-churned documents at few caches — the paper's Figure 7/8 story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachecloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A newsfeed-like workload: heavy skew and a high update rate near the
+	// top of the paper's sweep.
+	tr := cachecloud.GenerateZipfTrace(cachecloud.ZipfTraceConfig{
+		Seed:           11,
+		NumDocs:        20_000,
+		Alpha:          0.9,
+		Caches:         10,
+		Duration:       240,
+		ReqPerCache:    40,
+		UpdatesPerUnit: 500,
+	})
+	fmt.Printf("workload: %d requests, %d updates over %d units\n\n",
+		tr.NumRequests(), tr.NumUpdates(), tr.Duration)
+
+	utility, err := cachecloud.NewUtilityPlacement(
+		cachecloud.EqualWeights(true, true, true, false), 0.5)
+	if err != nil {
+		return err
+	}
+	policies := []cachecloud.PlacementPolicy{
+		cachecloud.AdHocPlacement{},
+		utility,
+		cachecloud.BeaconPointPlacement{},
+	}
+
+	fmt.Printf("%-10s %14s %14s %12s %12s\n",
+		"policy", "stored %/cache", "network MB/u", "local hit%", "cloud hit%")
+	for _, pol := range policies {
+		res, err := cachecloud.Simulate(cachecloud.SimConfig{
+			Arch:        cachecloud.DynamicHashing,
+			NumRings:    5,
+			CycleLength: 60,
+			Policy:      pol,
+			Seed:        1,
+		}, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %14.1f %14.2f %12.1f %12.1f\n",
+			res.Policy, res.StoredPctMean(), res.NetworkMBPerUnit(),
+			100*res.LocalHitRate(), 100*res.CloudHitRate())
+	}
+
+	fmt.Println("\nunder extreme update churn the utility scheme sheds almost all")
+	fmt.Println("replicas of update-dominated documents, cutting ad hoc's network")
+	fmt.Println("load in half while keeping a far better local hit rate than the")
+	fmt.Println("single-copy beacon placement — the paper's Figure 7/8 trade-off.")
+	return nil
+}

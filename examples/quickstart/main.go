@@ -1,0 +1,102 @@
+// Quickstart: build a 10-cache cache cloud in-process and walk the three
+// cooperative protocols by hand — document lookup, cooperative retrieval
+// with holder registration, and origin-driven update propagation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachecloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's default topology: 10 caches, 5 beacon rings of 2 beacon
+	// points, IntraGen 1000, fine-grained load tracking.
+	cloud, err := cachecloud.NewCloud(cachecloud.CloudConfig{
+		NumRings:    5,
+		IntraGen:    1000,
+		FineGrained: true,
+	}, cachecloud.CacheNames(10), nil)
+	if err != nil {
+		return err
+	}
+
+	// An origin server with a tiny catalog, attached to the cloud so
+	// updates reach beacon points.
+	docs := []cachecloud.Document{
+		{URL: "http://news.example.org/scores/final", Size: 18_000},
+		{URL: "http://news.example.org/medals", Size: 9_500},
+		{URL: "http://news.example.org/schedule", Size: 4_200},
+	}
+	server := cachecloud.NewOriginServer(docs)
+	server.AttachCloud(cloud)
+
+	const url = "http://news.example.org/scores/final"
+	now := int64(0)
+
+	// --- a request arrives at cache-03 and misses locally ---
+	requester := cloud.Cache("cache-03")
+	if _, hit := requester.Get(url, now); hit {
+		return fmt.Errorf("unexpected hit on a cold cache")
+	}
+
+	// Document lookup protocol: ask the document's beacon point.
+	res, err := cloud.Lookup(url, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lookup: beacon point of %q is %s, holders: %v\n", url, res.Beacon, res.Holders)
+
+	// Group miss: no holder in the cloud, fetch from the origin and store.
+	doc, err := server.Fetch(url)
+	if err != nil {
+		return err
+	}
+	if _, err := requester.Put(cachecloud.Copy{Doc: doc, FetchedAt: now}, now); err != nil {
+		return err
+	}
+	if err := cloud.RegisterHolder(url, "cache-03"); err != nil {
+		return err
+	}
+	fmt.Printf("group miss: fetched %s from origin, stored at cache-03\n", doc)
+
+	// --- the same document requested at cache-07: cloud hit ---
+	now++
+	res, err = cloud.Lookup(url, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("second lookup: holders now %v — retrieve from a nearby cache, not the origin\n", res.Holders)
+	cp, _ := cloud.Cache(res.Holders[0]).Peek(url)
+	if _, err := cloud.Cache("cache-07").Put(cachecloud.Copy{Doc: cp.Doc, FetchedAt: now}, now); err != nil {
+		return err
+	}
+	if err := cloud.RegisterHolder(url, "cache-07"); err != nil {
+		return err
+	}
+
+	// --- the origin publishes an update: one message per cloud ---
+	now++
+	out, err := server.PublishUpdate(url, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("update: v%d pushed through the beacon to %d holders (%d fanout bytes)\n",
+		out.Doc.Version, out.HoldersNotified, out.FanoutBytes)
+
+	for _, id := range []string{"cache-03", "cache-07"} {
+		got, _ := cloud.Cache(id).Peek(url)
+		fmt.Printf("  %s now serves version %d\n", id, got.Doc.Version)
+	}
+
+	// Beacon loads accumulated by the protocol traffic.
+	fmt.Printf("beacon load distribution: %s\n", cloud.LoadDistribution())
+	return nil
+}

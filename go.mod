@@ -1,0 +1,3 @@
+module cachecloud
+
+go 1.22

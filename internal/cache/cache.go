@@ -1,0 +1,262 @@
+// Package cache implements the edge cache: a byte-budgeted document store
+// with pluggable replacement (LRU by default, as in the paper's
+// limited-disk experiments; LFU and GreedyDual-Size for the replacement
+// ablation) and the per-document access monitoring that feeds the
+// utility-based placement scheme.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/loadstats"
+)
+
+// ErrTooLarge is returned when a document exceeds the cache's total
+// capacity and can never be stored.
+var ErrTooLarge = errors.New("cache: document larger than cache capacity")
+
+// accessHalfLife is the half-life (in time units) of the exponentially
+// weighted access/eviction monitors. One hour of trace time.
+const accessHalfLife = 60
+
+// Cache is one edge cache. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	id       string
+	capacity int64 // bytes; 0 means unlimited
+	used     int64
+	entries  map[string]document.Copy
+	policy   replacementPolicy
+	kind     ReplacementKind
+
+	// monitors tracks access rates per document URL, including documents
+	// that are not currently stored — the paper's placement scheme decides
+	// using patterns "collected through continued monitoring".
+	monitors   map[string]*loadstats.EWRate
+	totalRate  *loadstats.EWRate // all accesses at this cache
+	evictBytes *loadstats.EWRate // bytes evicted per unit (disk contention)
+	hits       int64
+	misses     int64
+}
+
+// New creates an edge cache with LRU replacement. capacity is the disk
+// budget in bytes; 0 means unlimited (the paper's Figures 7 and 8 setup).
+func New(id string, capacity int64) *Cache {
+	return NewWithReplacement(id, capacity, LRU)
+}
+
+// NewWithReplacement creates an edge cache with an explicit replacement
+// policy.
+func NewWithReplacement(id string, capacity int64, kind ReplacementKind) *Cache {
+	return &Cache{
+		id:         id,
+		capacity:   capacity,
+		entries:    make(map[string]document.Copy),
+		policy:     newReplacementPolicy(kind),
+		kind:       kind,
+		monitors:   make(map[string]*loadstats.EWRate),
+		totalRate:  loadstats.NewEWRate(accessHalfLife),
+		evictBytes: loadstats.NewEWRate(accessHalfLife),
+	}
+}
+
+// ID returns the cache identifier.
+func (c *Cache) ID() string { return c.id }
+
+// Capacity returns the byte budget (0 = unlimited).
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Replacement returns the replacement policy kind.
+func (c *Cache) Replacement() ReplacementKind { return c.kind }
+
+// Used returns the bytes currently stored.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of stored documents.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get looks up a document and, when present, refreshes its replacement
+// priority. It always records the access in the monitoring state (hit or
+// miss), so utility decisions can use the access history of documents the
+// cache does not hold.
+func (c *Cache) Get(url string, now int64) (document.Copy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observeAccess(url, now)
+	cp, ok := c.entries[url]
+	if !ok {
+		c.misses++
+		return document.Copy{}, false
+	}
+	c.hits++
+	c.policy.onAccess(url)
+	return cp, true
+}
+
+// Peek returns the stored copy without touching replacement state or
+// monitors.
+func (c *Cache) Peek(url string) (document.Copy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.entries[url]
+	return cp, ok
+}
+
+// Has reports whether the document is stored.
+func (c *Cache) Has(url string) bool {
+	_, ok := c.Peek(url)
+	return ok
+}
+
+// Put stores a copy, evicting documents chosen by the replacement policy
+// as needed to fit the byte budget. It returns the evicted documents (so
+// the caller can deregister them from their beacon points). Storing a
+// document already present replaces it in place. Documents larger than the
+// whole capacity are rejected with ErrTooLarge.
+func (c *Cache) Put(cp document.Copy, now int64) ([]document.Document, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := cp.Doc.Size
+	if c.capacity > 0 && size > c.capacity {
+		return nil, fmt.Errorf("%w: %q is %dB, capacity %dB", ErrTooLarge, cp.Doc.URL, size, c.capacity)
+	}
+	if old, ok := c.entries[cp.Doc.URL]; ok {
+		c.used += size - old.Doc.Size
+	} else {
+		c.used += size
+	}
+	c.entries[cp.Doc.URL] = cp
+	c.policy.onInsert(cp.Doc.URL, size)
+	return c.makeRoom(cp.Doc.URL, now), nil
+}
+
+// makeRoom evicts policy victims (never the protected URL) until used fits
+// capacity. Caller holds the lock.
+func (c *Cache) makeRoom(protect string, now int64) []document.Document {
+	if c.capacity <= 0 {
+		return nil
+	}
+	var evicted []document.Document
+	for c.used > c.capacity {
+		url, ok := c.policy.victim(protect)
+		if !ok {
+			break
+		}
+		victim := c.entries[url]
+		c.removeLocked(url)
+		c.evictBytes.Observe(now, float64(victim.Doc.Size))
+		evicted = append(evicted, victim.Doc)
+	}
+	return evicted
+}
+
+// Remove drops a document, returning whether it was present.
+func (c *Cache) Remove(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[url]
+	if ok {
+		c.removeLocked(url)
+	}
+	return ok
+}
+
+func (c *Cache) removeLocked(url string) {
+	cp := c.entries[url]
+	c.policy.onRemove(url)
+	c.used -= cp.Doc.Size
+	delete(c.entries, url)
+}
+
+// ApplyUpdate refreshes the stored copy to the new document version if the
+// cache holds the document. It reports whether the document was held. The
+// updated copy keeps its replacement priority: an update is not a client
+// access.
+func (c *Cache) ApplyUpdate(doc document.Document, now int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.entries[doc.URL]
+	if !ok {
+		return false
+	}
+	if cp.Doc.Version >= doc.Version {
+		return true // already fresh
+	}
+	c.used += doc.Size - cp.Doc.Size
+	cp.Doc = doc
+	cp.FetchedAt = now
+	c.entries[doc.URL] = cp
+	// A grown update can overflow the budget.
+	c.makeRoom(doc.URL, now)
+	return true
+}
+
+// Documents returns the URLs currently stored in decreasing keep-priority
+// (most recently used first under LRU).
+func (c *Cache) Documents() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy.ordered()
+}
+
+// observeAccess updates the monitoring state. Caller holds the lock.
+func (c *Cache) observeAccess(url string, now int64) {
+	m, ok := c.monitors[url]
+	if !ok {
+		m = loadstats.NewEWRate(accessHalfLife)
+		c.monitors[url] = m
+	}
+	m.Observe(now, 1)
+	c.totalRate.Observe(now, 1)
+}
+
+// AccessRate estimates the document's local accesses per time unit.
+func (c *Cache) AccessRate(url string, now int64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.monitors[url]
+	if !ok {
+		return 0
+	}
+	return m.Rate(now)
+}
+
+// MeanAccessRate estimates the mean per-document access rate over the
+// documents currently stored (total cache access rate divided by the store
+// size). The utility scheme's access-frequency component compares a
+// document against this baseline.
+func (c *Cache) MeanAccessRate(now int64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	if n == 0 {
+		n = 1
+	}
+	return c.totalRate.Rate(now) / float64(n)
+}
+
+// EvictionByteRate estimates bytes evicted per time unit — the cache's
+// disk-space contention signal.
+func (c *Cache) EvictionByteRate(now int64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictBytes.Rate(now)
+}
+
+// HitsMisses returns the cumulative local hit and miss counts.
+func (c *Cache) HitsMisses() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

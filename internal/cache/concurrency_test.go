@@ -1,0 +1,66 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachecloud/internal/document"
+)
+
+// The cache must keep its byte accounting exact under concurrent access
+// from many goroutines (run with -race).
+func TestConcurrentCacheAccess(t *testing.T) {
+	for _, kind := range []ReplacementKind{LRU, LFU, GreedyDualSize} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := NewWithReplacement("c", 100_000, kind)
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						url := fmt.Sprintf("d%d", (worker*13+i)%64)
+						now := int64(i)
+						switch i % 4 {
+						case 0:
+							_, _ = c.Get(url, now)
+						case 1:
+							_, _ = c.Put(document.Copy{Doc: document.Document{
+								URL: url, Size: int64(500 + worker*100), Version: 1,
+							}}, now)
+						case 2:
+							c.ApplyUpdate(document.Document{URL: url, Size: 700, Version: document.Version(i)}, now)
+						case 3:
+							if i%16 == 3 {
+								c.Remove(url)
+							} else {
+								_ = c.AccessRate(url, now)
+								_ = c.MeanAccessRate(now)
+								_ = c.EvictionByteRate(now)
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Post-condition: accounting agrees with contents.
+			var sum int64
+			for _, url := range c.Documents() {
+				cp, ok := c.Peek(url)
+				if !ok {
+					t.Fatalf("Documents lists %s but Peek misses", url)
+				}
+				sum += cp.Doc.Size
+			}
+			if sum != c.Used() {
+				t.Fatalf("used %d != contents sum %d", c.Used(), sum)
+			}
+			if c.Used() > 100_000 {
+				t.Fatalf("capacity exceeded: %d", c.Used())
+			}
+		})
+	}
+}

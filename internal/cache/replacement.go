@@ -1,0 +1,292 @@
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+)
+
+// ReplacementKind selects the document replacement policy an edge cache
+// uses when its disk fills. The paper's limited-disk experiments use LRU;
+// LFU and GreedyDual-Size (Cao & Irani, the paper's reference [3]) are
+// provided for the replacement-policy ablation.
+type ReplacementKind int
+
+const (
+	// LRU evicts the least recently used document.
+	LRU ReplacementKind = iota + 1
+	// LFU evicts the least frequently used document (ties broken by
+	// recency).
+	LFU
+	// GreedyDualSize evicts the document with the lowest H value, where
+	// H = L + 1/size: small cost-per-byte documents with stale credit go
+	// first and the clock L inflates to the evicted H.
+	GreedyDualSize
+)
+
+// String implements fmt.Stringer.
+func (k ReplacementKind) String() string {
+	switch k {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	case GreedyDualSize:
+		return "gds"
+	default:
+		return fmt.Sprintf("replacement(%d)", int(k))
+	}
+}
+
+// replacementPolicy tracks stored documents and nominates eviction victims.
+// Implementations are not safe for concurrent use; Cache serialises calls
+// under its own lock.
+type replacementPolicy interface {
+	// onInsert registers a newly stored document.
+	onInsert(url string, size int64)
+	// onAccess records a hit on a stored document.
+	onAccess(url string)
+	// onRemove deregisters a document (eviction or explicit removal).
+	onRemove(url string)
+	// victim nominates the next document to evict, skipping exclude.
+	// It returns false when no evictable document remains.
+	victim(exclude string) (string, bool)
+	// ordered returns the stored URLs in decreasing keep-priority
+	// (the document evicted last comes first).
+	ordered() []string
+}
+
+// newReplacementPolicy constructs the policy for a kind (LRU by default).
+func newReplacementPolicy(kind ReplacementKind) replacementPolicy {
+	switch kind {
+	case LFU:
+		return newLFUPolicy()
+	case GreedyDualSize:
+		return newGDSPolicy()
+	default:
+		return newLRUPolicy()
+	}
+}
+
+// --- LRU ---
+
+type lruPolicy struct {
+	order *list.List // front = most recently used; values are string URLs
+	elems map[string]*list.Element
+}
+
+func newLRUPolicy() *lruPolicy {
+	return &lruPolicy{order: list.New(), elems: make(map[string]*list.Element)}
+}
+
+func (p *lruPolicy) onInsert(url string, _ int64) {
+	if el, ok := p.elems[url]; ok {
+		p.order.MoveToFront(el)
+		return
+	}
+	p.elems[url] = p.order.PushFront(url)
+}
+
+func (p *lruPolicy) onAccess(url string) {
+	if el, ok := p.elems[url]; ok {
+		p.order.MoveToFront(el)
+	}
+}
+
+func (p *lruPolicy) onRemove(url string) {
+	if el, ok := p.elems[url]; ok {
+		p.order.Remove(el)
+		delete(p.elems, url)
+	}
+}
+
+func (p *lruPolicy) victim(exclude string) (string, bool) {
+	for el := p.order.Back(); el != nil; el = el.Prev() {
+		url, ok := el.Value.(string)
+		if !ok {
+			continue
+		}
+		if url != exclude {
+			return url, true
+		}
+	}
+	return "", false
+}
+
+func (p *lruPolicy) ordered() []string {
+	out := make([]string, 0, p.order.Len())
+	for el := p.order.Front(); el != nil; el = el.Next() {
+		if url, ok := el.Value.(string); ok {
+			out = append(out, url)
+		}
+	}
+	return out
+}
+
+// --- priority-heap base shared by LFU and GDS ---
+
+// heapEntry is one document in a keyed min-heap: the lowest (key, seq)
+// pair is the next victim; seq breaks ties by insertion/access recency
+// (older first).
+type heapEntry struct {
+	url  string
+	key  float64
+	seq  uint64
+	idx  int
+	size int64
+}
+
+type entryHeap []*heapEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *entryHeap) Push(x any) {
+	e, ok := x.(*heapEntry)
+	if !ok {
+		return
+	}
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type keyedPolicy struct {
+	heap    entryHeap
+	entries map[string]*heapEntry
+	seq     uint64
+	// rekeyInsert and rekeyAccess compute the new priority key.
+	rekeyInsert func(p *keyedPolicy, e *heapEntry)
+	rekeyAccess func(p *keyedPolicy, e *heapEntry)
+	// onEvict lets GDS inflate its clock with the victim's key.
+	onEvict func(p *keyedPolicy, e *heapEntry)
+	clock   float64 // GDS L value
+}
+
+func (p *keyedPolicy) nextSeq() uint64 {
+	p.seq++
+	return p.seq
+}
+
+func (p *keyedPolicy) onInsert(url string, size int64) {
+	if e, ok := p.entries[url]; ok {
+		e.size = size
+		p.rekeyAccess(p, e)
+		e.seq = p.nextSeq()
+		heap.Fix(&p.heap, e.idx)
+		return
+	}
+	e := &heapEntry{url: url, size: size, seq: p.nextSeq()}
+	p.rekeyInsert(p, e)
+	heap.Push(&p.heap, e)
+	p.entries[url] = e
+}
+
+func (p *keyedPolicy) onAccess(url string) {
+	e, ok := p.entries[url]
+	if !ok {
+		return
+	}
+	p.rekeyAccess(p, e)
+	e.seq = p.nextSeq()
+	heap.Fix(&p.heap, e.idx)
+}
+
+func (p *keyedPolicy) onRemove(url string) {
+	e, ok := p.entries[url]
+	if !ok {
+		return
+	}
+	heap.Remove(&p.heap, e.idx)
+	delete(p.entries, url)
+}
+
+func (p *keyedPolicy) victim(exclude string) (string, bool) {
+	if len(p.heap) == 0 {
+		return "", false
+	}
+	top := p.heap[0]
+	if top.url != exclude {
+		if p.onEvict != nil {
+			p.onEvict(p, top)
+		}
+		return top.url, true
+	}
+	// The excluded entry is at the top: check the better of its children.
+	best := -1
+	for _, c := range []int{1, 2} {
+		if c < len(p.heap) && (best == -1 || p.heap.Less(c, best)) {
+			best = c
+		}
+	}
+	if best == -1 {
+		return "", false
+	}
+	if p.onEvict != nil {
+		p.onEvict(p, p.heap[best])
+	}
+	return p.heap[best].url, true
+}
+
+func (p *keyedPolicy) ordered() []string {
+	// Decreasing keep-priority = decreasing key.
+	out := make([]*heapEntry, len(p.heap))
+	copy(out, p.heap)
+	// Simple selection into a slice sorted by (key desc, seq desc).
+	urls := make([]string, 0, len(out))
+	for len(out) > 0 {
+		best := 0
+		for i := 1; i < len(out); i++ {
+			if out[i].key > out[best].key ||
+				(out[i].key == out[best].key && out[i].seq > out[best].seq) {
+				best = i
+			}
+		}
+		urls = append(urls, out[best].url)
+		out = append(out[:best], out[best+1:]...)
+	}
+	return urls
+}
+
+func newLFUPolicy() *keyedPolicy {
+	p := &keyedPolicy{entries: make(map[string]*heapEntry)}
+	p.rekeyInsert = func(_ *keyedPolicy, e *heapEntry) { e.key = 1 }
+	p.rekeyAccess = func(_ *keyedPolicy, e *heapEntry) { e.key++ }
+	return p
+}
+
+func newGDSPolicy() *keyedPolicy {
+	p := &keyedPolicy{entries: make(map[string]*heapEntry)}
+	h := func(p *keyedPolicy, e *heapEntry) {
+		size := e.size
+		if size < 1 {
+			size = 1
+		}
+		// Uniform miss cost of 1 per document: H = L + 1/size, so large
+		// documents with no recent credit are evicted first.
+		e.key = p.clock + 1/float64(size)
+	}
+	p.rekeyInsert = h
+	p.rekeyAccess = h
+	p.onEvict = func(p *keyedPolicy, e *heapEntry) {
+		if e.key > p.clock {
+			p.clock = e.key
+		}
+	}
+	return p
+}

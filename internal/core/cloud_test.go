@@ -1,0 +1,505 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cachecloud/internal/cache"
+	"cachecloud/internal/document"
+	"cachecloud/internal/trace"
+)
+
+func newTestCloud(t *testing.T, caches, rings int, cfgMod func(*Config)) *Cloud {
+	t.Helper()
+	cfg := Config{NumRings: rings, IntraGen: 1000, FineGrained: true}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	c, err := New(cfg, trace.CacheNames(caches), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumRings: 0}, []string{"a"}, nil); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("err = %v, want ErrBadTopology", err)
+	}
+	if _, err := New(Config{NumRings: 5}, []string{"a", "b"}, nil); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("err = %v, want ErrBadTopology", err)
+	}
+	if _, err := New(Config{NumRings: 1}, []string{"a", "a"}, nil); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("err = %v, want ErrBadTopology", err)
+	}
+}
+
+func TestTopologyFiveByTwo(t *testing.T) {
+	c := newTestCloud(t, 10, 5, nil)
+	asg := c.RingAssignments()
+	if len(asg) != 5 {
+		t.Fatalf("rings = %d, want 5", len(asg))
+	}
+	seen := map[string]bool{}
+	for _, ringAsg := range asg {
+		if len(ringAsg) != 2 {
+			t.Fatalf("ring has %d beacon points, want 2", len(ringAsg))
+		}
+		for _, a := range ringAsg {
+			if seen[a.ID] {
+				t.Fatalf("cache %s in two rings", a.ID)
+			}
+			seen[a.ID] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("%d caches placed, want 10", len(seen))
+	}
+}
+
+func TestBeaconForStableAndMember(t *testing.T) {
+	c := newTestCloud(t, 10, 5, nil)
+	member := map[string]bool{}
+	for _, id := range c.CacheIDs() {
+		member[id] = true
+	}
+	for i := 0; i < 500; i++ {
+		url := fmt.Sprintf("http://s/%d", i)
+		b1, err := c.BeaconFor(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, _ := c.BeaconFor(url)
+		if b1 != b2 {
+			t.Fatalf("unstable beacon for %s", url)
+		}
+		if !member[b1] {
+			t.Fatalf("beacon %s is not a cloud member", b1)
+		}
+	}
+}
+
+func TestLookupRegisterFlow(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	const url = "http://s/doc"
+
+	res, err := c.Lookup(url, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Holders) != 0 {
+		t.Fatalf("fresh document has holders %v", res.Holders)
+	}
+	want, _ := c.BeaconFor(url)
+	if res.Beacon != want {
+		t.Fatalf("lookup served by %s, want %s", res.Beacon, want)
+	}
+
+	if err := c.RegisterHolder(url, "cache-01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterHolder(url, "cache-02"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.Lookup(url, 1)
+	if len(res.Holders) != 2 {
+		t.Fatalf("holders = %v, want 2", res.Holders)
+	}
+
+	if err := c.DeregisterHolder(url, "cache-01"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.Lookup(url, 2)
+	if len(res.Holders) != 1 || res.Holders[0] != "cache-02" {
+		t.Fatalf("holders = %v, want [cache-02]", res.Holders)
+	}
+}
+
+func TestRegisterUnknownCache(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	if err := c.RegisterHolder("u", "ghost"); !errors.Is(err, ErrUnknownCache) {
+		t.Fatalf("err = %v, want ErrUnknownCache", err)
+	}
+}
+
+func TestUpdateProtocol(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	doc := document.Document{URL: "http://s/d", Size: 1000, Version: 1}
+
+	// Store the doc at two caches and register them.
+	for _, id := range []string{"cache-00", "cache-03"} {
+		if _, err := c.Cache(id).Put(document.Copy{Doc: doc}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RegisterHolder(doc.URL, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	doc2 := doc
+	doc2.Version = 2
+	doc2.Size = 1200
+	res, err := c.Update(doc2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notified) != 2 {
+		t.Fatalf("notified %v, want both holders", res.Notified)
+	}
+	if res.FanoutBytes != 2400 {
+		t.Fatalf("fanout bytes = %d, want 2400", res.FanoutBytes)
+	}
+	for _, id := range []string{"cache-00", "cache-03"} {
+		got, ok := c.Cache(id).Peek(doc.URL)
+		if !ok || got.Doc.Version != 2 {
+			t.Fatalf("cache %s not refreshed: %+v ok=%v", id, got, ok)
+		}
+	}
+	// Lookup must now report the new version.
+	lr, _ := c.Lookup(doc.URL, 2)
+	if lr.Version != 2 {
+		t.Fatalf("lookup version = %d, want 2", lr.Version)
+	}
+}
+
+func TestUpdatePrunesStaleHolders(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	doc := document.Document{URL: "u", Size: 10, Version: 1}
+	// Register a holder that does not actually store the doc.
+	if err := c.RegisterHolder(doc.URL, "cache-00"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Update(doc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notified) != 0 {
+		t.Fatalf("notified %v, want none", res.Notified)
+	}
+	if h := c.Holders(doc.URL); len(h) != 0 {
+		t.Fatalf("stale holder not pruned: %v", h)
+	}
+}
+
+func TestBeaconLoadsAccumulate(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	for i := 0; i < 50; i++ {
+		if _, err := c.Lookup(fmt.Sprintf("u%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := c.Update(document.Document{URL: fmt.Sprintf("u%d", i), Size: 1, Version: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, v := range c.BeaconLoads() {
+		total += v
+	}
+	if total != 80 {
+		t.Fatalf("total beacon load = %d, want 80", total)
+	}
+	if got := c.LoadDistribution().Mean(); got != 20 {
+		t.Fatalf("mean load = %v, want 20", got)
+	}
+}
+
+func TestDocumentRates(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	const url = "hot"
+	for now := int64(0); now < 200; now++ {
+		for k := 0; k < 5; k++ {
+			if _, err := c.Lookup(url, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Update(document.Document{URL: url, Size: 1, Version: document.Version(now + 1)}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lr, ur := c.DocumentRates(url, 199)
+	if lr < 3 || lr > 7 {
+		t.Fatalf("lookup rate = %.2f, want ≈5", lr)
+	}
+	if ur < 0.5 || ur > 1.5 {
+		t.Fatalf("update rate = %.2f, want ≈1", ur)
+	}
+	if l, u := c.DocumentRates("unseen", 199); l != 0 || u != 0 {
+		t.Fatalf("unseen doc rates = %v,%v", l, u)
+	}
+}
+
+// Rebalancing must move lookup records with the sub-ranges: a document's
+// beacon changes, but the holder list survives.
+func TestRebalanceMigratesRecords(t *testing.T) {
+	c := newTestCloud(t, 2, 1, nil)
+	// Drive heavily skewed lookups so the boundary must move.
+	urls := make([]string, 400)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://s/%d", i)
+	}
+	for i, u := range urls {
+		if err := c.RegisterHolder(u, "cache-00"); err != nil {
+			t.Fatal(err)
+		}
+		// Heavy load on a subset to force imbalance.
+		n := 1
+		if i%7 == 0 {
+			n = 40
+		}
+		for k := 0; k < n; k++ {
+			if _, err := c.Lookup(u, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	moved := c.Rebalance()
+	if moved == 0 {
+		t.Fatal("rebalance migrated no records despite heavy skew")
+	}
+	if got := c.Stats().RecordsMigrated; got != int64(moved) {
+		t.Fatalf("Stats().RecordsMigrated = %d, want %d", got, moved)
+	}
+	// Every document must still resolve and keep its holder.
+	for _, u := range urls {
+		res, err := c.Lookup(u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Holders) != 1 || res.Holders[0] != "cache-00" {
+			t.Fatalf("doc %s lost its holder after migration: %v", u, res.Holders)
+		}
+	}
+}
+
+func TestRemoveCacheGraceful(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	// Find a document whose beacon is cache-00.
+	var url string
+	for i := 0; ; i++ {
+		u := fmt.Sprintf("http://s/%d", i)
+		if b, _ := c.BeaconFor(u); b == "cache-00" {
+			url = u
+			break
+		}
+	}
+	if err := c.RegisterHolder(url, "cache-01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveCache("cache-00", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveCache("cache-00", true); !errors.Is(err, ErrUnknownCache) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	// The record must have migrated to the new beacon with holders intact.
+	res, err := c.Lookup(url, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Beacon == "cache-00" {
+		t.Fatal("removed cache still beacon")
+	}
+	if len(res.Holders) != 1 || res.Holders[0] != "cache-01" {
+		t.Fatalf("holders after graceful removal = %v", res.Holders)
+	}
+	if c.Stats().RecordsLost != 0 {
+		t.Fatal("graceful removal lost records")
+	}
+}
+
+func TestRemoveCacheCrashWithoutReplication(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	var url string
+	for i := 0; ; i++ {
+		u := fmt.Sprintf("http://s/%d", i)
+		if b, _ := c.BeaconFor(u); b == "cache-00" {
+			url = u
+			break
+		}
+	}
+	if err := c.RegisterHolder(url, "cache-01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveCache("cache-00", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().RecordsLost == 0 {
+		t.Fatal("crash without replication should lose records")
+	}
+	res, _ := c.Lookup(url, 1)
+	if len(res.Holders) != 0 {
+		t.Fatalf("holders survived crash without replication: %v", res.Holders)
+	}
+}
+
+func TestRemoveCacheCrashWithReplication(t *testing.T) {
+	c := newTestCloud(t, 4, 2, func(cfg *Config) { cfg.ReplicateRecords = true })
+	var url string
+	for i := 0; ; i++ {
+		u := fmt.Sprintf("http://s/%d", i)
+		if b, _ := c.BeaconFor(u); b == "cache-00" {
+			url = u
+			break
+		}
+	}
+	if err := c.RegisterHolder(url, "cache-01"); err != nil {
+		t.Fatal(err)
+	}
+	c.ReplicateRecords()
+	if err := c.RemoveCache("cache-00", false); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.RecordsRecovered == 0 {
+		t.Fatalf("no records recovered: %+v", st)
+	}
+	res, _ := c.Lookup(url, 1)
+	if len(res.Holders) != 1 || res.Holders[0] != "cache-01" {
+		t.Fatalf("holders after recovered crash = %v", res.Holders)
+	}
+	// The crashed cache must be removed from holder lists everywhere.
+	for _, id := range c.CacheIDs() {
+		if id == "cache-00" {
+			t.Fatal("crashed cache still a member")
+		}
+	}
+}
+
+func TestReplicateRecordsDisabledNoop(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	if err := c.RegisterHolder("u", "cache-01"); err != nil {
+		t.Fatal(err)
+	}
+	c.ReplicateRecords() // must be a no-op, not a panic
+	if len(c.replicas) != 0 {
+		t.Fatal("replication ran while disabled")
+	}
+}
+
+func TestAddCache(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	if err := c.AddCache("cache-99", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCache("cache-99", 1, 0); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("duplicate add err = %v", err)
+	}
+	found := false
+	for _, ringAsg := range c.RingAssignments() {
+		for _, a := range ringAsg {
+			if a.ID == "cache-99" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("new cache not in any ring")
+	}
+	if c.Cache("cache-99") == nil {
+		t.Fatal("new cache has no store")
+	}
+	// Documents must resolve to it for part of the hash space eventually.
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if b, _ := c.BeaconFor(fmt.Sprintf("u%d", i)); b == "cache-99" {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("new cache never selected as beacon")
+	}
+}
+
+func TestHoldersPeekDoesNotChargeLoad(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	if err := c.RegisterHolder("u", "cache-00"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.LoadDistribution().Mean()
+	_ = c.Holders("u")
+	after := c.LoadDistribution().Mean()
+	if before != after {
+		t.Fatal("Holders charged beacon load")
+	}
+}
+
+// End-to-end style property: a full request/update workload keeps the
+// holder directory consistent with actual cache contents.
+func TestDirectoryConsistencyUnderWorkload(t *testing.T) {
+	c := newTestCloud(t, 6, 3, func(cfg *Config) { cfg.DefaultCapacity = 50_000 })
+	tr := trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 8, NumDocs: 300, Caches: 6, Duration: 30, ReqPerCache: 20, UpdatesPerUnit: 10,
+	})
+	docs := make(map[string]document.Document, len(tr.Docs))
+	for _, d := range tr.Docs {
+		docs[d.URL] = d
+	}
+	version := map[string]document.Version{}
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case trace.Request:
+			ch := c.Cache(ev.Cache)
+			if _, hit := ch.Get(ev.URL, ev.Time); hit {
+				continue
+			}
+			if _, err := c.Lookup(ev.URL, ev.Time); err != nil {
+				t.Fatal(err)
+			}
+			d := docs[ev.URL]
+			if v := version[ev.URL]; v > d.Version {
+				d.Version = v
+			}
+			evicted, err := ch.Put(document.Copy{Doc: d, FetchedAt: ev.Time}, ev.Time)
+			if errors.Is(err, cache.ErrTooLarge) {
+				continue // oversized document: served but never stored
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RegisterHolder(ev.URL, ev.Cache); err != nil {
+				t.Fatal(err)
+			}
+			for _, dead := range evicted {
+				if err := c.DeregisterHolder(dead.URL, ev.Cache); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case trace.Update:
+			version[ev.URL]++
+			d := docs[ev.URL]
+			d.Version = version[ev.URL]
+			if _, err := c.Update(d, ev.Time); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ev.Time%10 == 9 {
+			c.Rebalance()
+		}
+	}
+	// Invariant: every holder recorded at a beacon actually stores the doc,
+	// and every stored doc is registered.
+	for _, d := range tr.Docs {
+		for _, h := range c.Holders(d.URL) {
+			if !c.Cache(h).Has(d.URL) {
+				t.Fatalf("directory says %s holds %s but it does not", h, d.URL)
+			}
+		}
+	}
+	for _, id := range c.CacheIDs() {
+		for _, url := range c.Cache(id).Documents() {
+			held := false
+			for _, h := range c.Holders(url) {
+				if h == id {
+					held = true
+					break
+				}
+			}
+			if !held {
+				t.Fatalf("cache %s stores %s but directory does not know", id, url)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/trace"
+)
+
+// The cloud must stay consistent under concurrent lookups, updates,
+// registrations and rebalances (run with -race).
+func TestConcurrentCloudOperations(t *testing.T) {
+	c := newTestCloud(t, 8, 4, nil)
+	const workers = 8
+	const opsPerWorker = 400
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			cacheID := fmt.Sprintf("cache-%02d", worker)
+			for i := 0; i < opsPerWorker; i++ {
+				url := fmt.Sprintf("http://s/%d", (worker*31+i)%200)
+				switch i % 5 {
+				case 0, 1:
+					if _, err := c.Lookup(url, int64(i)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if err := c.RegisterHolder(url, cacheID); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					doc := document.Document{URL: url, Size: 100, Version: document.Version(i)}
+					if _, err := c.Update(doc, int64(i)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 4:
+					_ = c.Holders(url)
+				}
+			}
+		}(w)
+	}
+	// A rebalancer and a replicator race with the workers.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c.Rebalance()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c.ReplicateRecords()
+			_ = c.LoadDistribution()
+			_ = c.BeaconLoads()
+		}
+	}()
+	wg.Wait()
+
+	// Post-condition: every URL still resolves and the directory is sane.
+	for i := 0; i < 200; i++ {
+		url := fmt.Sprintf("http://s/%d", i)
+		if _, err := c.BeaconFor(url); err != nil {
+			t.Fatalf("BeaconFor(%s) after stress: %v", url, err)
+		}
+	}
+}
+
+// Membership changes racing with traffic must not corrupt the cloud.
+func TestConcurrentMembershipChanges(t *testing.T) {
+	c := newTestCloud(t, 6, 2, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			url := fmt.Sprintf("u%d", i%100)
+			_, _ = c.Lookup(url, int64(i))
+			_ = c.RegisterHolder(url, "cache-01")
+			i++
+		}
+	}()
+
+	for g := 0; g < 5; g++ {
+		id := fmt.Sprintf("extra-%d", g)
+		if err := c.AddCache(id, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		c.Rebalance()
+		if err := c.RemoveCache(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	ids := c.CacheIDs()
+	if len(ids) != 6 {
+		t.Fatalf("cache count after churn = %d, want 6", len(ids))
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.BeaconFor(fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Guard against regressions in the strided ring layout: the distribution
+// of beacon assignments over a big URL sample must cover every cache.
+func TestBeaconAssignmentCoverage(t *testing.T) {
+	c := newTestCloud(t, 10, 5, nil)
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		b, err := c.BeaconFor(fmt.Sprintf("http://cover/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[b]++
+	}
+	for _, id := range trace.CacheNames(10) {
+		if counts[id] == 0 {
+			t.Fatalf("cache %s never assigned as beacon", id)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package document
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashURLDeterministic(t *testing.T) {
+	a := HashURL("http://example.com/scores/1")
+	b := HashURL("http://example.com/scores/1")
+	if a != b {
+		t.Fatalf("hash not deterministic: %d != %d", a, b)
+	}
+	c := HashURL("http://example.com/scores/2")
+	if a == c {
+		t.Fatalf("distinct URLs collided: %d", a)
+	}
+}
+
+func TestRingIndexRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		h := HashURL(fmt.Sprintf("u%d", i))
+		for _, rings := range []int{1, 2, 5, 7, 10} {
+			r := h.RingIndex(rings)
+			if r < 0 || r >= rings {
+				t.Fatalf("ring index %d out of [0,%d)", r, rings)
+			}
+		}
+	}
+}
+
+func TestRingIndexDegenerate(t *testing.T) {
+	h := HashURL("x")
+	if got := h.RingIndex(0); got != 0 {
+		t.Fatalf("RingIndex(0) = %d, want 0", got)
+	}
+	if got := h.IrH(0); got != 0 {
+		t.Fatalf("IrH(0) = %d, want 0", got)
+	}
+	if got := h.IrH(-3); got != 0 {
+		t.Fatalf("IrH(-3) = %d, want 0", got)
+	}
+}
+
+func TestIrHRangeProperty(t *testing.T) {
+	f := func(url string, gen uint16) bool {
+		g := int(gen%5000) + 1
+		v := HashURL(url).IrH(g)
+		return v >= 0 && v < g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The intra-ring hash should spread documents roughly uniformly over the
+// generator range; the paper relies on this to make contiguous sub-ranges
+// meaningful units of load.
+func TestIrHUniformity(t *testing.T) {
+	const gen = 100
+	const docs = 100000
+	counts := make([]int, gen)
+	for i := 0; i < docs; i++ {
+		counts[HashURL(fmt.Sprintf("http://site/doc/%d", i)).IrH(gen)]++
+	}
+	mean := float64(docs) / gen
+	for v, c := range counts {
+		if float64(c) < mean*0.7 || float64(c) > mean*1.3 {
+			t.Fatalf("IrH value %d has count %d, outside 30%% of mean %.0f", v, c, mean)
+		}
+	}
+}
+
+// Ring index and IrH value must not be correlated: documents in one ring
+// should still cover the whole IrH range.
+func TestRingAndIrHIndependent(t *testing.T) {
+	const rings, gen = 5, 10
+	seen := make(map[[2]int]bool)
+	for i := 0; i < 20000; i++ {
+		h := HashURL(fmt.Sprintf("d%d", i))
+		seen[[2]int{h.RingIndex(rings), h.IrH(gen)}] = true
+	}
+	if len(seen) != rings*gen {
+		t.Fatalf("only %d of %d (ring,IrH) combinations observed", len(seen), rings*gen)
+	}
+}
+
+func TestCopyStale(t *testing.T) {
+	c := Copy{Doc: Document{URL: "u", Version: 3}}
+	if c.Stale(3) {
+		t.Fatal("copy at same version must not be stale")
+	}
+	if c.Stale(2) {
+		t.Fatal("copy newer than version must not be stale")
+	}
+	if !c.Stale(4) {
+		t.Fatal("copy older than version must be stale")
+	}
+}
+
+func TestDocumentString(t *testing.T) {
+	d := Document{URL: "http://a/b", Size: 42, Version: 7}
+	if got, want := d.String(), "http://a/b v7 (42B)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,329 @@
+// Package edgenet assembles multiple cache clouds into the large-scale
+// edge cache network the paper targets ("a large scale cooperative edge
+// cache network", Section 1): caches are grouped into clouds of nearby
+// nodes — by explicit membership or by the landmark clustering of
+// internal/landmark — and a single origin server serves group misses and
+// publishes each update once per cloud.
+//
+// The network-level benefit the paper motivates is directly measurable
+// here: with C clouds the origin sends C update messages per update
+// instead of one per holding cache.
+package edgenet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cachecloud/internal/core"
+	"cachecloud/internal/document"
+	"cachecloud/internal/landmark"
+	"cachecloud/internal/origin"
+	"cachecloud/internal/placement"
+	"cachecloud/internal/trace"
+)
+
+// ErrBadNetwork is returned for invalid network configurations.
+var ErrBadNetwork = errors.New("edgenet: invalid network")
+
+// Config parameterises network construction and runs.
+type Config struct {
+	// RingSize is the beacon points per ring inside each cloud
+	// (default 2, the paper's recommendation).
+	RingSize int
+	// IntraGen is the intra-ring hash generator (default 1000).
+	IntraGen int
+	// CycleLength is the per-cloud rebalance period (default 60).
+	CycleLength int64
+	// CacheCapacity is each cache's byte budget (0 = unlimited).
+	CacheCapacity int64
+	// Policy is the placement policy shared by all caches (ad hoc when
+	// nil).
+	Policy placement.Policy
+	// Seed drives holder selection during runs.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize < 1 {
+		c.RingSize = 2
+	}
+	if c.IntraGen == 0 {
+		c.IntraGen = 1000
+	}
+	if c.CycleLength == 0 {
+		c.CycleLength = 60
+	}
+	if c.Policy == nil {
+		c.Policy = placement.AdHoc{}
+	}
+	return c
+}
+
+// Network is an edge cache network: several cache clouds and one origin.
+type Network struct {
+	cfg     Config
+	clouds  []*core.Cloud
+	origin  *origin.Server
+	cloudOf map[string]int
+}
+
+// Build constructs a network from explicit cloud memberships.
+func Build(memberships [][]string, docs []document.Document, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if len(memberships) == 0 {
+		return nil, fmt.Errorf("%w: no clouds", ErrBadNetwork)
+	}
+	n := &Network{
+		cfg:     cfg,
+		origin:  origin.New(docs),
+		cloudOf: make(map[string]int),
+	}
+	for i, members := range memberships {
+		if len(members) < cfg.RingSize {
+			return nil, fmt.Errorf("%w: cloud %d has %d caches for rings of %d",
+				ErrBadNetwork, i, len(members), cfg.RingSize)
+		}
+		numRings := len(members) / cfg.RingSize
+		cloud, err := core.New(core.Config{
+			NumRings:        numRings,
+			IntraGen:        cfg.IntraGen,
+			FineGrained:     true,
+			DefaultCapacity: cfg.CacheCapacity,
+		}, members, nil)
+		if err != nil {
+			return nil, fmt.Errorf("edgenet: build cloud %d: %w", i, err)
+		}
+		for _, m := range members {
+			if _, dup := n.cloudOf[m]; dup {
+				return nil, fmt.Errorf("%w: cache %q in two clouds", ErrBadNetwork, m)
+			}
+			n.cloudOf[m] = i
+		}
+		n.clouds = append(n.clouds, cloud)
+		n.origin.AttachCloud(cloud)
+	}
+	return n, nil
+}
+
+// BuildFromTopology clusters the caches of an edge network into clouds
+// with the landmark technique and builds the network over the result.
+func BuildFromTopology(nodes []landmark.Node, lmCfg landmark.Config, cfg Config) (*Network, []landmark.Cloud, error) {
+	cfg = cfg.withDefaults()
+	if lmCfg.MinCloudSize < cfg.RingSize {
+		lmCfg.MinCloudSize = cfg.RingSize
+	}
+	clusters, err := landmark.Cluster(nodes, lmCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("edgenet: cluster topology: %w", err)
+	}
+	memberships := make([][]string, len(clusters))
+	for i, c := range clusters {
+		memberships[i] = c.Members
+	}
+	n, err := Build(memberships, nil, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, clusters, nil
+}
+
+// NumClouds returns the cloud count.
+func (n *Network) NumClouds() int { return len(n.clouds) }
+
+// Cloud returns the i-th cloud.
+func (n *Network) Cloud(i int) *core.Cloud { return n.clouds[i] }
+
+// Origin returns the shared origin server.
+func (n *Network) Origin() *origin.Server { return n.origin }
+
+// CacheIDs returns every cache in the network, sorted.
+func (n *Network) CacheIDs() []string {
+	out := make([]string, 0, len(n.cloudOf))
+	for id := range n.cloudOf {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CloudOf returns the cloud index for a cache, or -1 when unknown.
+func (n *Network) CloudOf(cacheID string) int {
+	if i, ok := n.cloudOf[cacheID]; ok {
+		return i
+	}
+	return -1
+}
+
+// SetCatalog replaces the origin catalog (used when the network was built
+// from a topology before the workload existed).
+func (n *Network) SetCatalog(docs []document.Document) {
+	srv := origin.New(docs)
+	for _, c := range n.clouds {
+		srv.AttachCloud(c)
+	}
+	n.origin = srv
+}
+
+// Result carries the metrics of one network run.
+type Result struct {
+	Requests    int64
+	LocalHits   int64
+	CloudHits   int64
+	GroupMisses int64
+	Updates     int64
+	// UpdateMessages is origin→cloud update messages (updates × clouds) —
+	// the cooperative-consistency cost the paper's design bounds.
+	UpdateMessages int64
+	// HolderRefreshes counts copies refreshed across all clouds; under a
+	// per-holder push design the origin would send this many messages.
+	HolderRefreshes int64
+	ServerBytes     int64
+	IntraCloudBytes int64
+	// PerCloud summarises each cloud.
+	PerCloud []CloudSummary
+}
+
+// CloudSummary is one cloud's view of a run.
+type CloudSummary struct {
+	Caches    int
+	Requests  int64
+	HitRate   float64 // (local + cloud hits) / requests
+	BeaconCoV float64
+}
+
+// HitRate returns the network-wide in-network hit rate.
+func (r *Result) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.LocalHits+r.CloudHits) / float64(r.Requests)
+}
+
+// Run drives a trace through the network. Request events must name caches
+// that belong to some cloud.
+func (n *Network) Run(tr *trace.Trace) (*Result, error) {
+	if tr == nil || len(tr.Docs) == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrBadNetwork)
+	}
+	n.SetCatalog(tr.Docs)
+	rng := rand.New(rand.NewSource(n.cfg.Seed))
+	res := &Result{}
+	cloudReq := make([]int64, len(n.clouds))
+	cloudHit := make([]int64, len(n.clouds))
+	nextCycle := n.cfg.CycleLength
+
+	for _, ev := range tr.Events {
+		for ev.Time >= nextCycle {
+			for _, c := range n.clouds {
+				c.Rebalance()
+			}
+			nextCycle += n.cfg.CycleLength
+		}
+		switch ev.Kind {
+		case trace.Request:
+			ci, ok := n.cloudOf[ev.Cache]
+			if !ok {
+				return nil, fmt.Errorf("%w: request for unknown cache %q", ErrBadNetwork, ev.Cache)
+			}
+			res.Requests++
+			cloudReq[ci]++
+			hit, err := n.handleRequest(n.clouds[ci], ev, rng, res)
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				cloudHit[ci]++
+			}
+		case trace.Update:
+			res.Updates++
+			out, err := n.origin.PublishUpdate(ev.URL, ev.Time)
+			if err != nil {
+				return nil, fmt.Errorf("edgenet: publish: %w", err)
+			}
+			res.UpdateMessages += int64(len(n.clouds))
+			res.HolderRefreshes += int64(out.HoldersNotified)
+			res.ServerBytes += out.ServerBytes
+			res.IntraCloudBytes += out.FanoutBytes
+		}
+	}
+
+	for i, c := range n.clouds {
+		hr := 0.0
+		if cloudReq[i] > 0 {
+			hr = float64(cloudHit[i]) / float64(cloudReq[i])
+		}
+		res.PerCloud = append(res.PerCloud, CloudSummary{
+			Caches:    len(c.CacheIDs()),
+			Requests:  cloudReq[i],
+			HitRate:   hr,
+			BeaconCoV: c.LoadDistribution().CoV(),
+		})
+	}
+	return res, nil
+}
+
+// handleRequest serves one request inside a cloud; reports whether it was
+// served in-network (locally or from a peer).
+func (n *Network) handleRequest(c *core.Cloud, ev trace.Event, rng *rand.Rand, res *Result) (bool, error) {
+	ch := c.Cache(ev.Cache)
+	if _, hit := ch.Get(ev.URL, ev.Time); hit {
+		res.LocalHits++
+		return true, nil
+	}
+	lr, err := c.Lookup(ev.URL, ev.Time)
+	if err != nil {
+		return false, err
+	}
+	holders := make([]string, 0, len(lr.Holders))
+	for _, h := range lr.Holders {
+		if h != ev.Cache {
+			holders = append(holders, h)
+		}
+	}
+	var doc document.Document
+	served := false
+	if len(holders) > 0 {
+		src := holders[rng.Intn(len(holders))]
+		if cp, ok := c.Cache(src).Peek(ev.URL); ok {
+			doc = cp.Doc
+			res.CloudHits++
+			res.IntraCloudBytes += doc.Size
+			served = true
+		}
+	}
+	if !served {
+		doc, err = n.origin.Fetch(ev.URL)
+		if err != nil {
+			return false, fmt.Errorf("edgenet: fetch: %w", err)
+		}
+		res.GroupMisses++
+		res.ServerBytes += doc.Size
+	}
+
+	lookupRate, updateRate := c.DocumentRates(ev.URL, ev.Time)
+	ctx := placement.Context{
+		Now: ev.Time, CacheID: ev.Cache, DocURL: ev.URL, DocSize: doc.Size,
+		IsBeacon:        lr.Beacon == ev.Cache,
+		LocalAccessRate: ch.AccessRate(ev.URL, ev.Time),
+		MeanLocalRate:   ch.MeanAccessRate(ev.Time),
+		CloudLookupRate: lookupRate,
+		CloudUpdateRate: updateRate,
+		ReplicaCount:    len(holders),
+		Residence:       placement.ExpectedResidence(ch.Capacity(), ch.EvictionByteRate(ev.Time)),
+	}
+	if n.cfg.Policy.ShouldStore(ctx).Store {
+		if evicted, err := ch.Put(document.Copy{Doc: doc, FetchedAt: ev.Time}, ev.Time); err == nil {
+			if err := c.RegisterHolder(ev.URL, ev.Cache); err != nil {
+				return served, err
+			}
+			for _, dead := range evicted {
+				if err := c.DeregisterHolder(dead.URL, ev.Cache); err != nil {
+					return served, err
+				}
+			}
+		}
+	}
+	return served, nil
+}

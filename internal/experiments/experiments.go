@@ -1,0 +1,444 @@
+// Package experiments defines one reproducible experiment per figure of the
+// paper's evaluation (Section 4, Figures 3-9). Each experiment builds its
+// workload with internal/trace, runs internal/sim under the paper's
+// configuration, and returns the series the figure plots. The cloudsim CLI
+// and the repository benchmarks are thin wrappers over this package.
+//
+// A scale parameter shrinks trace duration so tests and benchmarks can run
+// the same experiment definitions quickly; scale 1 is the paper-sized run.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cachecloud/internal/placement"
+	"cachecloud/internal/sim"
+	"cachecloud/internal/trace"
+)
+
+// UpdateRates is the x-axis of Figures 7-9: document update rates in
+// updates per unit time. 195 is the paper's "observed update rate".
+var UpdateRates = []int{10, 50, 100, 195, 500, 1000}
+
+// ObservedUpdateRate is the update rate marked with a dashed vertical line
+// in Figures 7-9.
+const ObservedUpdateRate = 195
+
+// scaleDuration scales a base duration, keeping at least 4 rebalance
+// cycles' worth of trace.
+func scaleDuration(base int64, scale float64) int64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	d := int64(float64(base) * scale)
+	if d < 20 {
+		d = 20
+	}
+	return d
+}
+
+// cycleFor picks the rebalance cycle: the paper's 60-unit cycle, shortened
+// for scaled-down runs so rebalancing still happens several times.
+func cycleFor(duration int64) int64 {
+	c := int64(60)
+	if duration/4 < c {
+		c = duration / 4
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// zipfTrace builds the paper's Zipf synthetic dataset for a cloud size.
+func zipfTrace(seed int64, caches int, alpha float64, updatesPerUnit int, scale float64) *trace.Trace {
+	return trace.GenerateZipf(trace.ZipfConfig{
+		Seed:           seed,
+		NumDocs:        50000,
+		Alpha:          alpha,
+		Caches:         caches,
+		Duration:       scaleDuration(240, scale),
+		ReqPerCache:    60,
+		UpdatesPerUnit: updatesPerUnit,
+	})
+}
+
+// sydneyTrace builds the SydneyLike dataset standing in for the IBM 2000
+// Olympics trace.
+func sydneyTrace(seed int64, caches, updatesPerUnit int, scale float64) *trace.Trace {
+	return trace.GenerateSydney(trace.SydneyConfig{
+		Seed:            seed,
+		NumDocs:         51634,
+		Caches:          caches,
+		Duration:        scaleDuration(1440, scale),
+		PeakReqPerCache: 80,
+		UpdatesPerUnit:  updatesPerUnit,
+	})
+}
+
+// LoadBalance is the result of Figures 3 and 4: the per-beacon-point load
+// distribution under static and dynamic hashing.
+type LoadBalance struct {
+	Dataset string
+	// StaticLoads and DynamicLoads are per-unit beacon loads in decreasing
+	// order (the figures' x-axis ordering).
+	StaticLoads  []float64
+	DynamicLoads []float64
+
+	StaticCoV      float64
+	DynamicCoV     float64
+	StaticMaxMean  float64
+	DynamicMaxMean float64
+}
+
+// CoVImprovement returns the relative CoV improvement of dynamic over
+// static hashing (the paper reports ≈63% on both datasets).
+func (l *LoadBalance) CoVImprovement() float64 {
+	if l.StaticCoV == 0 {
+		return 0
+	}
+	return 1 - l.DynamicCoV/l.StaticCoV
+}
+
+// Format writes the figure's series as text.
+func (l *LoadBalance) Format(w io.Writer) {
+	fmt.Fprintf(w, "Load distribution (%s dataset), beacon points in decreasing load order\n", l.Dataset)
+	fmt.Fprintf(w, "%-8s %12s %12s\n", "rank", "static", "dynamic")
+	for i := range l.StaticLoads {
+		dyn := 0.0
+		if i < len(l.DynamicLoads) {
+			dyn = l.DynamicLoads[i]
+		}
+		fmt.Fprintf(w, "%-8d %12.1f %12.1f\n", i+1, l.StaticLoads[i], dyn)
+	}
+	fmt.Fprintf(w, "CoV:      static %.3f  dynamic %.3f  (improvement %.0f%%)\n",
+		l.StaticCoV, l.DynamicCoV, 100*l.CoVImprovement())
+	fmt.Fprintf(w, "max/mean: static %.2f  dynamic %.2f\n", l.StaticMaxMean, l.DynamicMaxMean)
+}
+
+// loadBalanceCfg is the simulator configuration shared by the
+// load-balancing figures (3-6): beacon-point placement keeps the lookup
+// stream flowing at steady state (under ad hoc placement hot documents
+// stop generating beacon lookups once replicated everywhere, muting the
+// very skew the figures measure), and the first quarter of the trace is
+// treated as warmup so the dynamic scheme is measured after the sub-range
+// determination process has converged.
+func loadBalanceCfg(arch sim.Architecture, numRings int, tr *trace.Trace, seed int64) sim.Config {
+	return sim.Config{
+		Arch:        arch,
+		NumRings:    numRings,
+		CycleLength: cycleFor(tr.Duration),
+		Policy:      placement.BeaconPoint{},
+		WarmupUnits: tr.Duration / 4,
+		Seed:        seed,
+	}
+}
+
+// loadBalance runs one static and one dynamic simulation over a trace.
+func loadBalance(dataset string, tr *trace.Trace, numRings int, seed int64) (*LoadBalance, error) {
+	static, err := sim.Run(loadBalanceCfg(sim.StaticHashing, 0, tr, seed), tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: static run: %w", err)
+	}
+	dynamic, err := sim.Run(loadBalanceCfg(sim.DynamicHashing, numRings, tr, seed), tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dynamic run: %w", err)
+	}
+	sd, dd := static.LoadPerUnit(), dynamic.LoadPerUnit()
+	return &LoadBalance{
+		Dataset:        dataset,
+		StaticLoads:    sd.Sorted(),
+		DynamicLoads:   dd.Sorted(),
+		StaticCoV:      sd.CoV(),
+		DynamicCoV:     dd.CoV(),
+		StaticMaxMean:  sd.MaxToMean(),
+		DynamicMaxMean: dd.MaxToMean(),
+	}, nil
+}
+
+// Figure3 reproduces Figure 3: load distribution for the Zipf-0.9 dataset
+// on a 10-cache cloud (dynamic: 5 rings × 2 beacon points).
+func Figure3(scale float64, seed int64) (*LoadBalance, error) {
+	tr := zipfTrace(seed, 10, 0.9, 195, scale)
+	return loadBalance("Zipf-0.9", tr, 5, seed)
+}
+
+// Figure4 reproduces Figure 4: load distribution for the Sydney dataset.
+func Figure4(scale float64, seed int64) (*LoadBalance, error) {
+	tr := sydneyTrace(seed, 10, 195, scale)
+	return loadBalance("Sydney", tr, 5, seed)
+}
+
+// RingSize is the result of Figure 5: load-balancing CoV versus cache-cloud
+// size for static hashing and dynamic hashing with several ring sizes.
+type RingSize struct {
+	CloudSizes []int
+	RingSizes  []int
+	// StaticCoV[size] and DynamicCoV[size][ringSize] hold the series.
+	StaticCoV  map[int]float64
+	DynamicCoV map[int]map[int]float64
+}
+
+// Format writes the figure's series as text.
+func (r *RingSize) Format(w io.Writer) {
+	fmt.Fprintln(w, "Effect of beacon ring size on load balancing (Sydney dataset, CoV)")
+	fmt.Fprintf(w, "%-18s", "scheme")
+	for _, cs := range r.CloudSizes {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("%d caches", cs))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-18s", "static")
+	for _, cs := range r.CloudSizes {
+		fmt.Fprintf(w, " %9.3f", r.StaticCoV[cs])
+	}
+	fmt.Fprintln(w)
+	for _, rs := range r.RingSizes {
+		fmt.Fprintf(w, "%-18s", fmt.Sprintf("dynamic %d/ring", rs))
+		for _, cs := range r.CloudSizes {
+			fmt.Fprintf(w, " %9.3f", r.DynamicCoV[cs][rs])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure5 reproduces Figure 5: clouds of 10, 20 and 50 caches; dynamic
+// hashing with 2, 5 and 10 beacon points per ring versus static hashing.
+func Figure5(scale float64, seed int64) (*RingSize, error) {
+	res := &RingSize{
+		CloudSizes: []int{10, 20, 50},
+		RingSizes:  []int{2, 5, 10},
+		StaticCoV:  make(map[int]float64),
+		DynamicCoV: make(map[int]map[int]float64),
+	}
+	for _, cs := range res.CloudSizes {
+		tr := sydneyTrace(seed, cs, 195, scale)
+		static, err := sim.Run(loadBalanceCfg(sim.StaticHashing, 0, tr, seed), tr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 static %d: %w", cs, err)
+		}
+		res.StaticCoV[cs] = static.LoadPerUnit().CoV()
+		res.DynamicCoV[cs] = make(map[int]float64)
+		for _, rs := range res.RingSizes {
+			dynamic, err := sim.Run(loadBalanceCfg(sim.DynamicHashing, cs/rs, tr, seed), tr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5 dynamic %d/%d: %w", cs, rs, err)
+			}
+			res.DynamicCoV[cs][rs] = dynamic.LoadPerUnit().CoV()
+		}
+	}
+	return res, nil
+}
+
+// ZipfSweep is the result of Figure 6: CoV versus Zipf parameter for static
+// and dynamic hashing.
+type ZipfSweep struct {
+	Alphas     []float64
+	StaticCoV  []float64
+	DynamicCoV []float64
+}
+
+// Format writes the figure's series as text.
+func (z *ZipfSweep) Format(w io.Writer) {
+	fmt.Fprintln(w, "Effect of dataset skew on load balancing (CoV)")
+	fmt.Fprintf(w, "%-8s %10s %10s\n", "alpha", "static", "dynamic")
+	for i, a := range z.Alphas {
+		fmt.Fprintf(w, "%-8.2f %10.3f %10.3f\n", a, z.StaticCoV[i], z.DynamicCoV[i])
+	}
+}
+
+// Figure6 reproduces Figure 6: Zipf parameters 0.0 … 0.99 on a 10-cache
+// cloud.
+func Figure6(scale float64, seed int64) (*ZipfSweep, error) {
+	res := &ZipfSweep{Alphas: []float64{0.001, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.99}}
+	for _, a := range res.Alphas {
+		tr := zipfTrace(seed, 10, a, 195, scale)
+		static, err := sim.Run(loadBalanceCfg(sim.StaticHashing, 0, tr, seed), tr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 static %.2f: %w", a, err)
+		}
+		dynamic, err := sim.Run(loadBalanceCfg(sim.DynamicHashing, 5, tr, seed), tr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 dynamic %.2f: %w", a, err)
+		}
+		res.StaticCoV = append(res.StaticCoV, static.LoadPerUnit().CoV())
+		res.DynamicCoV = append(res.DynamicCoV, dynamic.LoadPerUnit().CoV())
+	}
+	return res, nil
+}
+
+// PlacementSweep is the result of Figures 7, 8 and 9: stored percentage and
+// network load versus document update rate for the three placement
+// policies.
+type PlacementSweep struct {
+	LimitedDisk bool
+	UpdateRates []int
+	// StoredPct[policy][i] is the mean percent of catalog documents stored
+	// per cache at update rate UpdateRates[i] (Figure 7).
+	StoredPct map[string][]float64
+	// NetworkMB[policy][i] is network load in MB per unit time
+	// (Figures 8 and 9).
+	NetworkMB map[string][]float64
+}
+
+// Policies enumerated in the sweeps, in the paper's legend order.
+var sweepPolicies = []string{"adhoc", "utility", "beacon"}
+
+// Format writes both the stored-percentage table (Figure 7) and the network
+// load table (Figures 8/9).
+func (p *PlacementSweep) Format(w io.Writer) {
+	disk := "unlimited disk, DsCC off"
+	if p.LimitedDisk {
+		disk = "disk = 30% of corpus, LRU, DsCC on"
+	}
+	fmt.Fprintf(w, "Placement sweep (%s); observed update rate = %d\n", disk, ObservedUpdateRate)
+	fmt.Fprintln(w, "Percent of documents stored per cache:")
+	p.table(w, p.StoredPct, "%9.1f")
+	fmt.Fprintln(w, "Network load (MB transferred per unit time):")
+	p.table(w, p.NetworkMB, "%9.2f")
+}
+
+func (p *PlacementSweep) table(w io.Writer, series map[string][]float64, cellFmt string) {
+	fmt.Fprintf(w, "%-10s", "policy")
+	for _, r := range p.UpdateRates {
+		fmt.Fprintf(w, " %9d", r)
+	}
+	fmt.Fprintln(w)
+	for _, pol := range sweepPolicies {
+		vals, ok := series[pol]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s", pol)
+		for _, v := range vals {
+			fmt.Fprintf(w, " "+cellFmt, v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// placementSweep runs the three policies across the update-rate axis.
+func placementSweep(scale float64, seed int64, limitedDisk bool, rates []int) (*PlacementSweep, error) {
+	res := &PlacementSweep{
+		LimitedDisk: limitedDisk,
+		UpdateRates: rates,
+		StoredPct:   make(map[string][]float64),
+		NetworkMB:   make(map[string][]float64),
+	}
+	util, err := placement.NewUtility(placement.EqualOn(true, true, true, limitedDisk), 0.5)
+	if err != nil {
+		return nil, err
+	}
+	policies := []placement.Policy{placement.AdHoc{}, util, placement.BeaconPoint{}}
+	for _, rate := range rates {
+		tr := sydneyTrace(seed, 10, rate, scale)
+		cycle := cycleFor(tr.Duration)
+		for _, pol := range policies {
+			cfg := sim.Config{
+				Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle,
+				Policy: pol, Seed: seed,
+			}
+			if limitedDisk {
+				cfg.CapacityFraction = 0.30
+			}
+			r, err := sim.Run(cfg, tr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s rate %d: %w", pol.Name(), rate, err)
+			}
+			res.StoredPct[pol.Name()] = append(res.StoredPct[pol.Name()], r.StoredPctMean())
+			res.NetworkMB[pol.Name()] = append(res.NetworkMB[pol.Name()], r.NetworkMBPerUnit())
+		}
+	}
+	return res, nil
+}
+
+// Figure7and8 reproduces Figures 7 and 8 in one sweep: unlimited disk
+// space, DsCC turned off, weights 1/3 each, threshold 0.5.
+func Figure7and8(scale float64, seed int64) (*PlacementSweep, error) {
+	return placementSweep(scale, seed, false, UpdateRates)
+}
+
+// Figure9 reproduces Figure 9: disk space limited to 30% of the corpus,
+// LRU replacement, DsCC turned on with weights 1/4 each.
+func Figure9(scale float64, seed int64) (*PlacementSweep, error) {
+	return placementSweep(scale, seed, true, UpdateRates)
+}
+
+// Names lists the runnable experiment identifiers for CLI help
+// ("scaleout" is an extension experiment beyond the paper's figures).
+func Names() []string {
+	names := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "scaleout", "latency", "capability", "resilience"}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes an experiment by figure name ("fig3" … "fig9") and writes
+// its formatted output to w. Figures 7 and 8 share a sweep.
+func Run(name string, scale float64, seed int64, w io.Writer) error {
+	switch name {
+	case "fig3":
+		r, err := Figure3(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "fig4":
+		r, err := Figure4(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "fig5":
+		r, err := Figure5(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "fig6":
+		r, err := Figure6(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "fig7", "fig8":
+		r, err := Figure7and8(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "fig9":
+		r, err := Figure9(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "scaleout":
+		r, err := ScaleOutExperiment(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "latency":
+		r, err := LatencyExperiment(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "capability":
+		r, err := CapabilityExperiment(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	case "resilience":
+		r, err := ResilienceExperiment(scale, seed)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return nil
+}

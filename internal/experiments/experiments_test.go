@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testScale keeps experiment tests fast while exercising the full pipeline.
+const testScale = 0.15
+
+func TestFigure3Shape(t *testing.T) {
+	r, err := Figure3(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.StaticLoads) != 10 || len(r.DynamicLoads) != 10 {
+		t.Fatalf("beacon counts: %d/%d", len(r.StaticLoads), len(r.DynamicLoads))
+	}
+	if r.DynamicCoV >= r.StaticCoV {
+		t.Fatalf("dynamic CoV %.3f not better than static %.3f", r.DynamicCoV, r.StaticCoV)
+	}
+	if r.DynamicMaxMean >= r.StaticMaxMean {
+		t.Fatalf("dynamic max/mean %.2f not better than static %.2f", r.DynamicMaxMean, r.StaticMaxMean)
+	}
+	if r.CoVImprovement() <= 0.2 {
+		t.Fatalf("CoV improvement %.2f too small for Zipf-0.9", r.CoVImprovement())
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "Zipf-0.9") {
+		t.Fatal("format lacks dataset name")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r, err := Figure4(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DynamicCoV >= r.StaticCoV {
+		t.Fatalf("dynamic CoV %.3f not better than static %.3f", r.DynamicCoV, r.StaticCoV)
+	}
+	// The paper reports max/mean ≈ 1.06 for dynamic hashing on Sydney;
+	// allow slack for the synthetic stand-in but demand good balance.
+	if r.DynamicMaxMean > 1.5 {
+		t.Fatalf("dynamic max/mean %.2f too high", r.DynamicMaxMean)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r, err := Figure5(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range r.CloudSizes {
+		// Dynamic hashing with 2-point rings already beats static hashing.
+		if r.DynamicCoV[cs][2] >= r.StaticCoV[cs] {
+			t.Fatalf("cloud %d: dynamic(2) CoV %.3f not better than static %.3f",
+				cs, r.DynamicCoV[cs][2], r.StaticCoV[cs])
+		}
+		// Bigger rings must not be drastically worse than 2-point rings
+		// (the paper finds incremental improvement).
+		if r.DynamicCoV[cs][10] > r.StaticCoV[cs] {
+			t.Fatalf("cloud %d: dynamic(10) CoV %.3f worse than static %.3f",
+				cs, r.DynamicCoV[cs][10], r.StaticCoV[cs])
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "dynamic 2/ring") {
+		t.Fatalf("format output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r, err := Figure6(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.Alphas)
+	if len(r.StaticCoV) != n || len(r.DynamicCoV) != n {
+		t.Fatalf("series lengths: %d/%d, want %d", len(r.StaticCoV), len(r.DynamicCoV), n)
+	}
+	// Static CoV grows with skew; at 0.9 the gap must be substantial.
+	if r.StaticCoV[n-2] <= r.StaticCoV[0] {
+		t.Fatalf("static CoV did not grow with skew: %.3f -> %.3f", r.StaticCoV[0], r.StaticCoV[n-2])
+	}
+	i09 := -1
+	for i, a := range r.Alphas {
+		if a == 0.90 {
+			i09 = i
+		}
+	}
+	if i09 == -1 {
+		t.Fatal("alpha 0.9 missing from sweep")
+	}
+	if r.StaticCoV[i09] < r.DynamicCoV[i09]*1.3 {
+		t.Fatalf("at alpha 0.9 static %.3f not clearly worse than dynamic %.3f",
+			r.StaticCoV[i09], r.DynamicCoV[i09])
+	}
+}
+
+func TestFigure7and8Shape(t *testing.T) {
+	r, err := Figure7and8(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LimitedDisk {
+		t.Fatal("figure 7/8 must be the unlimited-disk sweep")
+	}
+	n := len(r.UpdateRates)
+	for _, pol := range []string{"adhoc", "beacon", "utility"} {
+		if len(r.StoredPct[pol]) != n || len(r.NetworkMB[pol]) != n {
+			t.Fatalf("policy %s series incomplete", pol)
+		}
+	}
+	// Figure 7 shapes: ad hoc flat and high, beacon flat and low, utility
+	// decreasing with update rate.
+	u := r.StoredPct["utility"]
+	if u[0] <= u[n-1] {
+		t.Fatalf("utility stored%% did not fall with update rate: %v", u)
+	}
+	for i := range r.UpdateRates {
+		if r.StoredPct["beacon"][i] >= r.StoredPct["adhoc"][i] {
+			t.Fatalf("beacon stored%% above adhoc at rate %d", r.UpdateRates[i])
+		}
+	}
+	// Figure 8 shapes: utility lowest traffic at the highest update rate;
+	// adhoc traffic grows with update rate.
+	if r.NetworkMB["utility"][n-1] >= r.NetworkMB["adhoc"][n-1] {
+		t.Fatalf("utility traffic %.2f not below adhoc %.2f at rate %d",
+			r.NetworkMB["utility"][n-1], r.NetworkMB["adhoc"][n-1], r.UpdateRates[n-1])
+	}
+	if r.NetworkMB["adhoc"][n-1] <= r.NetworkMB["adhoc"][0] {
+		t.Fatalf("adhoc traffic did not grow with update rate: %v", r.NetworkMB["adhoc"])
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "unlimited disk") {
+		t.Fatal("format lacks disk mode")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	r, err := Figure9(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.LimitedDisk {
+		t.Fatal("figure 9 must be the limited-disk sweep")
+	}
+	n := len(r.UpdateRates)
+	// Utility places the least load on the network across the sweep's
+	// high-update half (the paper: lowest at all rates; allow the noisy
+	// low-rate cells some slack at reduced scale).
+	for i := n / 2; i < n; i++ {
+		if r.NetworkMB["utility"][i] >= r.NetworkMB["adhoc"][i] {
+			t.Fatalf("utility %.2f not below adhoc %.2f at rate %d",
+				r.NetworkMB["utility"][i], r.NetworkMB["adhoc"][i], r.UpdateRates[i])
+		}
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig3", testScale, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if err := Run("nope", testScale, 1, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestLatencyExperimentShape(t *testing.T) {
+	r, err := LatencyExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byArch := map[string]LatencyRow{}
+	for _, row := range r.Rows {
+		byArch[row.Arch] = row
+		if !(row.P50Ms <= row.P95Ms && row.P95Ms <= row.P99Ms) {
+			t.Fatalf("quantiles not ordered: %+v", row)
+		}
+	}
+	// Cooperation must reduce mean latency versus independent caches.
+	if byArch["dynamic-hashing"].MeanMs >= byArch["no-cooperation"].MeanMs {
+		t.Fatalf("dynamic %.1fms not below no-coop %.1fms",
+			byArch["dynamic-hashing"].MeanMs, byArch["no-cooperation"].MeanMs)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "Client latency") {
+		t.Fatal("format output unexpected")
+	}
+}
+
+func TestCapabilityExperimentShape(t *testing.T) {
+	r, err := CapabilityExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static hashing is capability-blind: ratio near 1. Dynamic hashing
+	// must push the realised ratio well toward the target of 3.
+	if r.StaticRatio < 0.6 || r.StaticRatio > 1.6 {
+		t.Fatalf("static ratio %.2f, want ≈1", r.StaticRatio)
+	}
+	if r.DynamicRatio < 2.0 {
+		t.Fatalf("dynamic ratio %.2f, want ≳2 (target 3)", r.DynamicRatio)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "capabilities") {
+		t.Fatal("format output unexpected")
+	}
+}
+
+func TestScaleOutShape(t *testing.T) {
+	r, err := ScaleOutExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, clouds := range r.CloudCounts {
+		if r.UpdateMessages[i] != float64(clouds) {
+			t.Fatalf("msgs/update at %d clouds = %v, want %d", clouds, r.UpdateMessages[i], clouds)
+		}
+		if r.HitRate[i] <= 0 {
+			t.Fatalf("no hits at %d clouds", clouds)
+		}
+	}
+	// Per-holder push would cost more messages than per-cloud push for
+	// replicated content at every network size.
+	for i := range r.CloudCounts {
+		if r.HolderRefreshes[i] <= r.UpdateMessages[i] {
+			t.Fatalf("holder refreshes %v not above per-cloud messages %v",
+				r.HolderRefreshes[i], r.UpdateMessages[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "scale-out") {
+		t.Fatal("format output unexpected")
+	}
+}
+
+func TestResilienceExperimentShape(t *testing.T) {
+	r, err := ResilienceExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RecordsLostBare == 0 {
+		t.Fatal("no records lost without replication")
+	}
+	if r.RecordsLostRepl >= r.RecordsLostBare {
+		t.Fatalf("replication did not reduce loss: %d vs %d", r.RecordsLostRepl, r.RecordsLostBare)
+	}
+	if r.RecordsRecovered == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if r.HitRateRepl < r.HitRateBare {
+		t.Fatalf("replication hurt hit rate: %.3f vs %.3f", r.HitRateRepl, r.HitRateBare)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "resilience") {
+		t.Fatal("format output unexpected")
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if scaleDuration(240, 0) != 240 {
+		t.Fatal("zero scale must default to 1")
+	}
+	if scaleDuration(240, 0.01) != 20 {
+		t.Fatal("duration floor not applied")
+	}
+	if cycleFor(1440) != 60 {
+		t.Fatal("full-length cycle should be 60")
+	}
+	if cycleFor(40) != 10 {
+		t.Fatalf("short-run cycle = %d, want 10", cycleFor(40))
+	}
+	if cycleFor(2) != 1 {
+		t.Fatal("cycle floor not applied")
+	}
+}
+
+// Every registered experiment name must run end to end through the
+// dispatcher (tiny scale keeps this fast).
+func TestEveryExperimentDispatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(name, 0.05, 1, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}

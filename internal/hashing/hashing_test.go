@@ -1,0 +1,215 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cache-%02d", i)
+	}
+	return out
+}
+
+func TestStaticEmpty(t *testing.T) {
+	s := NewStatic(nil)
+	if _, err := s.BeaconFor("u"); err != ErrNoNodes {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestStaticDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewStatic([]string{"b", "a", "c"})
+	b := NewStatic([]string{"c", "b", "a"})
+	for i := 0; i < 100; i++ {
+		url := fmt.Sprintf("http://x/%d", i)
+		ga, err := a.BeaconFor(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := b.BeaconFor(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga != gb {
+			t.Fatalf("assignment depends on input order: %q vs %q", ga, gb)
+		}
+	}
+}
+
+func TestStaticSpread(t *testing.T) {
+	s := NewStatic(nodeNames(10))
+	counts := map[string]int{}
+	const docs = 50000
+	for i := 0; i < docs; i++ {
+		n, err := s.BeaconFor(fmt.Sprintf("http://x/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("only %d nodes received documents", len(counts))
+	}
+	for n, c := range counts {
+		if math.Abs(float64(c)-docs/10) > docs/10*0.15 {
+			t.Fatalf("node %s has %d docs, expected ~%d", n, c, docs/10)
+		}
+	}
+}
+
+func TestStaticNodesCopied(t *testing.T) {
+	in := []string{"a", "b"}
+	s := NewStatic(in)
+	in[0] = "zz"
+	got := s.Nodes()
+	if got[0] != "a" {
+		t.Fatal("NewStatic did not copy input slice")
+	}
+	got[1] = "yy"
+	if s.Nodes()[1] != "b" {
+		t.Fatal("Nodes() exposes internal slice")
+	}
+}
+
+func TestConsistentEmpty(t *testing.T) {
+	c := NewConsistent(nil, 100)
+	if _, err := c.BeaconFor("u"); err != ErrNoNodes {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+	if steps := c.DiscoverySteps("u"); steps != 0 {
+		t.Fatalf("DiscoverySteps on empty ring = %d, want 0", steps)
+	}
+}
+
+func TestConsistentDeterministic(t *testing.T) {
+	c1 := NewConsistent(nodeNames(5), 64)
+	c2 := NewConsistent(nodeNames(5), 64)
+	for i := 0; i < 200; i++ {
+		u := fmt.Sprintf("doc%d", i)
+		a, _ := c1.BeaconFor(u)
+		b, _ := c2.BeaconFor(u)
+		if a != b {
+			t.Fatalf("nondeterministic assignment for %s", u)
+		}
+	}
+}
+
+func TestConsistentSpreadWithReplicas(t *testing.T) {
+	c := NewConsistent(nodeNames(10), 128)
+	counts := map[string]int{}
+	const docs = 50000
+	for i := 0; i < docs; i++ {
+		n, err := c.BeaconFor(fmt.Sprintf("doc/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n]++
+	}
+	for n, cnt := range counts {
+		if cnt < docs/10/2 || cnt > docs/10*2 {
+			t.Fatalf("node %s has %d docs, too far from %d", n, cnt, docs/10)
+		}
+	}
+}
+
+// Removing a node must only move documents that were owned by that node —
+// the minimal-disruption property consistent hashing exists for.
+func TestConsistentMinimalDisruption(t *testing.T) {
+	nodes := nodeNames(8)
+	c := NewConsistent(nodes, 64)
+	before := map[string]string{}
+	for i := 0; i < 5000; i++ {
+		u := fmt.Sprintf("d%d", i)
+		n, _ := c.BeaconFor(u)
+		before[u] = n
+	}
+	c.Remove("cache-03")
+	for u, prev := range before {
+		now, err := c.BeaconFor(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != "cache-03" && now != prev {
+			t.Fatalf("doc %s moved from %s to %s though %s was not removed", u, prev, now, prev)
+		}
+		if now == "cache-03" {
+			t.Fatalf("doc %s still assigned to removed node", u)
+		}
+	}
+}
+
+func TestConsistentAddIsIdempotent(t *testing.T) {
+	c := NewConsistent([]string{"a"}, 16)
+	c.Add("a")
+	c.Add("b")
+	c.Add("b")
+	if got := len(c.Nodes()); got != 2 {
+		t.Fatalf("Nodes() has %d entries, want 2", got)
+	}
+	if got := len(c.ring); got != 32 {
+		t.Fatalf("ring has %d points, want 32", got)
+	}
+}
+
+func TestConsistentRemoveUnknown(t *testing.T) {
+	c := NewConsistent([]string{"a"}, 4)
+	c.Remove("nope")
+	if got, _ := c.BeaconFor("x"); got != "a" {
+		t.Fatalf("BeaconFor = %q, want a", got)
+	}
+}
+
+func TestConsistentReplicasFloor(t *testing.T) {
+	c := NewConsistent([]string{"a", "b"}, 0)
+	if len(c.ring) != 2 {
+		t.Fatalf("replicas floor failed: ring has %d points", len(c.ring))
+	}
+}
+
+func TestConsistentDiscoveryStepsLogarithmic(t *testing.T) {
+	c := NewConsistent(nodeNames(50), 100) // 5000 circle points
+	maxSteps := 0
+	for i := 0; i < 1000; i++ {
+		s := c.DiscoverySteps(fmt.Sprintf("d%d", i))
+		if s > maxSteps {
+			maxSteps = s
+		}
+		if s < 1 {
+			t.Fatalf("DiscoverySteps = %d, want >= 1", s)
+		}
+	}
+	// ceil(log2(5000)) = 13
+	if maxSteps > 14 {
+		t.Fatalf("DiscoverySteps max = %d, want <= 14", maxSteps)
+	}
+	if maxSteps < 10 {
+		t.Fatalf("DiscoverySteps max = %d suspiciously small for 5000 points", maxSteps)
+	}
+}
+
+// Property: assignment always lands on a registered node.
+func TestAssignersAlwaysReturnMember(t *testing.T) {
+	nodes := nodeNames(7)
+	member := map[string]bool{}
+	for _, n := range nodes {
+		member[n] = true
+	}
+	s := NewStatic(nodes)
+	c := NewConsistent(nodes, 32)
+	f := func(url string) bool {
+		a, err := s.BeaconFor(url)
+		if err != nil || !member[a] {
+			return false
+		}
+		b, err := c.BeaconFor(url)
+		return err == nil && member[b]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package hashing
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"sort"
+)
+
+// Rendezvous implements highest-random-weight (HRW) hashing, a third
+// beacon-assignment baseline alongside static and consistent hashing: each
+// document is assigned to the node with the highest hash(node, URL) score.
+// Like consistent hashing it disrupts only 1/N of assignments on membership
+// change, and unlike consistent hashing it needs no virtual nodes for even
+// spread — but each resolution costs O(N) score evaluations, which is the
+// cost profile the ablation benchmarks compare.
+type Rendezvous struct {
+	nodes []string
+}
+
+var _ Assigner = (*Rendezvous)(nil)
+
+// NewRendezvous builds an HRW assigner over the node identifiers.
+func NewRendezvous(nodes []string) *Rendezvous {
+	r := &Rendezvous{nodes: make([]string, len(nodes))}
+	copy(r.nodes, nodes)
+	sort.Strings(r.nodes)
+	return r
+}
+
+// BeaconFor implements Assigner.
+func (r *Rendezvous) BeaconFor(url string) (string, error) {
+	if len(r.nodes) == 0 {
+		return "", ErrNoNodes
+	}
+	best, bestScore := "", uint64(0)
+	for _, n := range r.nodes {
+		s := hrwScore(n, url)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best, nil
+}
+
+// Nodes implements Assigner.
+func (r *Rendezvous) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Add inserts a node.
+func (r *Rendezvous) Add(node string) {
+	for _, n := range r.nodes {
+		if n == node {
+			return
+		}
+	}
+	r.nodes = append(r.nodes, node)
+	sort.Strings(r.nodes)
+}
+
+// Remove deletes a node; its documents redistribute over the survivors.
+func (r *Rendezvous) Remove(node string) {
+	kept := r.nodes[:0]
+	for _, n := range r.nodes {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	r.nodes = kept
+}
+
+// hrwScore hashes the (node, key) pair to a 64-bit weight.
+func hrwScore(node, key string) uint64 {
+	h := md5.New()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}

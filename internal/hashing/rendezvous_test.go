@@ -1,0 +1,84 @@
+package hashing
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRendezvousEmpty(t *testing.T) {
+	r := NewRendezvous(nil)
+	if _, err := r.BeaconFor("u"); err != ErrNoNodes {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestRendezvousDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewRendezvous([]string{"x", "y", "z"})
+	b := NewRendezvous([]string{"z", "x", "y"})
+	for i := 0; i < 200; i++ {
+		u := fmt.Sprintf("doc%d", i)
+		ga, err := a.BeaconFor(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, _ := b.BeaconFor(u)
+		if ga != gb {
+			t.Fatalf("order-dependent assignment for %s", u)
+		}
+	}
+}
+
+func TestRendezvousSpread(t *testing.T) {
+	r := NewRendezvous(nodeNames(10))
+	counts := map[string]int{}
+	const docs = 50000
+	for i := 0; i < docs; i++ {
+		n, err := r.BeaconFor(fmt.Sprintf("d%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("only %d nodes used", len(counts))
+	}
+	for n, c := range counts {
+		if c < docs/10*85/100 || c > docs/10*115/100 {
+			t.Fatalf("node %s has %d docs, want ≈%d", n, c, docs/10)
+		}
+	}
+}
+
+// HRW's defining property: removing a node moves only that node's
+// documents.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	r := NewRendezvous(nodeNames(8))
+	before := map[string]string{}
+	for i := 0; i < 5000; i++ {
+		u := fmt.Sprintf("d%d", i)
+		n, _ := r.BeaconFor(u)
+		before[u] = n
+	}
+	r.Remove("cache-05")
+	for u, prev := range before {
+		now, err := r.BeaconFor(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != "cache-05" && now != prev {
+			t.Fatalf("doc %s moved from %s to %s", u, prev, now)
+		}
+		if now == "cache-05" {
+			t.Fatalf("doc %s still on removed node", u)
+		}
+	}
+	// Adding it back restores the original assignment exactly.
+	r.Add("cache-05")
+	r.Add("cache-05") // idempotent
+	for u, prev := range before {
+		now, _ := r.BeaconFor(u)
+		if now != prev {
+			t.Fatalf("doc %s did not return to %s after re-add", u, prev)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package landmark implements the Internet-landmarks-based construction of
+// cache clouds the paper assumes as given (its reference [12], "Constructing
+// Cooperative Edge Cache Groups Using Selective Landmarks and Node
+// Clustering"). Edge caches measure their round-trip distance to a set of
+// landmark hosts; caches whose distance vectors fall into the same
+// milestone bins are considered to be in close network proximity and are
+// grouped into the same cache cloud.
+//
+// Real RTT measurements are replaced by distances in a synthetic 2-D
+// network coordinate space (see DESIGN.md §2); the binning and clustering
+// logic is the real mechanism.
+package landmark
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ErrNoLandmarks is returned when clustering is attempted without
+// landmarks.
+var ErrNoLandmarks = errors.New("landmark: at least one landmark required")
+
+// Point is a position in the synthetic network coordinate space.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance — the stand-in for RTT.
+func (p Point) Distance(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Node is an edge cache with a network position.
+type Node struct {
+	ID  string
+	Pos Point
+}
+
+// Config parameterises clustering.
+type Config struct {
+	// Landmarks are the landmark host positions caches measure against.
+	Landmarks []Point
+	// BinWidth is the milestone bin width: two caches are "equally far"
+	// from a landmark when floor(d/BinWidth) matches. Must be > 0.
+	BinWidth float64
+	// MinCloudSize merges bins smaller than this into the nearest larger
+	// cloud (a cloud needs at least 2 caches for a beacon ring of 2;
+	// 0 disables merging).
+	MinCloudSize int
+}
+
+// Cloud is one resulting cache cloud.
+type Cloud struct {
+	// Signature is the milestone-bin vector shared by the members.
+	Signature string
+	// Members are the node IDs, sorted.
+	Members []string
+	// Centroid is the mean position of the members.
+	Centroid Point
+}
+
+// Cluster groups nodes into cache clouds by landmark milestone binning.
+func Cluster(nodes []Node, cfg Config) ([]Cloud, error) {
+	if len(cfg.Landmarks) == 0 {
+		return nil, ErrNoLandmarks
+	}
+	if cfg.BinWidth <= 0 {
+		return nil, fmt.Errorf("landmark: bin width %v must be > 0", cfg.BinWidth)
+	}
+	bySig := make(map[string][]Node)
+	for _, n := range nodes {
+		bySig[signature(n.Pos, cfg)] = append(bySig[signature(n.Pos, cfg)], n)
+	}
+	clouds := make([]Cloud, 0, len(bySig))
+	for sig, members := range bySig {
+		clouds = append(clouds, makeCloud(sig, members))
+	}
+	sort.Slice(clouds, func(i, j int) bool { return clouds[i].Signature < clouds[j].Signature })
+
+	if cfg.MinCloudSize > 1 {
+		clouds = mergeSmall(clouds, cfg.MinCloudSize)
+	}
+	return clouds, nil
+}
+
+// signature computes the milestone-bin vector of a position.
+func signature(p Point, cfg Config) string {
+	var b strings.Builder
+	for i, lm := range cfg.Landmarks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		bin := int(p.Distance(lm) / cfg.BinWidth)
+		fmt.Fprintf(&b, "%d", bin)
+	}
+	return b.String()
+}
+
+func makeCloud(sig string, members []Node) Cloud {
+	c := Cloud{Signature: sig}
+	for _, m := range members {
+		c.Members = append(c.Members, m.ID)
+		c.Centroid.X += m.Pos.X
+		c.Centroid.Y += m.Pos.Y
+	}
+	n := float64(len(members))
+	c.Centroid.X /= n
+	c.Centroid.Y /= n
+	sort.Strings(c.Members)
+	return c
+}
+
+// mergeSmall folds clouds below the minimum size into the nearest (by
+// centroid) cloud that meets it; if none does, everything merges into the
+// largest cloud.
+func mergeSmall(clouds []Cloud, minSize int) []Cloud {
+	var big, small []Cloud
+	for _, c := range clouds {
+		if len(c.Members) >= minSize {
+			big = append(big, c)
+		} else {
+			small = append(small, c)
+		}
+	}
+	if len(big) == 0 {
+		// Degenerate: merge everything into one cloud.
+		all := Cloud{Signature: "merged"}
+		var sx, sy float64
+		var n int
+		for _, c := range clouds {
+			all.Members = append(all.Members, c.Members...)
+			k := len(c.Members)
+			sx += c.Centroid.X * float64(k)
+			sy += c.Centroid.Y * float64(k)
+			n += k
+		}
+		sort.Strings(all.Members)
+		all.Centroid = Point{X: sx / float64(n), Y: sy / float64(n)}
+		return []Cloud{all}
+	}
+	for _, s := range small {
+		bestIdx, bestDist := 0, math.Inf(1)
+		for i, b := range big {
+			if d := s.Centroid.Distance(b.Centroid); d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		big[bestIdx].Members = append(big[bestIdx].Members, s.Members...)
+		sort.Strings(big[bestIdx].Members)
+	}
+	return big
+}
+
+// RandomTopology synthesises nClusters groups of nodes around random
+// cluster centres — an edge network whose caches have natural proximity
+// structure for Cluster to discover. Node IDs are "edge-<i>".
+func RandomTopology(rng *rand.Rand, nNodes, nClusters int, spread float64) []Node {
+	if nClusters < 1 {
+		nClusters = 1
+	}
+	centres := make([]Point, nClusters)
+	for i := range centres {
+		centres[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	nodes := make([]Node, nNodes)
+	for i := range nodes {
+		c := centres[i%nClusters]
+		nodes[i] = Node{
+			ID: fmt.Sprintf("edge-%02d", i),
+			Pos: Point{
+				X: c.X + rng.NormFloat64()*spread,
+				Y: c.Y + rng.NormFloat64()*spread,
+			},
+		}
+	}
+	return nodes
+}
+
+// DefaultLandmarks returns a deterministic landmark set spanning the
+// synthetic coordinate space.
+func DefaultLandmarks() []Point {
+	return []Point{
+		{X: 0, Y: 0}, {X: 1000, Y: 0}, {X: 0, Y: 1000},
+		{X: 1000, Y: 1000}, {X: 500, Y: 500},
+	}
+}

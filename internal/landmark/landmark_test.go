@@ -1,0 +1,131 @@
+package landmark
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(nil, Config{BinWidth: 10}); !errors.Is(err, ErrNoLandmarks) {
+		t.Fatalf("err = %v, want ErrNoLandmarks", err)
+	}
+	if _, err := Cluster(nil, Config{Landmarks: DefaultLandmarks(), BinWidth: 0}); err == nil {
+		t.Fatal("zero bin width accepted")
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+}
+
+func TestClusterGroupsNearbyNodes(t *testing.T) {
+	// Two tight clusters far apart must end up in two separate clouds.
+	nodes := []Node{
+		{ID: "a1", Pos: Point{50, 50}},
+		{ID: "a2", Pos: Point{52, 51}},
+		{ID: "a3", Pos: Point{51, 53}},
+		{ID: "b1", Pos: Point{900, 900}},
+		{ID: "b2", Pos: Point{903, 899}},
+	}
+	clouds, err := Cluster(nodes, Config{Landmarks: DefaultLandmarks(), BinWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clouds) != 2 {
+		t.Fatalf("got %d clouds, want 2: %+v", len(clouds), clouds)
+	}
+	byMember := map[string]int{}
+	for i, c := range clouds {
+		for _, m := range c.Members {
+			byMember[m] = i
+		}
+	}
+	if byMember["a1"] != byMember["a2"] || byMember["a1"] != byMember["a3"] {
+		t.Fatal("a-nodes split across clouds")
+	}
+	if byMember["b1"] != byMember["b2"] {
+		t.Fatal("b-nodes split across clouds")
+	}
+	if byMember["a1"] == byMember["b1"] {
+		t.Fatal("distant nodes merged")
+	}
+}
+
+func TestClusterDeterministicOrder(t *testing.T) {
+	nodes := []Node{
+		{ID: "z", Pos: Point{100, 100}},
+		{ID: "a", Pos: Point{101, 101}},
+	}
+	c1, err := Cluster(nodes, Config{Landmarks: DefaultLandmarks(), BinWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != 1 || c1[0].Members[0] != "a" || c1[0].Members[1] != "z" {
+		t.Fatalf("members not sorted: %+v", c1)
+	}
+}
+
+func TestMergeSmallClouds(t *testing.T) {
+	// One big cluster and one singleton: with MinCloudSize 2 the singleton
+	// must be absorbed.
+	nodes := []Node{
+		{ID: "a1", Pos: Point{10, 10}},
+		{ID: "a2", Pos: Point{12, 11}},
+		{ID: "lone", Pos: Point{500, 100}},
+	}
+	clouds, err := Cluster(nodes, Config{Landmarks: DefaultLandmarks(), BinWidth: 40, MinCloudSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clouds) != 1 {
+		t.Fatalf("got %d clouds, want 1 after merging: %+v", len(clouds), clouds)
+	}
+	if len(clouds[0].Members) != 3 {
+		t.Fatalf("merged cloud has %d members: %+v", len(clouds[0].Members), clouds[0])
+	}
+}
+
+func TestMergeAllSmall(t *testing.T) {
+	// Every bin is a singleton: with MinCloudSize 2 they all merge into one.
+	nodes := []Node{
+		{ID: "x", Pos: Point{10, 10}},
+		{ID: "y", Pos: Point{500, 500}},
+		{ID: "z", Pos: Point{900, 100}},
+	}
+	clouds, err := Cluster(nodes, Config{Landmarks: DefaultLandmarks(), BinWidth: 5, MinCloudSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clouds) != 1 || len(clouds[0].Members) != 3 {
+		t.Fatalf("clouds = %+v", clouds)
+	}
+}
+
+func TestRandomTopologyRecoverable(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	nodes := RandomTopology(rng, 40, 4, 15)
+	if len(nodes) != 40 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	clouds, err := Cluster(nodes, Config{Landmarks: DefaultLandmarks(), BinWidth: 120, MinCloudSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clouds) < 2 {
+		t.Fatalf("clustering found %d clouds from a 4-cluster topology", len(clouds))
+	}
+	total := 0
+	for _, c := range clouds {
+		total += len(c.Members)
+		if len(c.Members) < 2 {
+			t.Fatalf("cloud below minimum size: %+v", c)
+		}
+	}
+	if total != 40 {
+		t.Fatalf("nodes lost or duplicated: %d", total)
+	}
+}

@@ -1,0 +1,60 @@
+package loadstats
+
+import "math"
+
+// EWRate is an exponentially weighted event-rate estimator over the
+// simulator's integer time units. It is the "continued monitoring in the
+// recent time duration" primitive the paper's utility-based placement
+// scheme relies on: caches track per-document access rates and beacon
+// points track per-document update rates with it.
+//
+// Observations decay with a configurable half-life; Rate converts the
+// decayed mass into an events-per-unit estimate. The zero value is unusable;
+// construct with NewEWRate. EWRate is not safe for concurrent use — callers
+// guard it with their own locks.
+type EWRate struct {
+	halfLife float64
+	mass     float64
+	last     int64
+}
+
+// NewEWRate returns an estimator with the given half-life in time units
+// (values <= 0 are clamped to 1).
+func NewEWRate(halfLife float64) *EWRate {
+	if halfLife <= 0 {
+		halfLife = 1
+	}
+	return &EWRate{halfLife: halfLife}
+}
+
+// Observe records weight w at time now. Time must be non-decreasing across
+// calls; earlier times are treated as now == last.
+func (r *EWRate) Observe(now int64, w float64) {
+	r.decayTo(now)
+	r.mass += w
+}
+
+// Rate estimates events (or weight) per time unit at time now. A process
+// producing a steady w per unit converges to Rate ≈ w.
+func (r *EWRate) Rate(now int64) float64 {
+	r.decayTo(now)
+	// Steady input of w per unit gives equilibrium mass w / (1 - 2^(-1/h)),
+	// so dividing by that geometric sum normalises to per-unit rate.
+	norm := 1 - math.Exp2(-1/r.halfLife)
+	return r.mass * norm
+}
+
+// Mass returns the decayed raw mass at time now.
+func (r *EWRate) Mass(now int64) float64 {
+	r.decayTo(now)
+	return r.mass
+}
+
+func (r *EWRate) decayTo(now int64) {
+	if now <= r.last {
+		return
+	}
+	dt := float64(now - r.last)
+	r.mass *= math.Exp2(-dt / r.halfLife)
+	r.last = now
+}

@@ -1,0 +1,116 @@
+package loadstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-boundary histogram for latency-like quantities.
+// Observations are counted into buckets; percentiles are estimated by
+// linear interpolation within the matched bucket. The zero value is not
+// usable; construct with NewHistogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last bucket
+	counts []int64
+	total  int64
+	sum    float64
+	minV   float64
+	maxV   float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// A final overflow bucket (+Inf) is added automatically.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+		minV:   math.Inf(1),
+		maxV:   math.Inf(-1),
+	}
+}
+
+// DefaultLatencyBounds covers 1ms .. 2s in roughly geometric steps.
+func DefaultLatencyBounds() []float64 {
+	return []float64{1, 2, 5, 10, 20, 35, 50, 75, 100, 150, 250, 400, 650, 1000, 2000}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+	if v < h.minV {
+		h.minV = v
+	}
+	if v > h.maxV {
+		h.maxV = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean of all observations (exact, not bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile estimates the q-th quantile (0..1) by interpolating within the
+// matched bucket. Returns 0 for an empty histogram; the overflow bucket
+// reports the maximum observed value.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := h.minV
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.maxV
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.maxV
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}

@@ -1,0 +1,86 @@
+package loadstats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	for _, v := range []float64{10, 20, 30} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 20 {
+		t.Fatalf("mean = %v, want 20 (mean must be exact, not bucketed)", got)
+	}
+}
+
+func TestHistogramQuantilesOrdered(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		// Bimodal: mostly ~10ms, a tail at ~200ms.
+		v := 8 + rng.Float64()*4
+		if rng.Intn(10) == 0 {
+			v = 150 + rng.Float64()*100
+		}
+		h.Observe(v)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	if p50 < 5 || p50 > 20 {
+		t.Fatalf("p50 = %v, want ≈10", p50)
+	}
+	if p99 < 100 {
+		t.Fatalf("p99 = %v, should reach the tail mode", p99)
+	}
+	// Clamped inputs.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestHistogramUniformQuantileAccuracy(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45 || p50 > 55 {
+		t.Fatalf("p50 = %v, want ≈50", p50)
+	}
+	p90 := h.Quantile(0.9)
+	if p90 < 85 || p90 > 95 {
+		t.Fatalf("p90 = %v, want ≈90", p90)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(5)
+	h.Observe(5000)
+	if got := h.Quantile(1); got != 5000 {
+		t.Fatalf("max quantile = %v, want 5000", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	h.Observe(10)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("String = %q", h.String())
+	}
+}

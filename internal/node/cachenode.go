@@ -1,0 +1,653 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cachecloud/internal/cache"
+	"cachecloud/internal/document"
+	"cachecloud/internal/loadstats"
+	"cachecloud/internal/placement"
+)
+
+var errNotFound = errors.New("node: not found")
+
+// nodeRecord is a beacon-side lookup record held by a live node.
+type nodeRecord struct {
+	holders map[string]struct{}
+	version document.Version
+	lookups *loadstats.EWRate
+	updates *loadstats.EWRate
+}
+
+func newNodeRecord() *nodeRecord {
+	return &nodeRecord{
+		holders: make(map[string]struct{}),
+		lookups: loadstats.NewEWRate(60),
+		updates: loadstats.NewEWRate(60),
+	}
+}
+
+// CacheNode is one live edge cache plus its beacon-point duties.
+type CacheNode struct {
+	name         string
+	cfg          ClusterConfig
+	store        *cache.Cache
+	policy       placement.Policy
+	client       *http.Client
+	start        time.Time
+	snapshotPath string
+
+	mu       sync.Mutex
+	assign   Assignments
+	records  map[string]*nodeRecord
+	replicas map[string]WireRecord // sibling's records, lazily replicated
+	// loads[ring] is a dense per-IrH-value load counter for ranges this
+	// node owns in that ring (it only ever has entries for its own ring,
+	// but indexing by ring keeps the wire format uniform).
+	loads     map[int][]int64
+	localHits int64
+	peerHits  int64
+	originMZ  int64
+	beaconOps int64
+}
+
+// NewCacheNode constructs a live cache node. The node starts with the equal
+// initial sub-range split; the origin installs rebalanced assignments
+// later.
+func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
+	if _, ok := cfg.Addrs[name]; !ok {
+		return nil, fmt.Errorf("node: %q missing from cluster addresses", name)
+	}
+	if cfg.IntraGen <= 0 {
+		return nil, fmt.Errorf("node: IntraGen must be positive")
+	}
+	var pol placement.Policy = placement.AdHoc{}
+	if cfg.UtilityPlacement {
+		u, err := placement.NewUtility(placement.EqualOn(true, true, true, cfg.CapacityBytes > 0), 0.5)
+		if err != nil {
+			return nil, err
+		}
+		pol = u
+	}
+	n := &CacheNode{
+		name:     name,
+		cfg:      cfg,
+		store:    cache.New(name, cfg.CapacityBytes),
+		policy:   pol,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		start:    time.Now(),
+		assign:   equalSplit(cfg),
+		records:  make(map[string]*nodeRecord),
+		replicas: make(map[string]WireRecord),
+		loads:    make(map[int][]int64),
+	}
+	return n, nil
+}
+
+// Name returns the node name.
+func (n *CacheNode) Name() string { return n.name }
+
+// now returns elapsed seconds since node start — the live clock for rate
+// monitors (1 live time unit = 1 second).
+func (n *CacheNode) now() int64 { return int64(time.Since(n.start) / time.Second) }
+
+// Handler returns the node's HTTP handler.
+func (n *CacheNode) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /doc", n.handleDoc)
+	mux.HandleFunc("GET /lookup", n.handleLookup)
+	mux.HandleFunc("POST /register", n.handleRegister)
+	mux.HandleFunc("POST /deregister", n.handleDeregister)
+	mux.HandleFunc("GET /fetch", n.handleFetch)
+	mux.HandleFunc("POST /update", n.handleUpdate)
+	mux.HandleFunc("POST /apply", n.handleApply)
+	mux.HandleFunc("POST /subranges", n.handleSubranges)
+	mux.HandleFunc("POST /records/import", n.handleRecordsImport)
+	mux.HandleFunc("POST /records/replica", n.handleRecordsReplica)
+	mux.HandleFunc("POST /replicate", n.handleReplicate)
+	mux.HandleFunc("GET /healthz", n.handleHealthz)
+	mux.HandleFunc("GET /subranges", n.handleGetSubranges)
+	mux.HandleFunc("POST /loads/collect", n.handleLoadsCollect)
+	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("POST /snapshot/save", n.handleSnapshotSave)
+	return mux
+}
+
+// beaconURL resolves the beacon node's base URL for a document.
+func (n *CacheNode) beaconURL(url string) (name, base string, err error) {
+	n.mu.Lock()
+	owner, err := n.assign.ownerOf(url, n.cfg.IntraGen)
+	n.mu.Unlock()
+	if err != nil {
+		return "", "", err
+	}
+	base, ok := n.cfg.Addrs[owner]
+	if !ok {
+		return "", "", fmt.Errorf("node: no address for beacon %q", owner)
+	}
+	return owner, base, nil
+}
+
+// chargeBeaconLoad records one beacon operation on the IrH value.
+func (n *CacheNode) chargeBeaconLoad(url string) {
+	h := document.HashURL(url)
+	ringIdx := h.RingIndex(len(n.assign.Rings))
+	irh := h.IrH(n.cfg.IntraGen)
+	n.beaconOps++
+	dense := n.loads[ringIdx]
+	if dense == nil {
+		dense = make([]int64, n.cfg.IntraGen)
+		n.loads[ringIdx] = dense
+	}
+	if irh >= 0 && irh < len(dense) {
+		dense[irh]++
+	}
+}
+
+// handleDoc is the client entry point: local hit, else cooperate.
+func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
+		return
+	}
+	now := n.now()
+	if cp, ok := n.store.Get(url, now); ok {
+		n.mu.Lock()
+		n.localHits++
+		n.mu.Unlock()
+		writeJSON(w, http.StatusOK, DocResponse{Doc: cp.Doc, Source: "local", Stored: true})
+		return
+	}
+
+	// Ask the document's beacon point for holders.
+	beaconName, beaconBase, err := n.beaconURL(url)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	var lr LookupResponse
+	if beaconName == n.name {
+		lr = n.localLookup(url)
+	} else if err := getJSON(n.client, beaconBase+"/lookup?url="+queryEscape(url), &lr); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+
+	doc, source, err := n.retrieve(url, lr)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	stored := n.place(doc, beaconName, beaconBase, lr, now)
+	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored})
+}
+
+// retrieve fetches the document from a holder, falling back to the origin.
+func (n *CacheNode) retrieve(url string, lr LookupResponse) (document.Document, string, error) {
+	for _, h := range lr.Holders {
+		if h == n.name {
+			continue
+		}
+		base, ok := n.cfg.Addrs[h]
+		if !ok {
+			continue
+		}
+		var fr FetchResponse
+		err := getJSON(n.client, base+"/fetch?url="+queryEscape(url), &fr)
+		if err == nil {
+			n.mu.Lock()
+			n.peerHits++
+			n.mu.Unlock()
+			return fr.Doc, "peer", nil
+		}
+		if !errors.Is(err, errNotFound) {
+			continue // holder unreachable; try the next one
+		}
+	}
+	var fr FetchResponse
+	if err := getJSON(n.client, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+		return document.Document{}, "", fmt.Errorf("origin fetch: %w", err)
+	}
+	n.mu.Lock()
+	n.originMZ++
+	n.mu.Unlock()
+	return fr.Doc, "origin", nil
+}
+
+// place runs the placement decision and registers the copy when stored.
+func (n *CacheNode) place(doc document.Document, beaconName, beaconBase string, lr LookupResponse, now int64) bool {
+	ctx := placement.Context{
+		Now: now, CacheID: n.name, DocURL: doc.URL, DocSize: doc.Size,
+		IsBeacon:        beaconName == n.name,
+		LocalAccessRate: n.store.AccessRate(doc.URL, now),
+		MeanLocalRate:   n.store.MeanAccessRate(now),
+		CloudLookupRate: lr.LookupRate,
+		CloudUpdateRate: lr.UpdateRate,
+		ReplicaCount:    len(lr.Holders),
+		Residence:       placement.ExpectedResidence(n.store.Capacity(), n.store.EvictionByteRate(now)),
+	}
+	if !n.policy.ShouldStore(ctx).Store {
+		return false
+	}
+	evicted, err := n.store.Put(document.Copy{Doc: doc, FetchedAt: now}, now)
+	if err != nil {
+		return false
+	}
+	n.register(doc.URL, beaconName, beaconBase)
+	for _, dead := range evicted {
+		n.deregister(dead.URL)
+	}
+	return true
+}
+
+func (n *CacheNode) register(url, beaconName, beaconBase string) {
+	if beaconName == n.name {
+		n.localRegister(url, n.name)
+		return
+	}
+	_ = postJSON(n.client, beaconBase+"/register", RegisterRequest{URL: url, Node: n.name}, nil)
+}
+
+func (n *CacheNode) deregister(url string) {
+	beaconName, beaconBase, err := n.beaconURL(url)
+	if err != nil {
+		return
+	}
+	if beaconName == n.name {
+		n.localDeregister(url, n.name)
+		return
+	}
+	_ = postJSON(n.client, beaconBase+"/deregister", RegisterRequest{URL: url, Node: n.name}, nil)
+}
+
+// --- beacon duties ---
+
+func (n *CacheNode) localLookup(url string) LookupResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chargeBeaconLoad(url)
+	rec, ok := n.records[url]
+	if !ok {
+		rec = newNodeRecord()
+		n.records[url] = rec
+	}
+	now := n.now()
+	rec.lookups.Observe(now, 1)
+	out := LookupResponse{
+		Version:    rec.version,
+		LookupRate: rec.lookups.Rate(now),
+		UpdateRate: rec.updates.Rate(now),
+	}
+	for h := range rec.holders {
+		out.Holders = append(out.Holders, h)
+	}
+	sort.Strings(out.Holders)
+	return out
+}
+
+func (n *CacheNode) handleLookup(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
+		return
+	}
+	writeJSON(w, http.StatusOK, n.localLookup(url))
+}
+
+func (n *CacheNode) localRegister(url, holder string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec, ok := n.records[url]
+	if !ok {
+		rec = newNodeRecord()
+		n.records[url] = rec
+	}
+	rec.holders[holder] = struct{}{}
+}
+
+func (n *CacheNode) localDeregister(url, holder string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rec, ok := n.records[url]; ok {
+		delete(rec.holders, holder)
+	}
+}
+
+func (n *CacheNode) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.localRegister(req.URL, req.Node)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (n *CacheNode) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.localDeregister(req.URL, req.Node)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (n *CacheNode) handleFetch(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	cp, ok := n.store.Peek(url)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no copy of %q", url))
+		return
+	}
+	writeJSON(w, http.StatusOK, FetchResponse{Doc: cp.Doc})
+}
+
+// handleUpdate is the beacon receiving an origin update: record load,
+// refresh the record, push to holders.
+func (n *CacheNode) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	now := n.now()
+
+	n.mu.Lock()
+	n.chargeBeaconLoad(req.Doc.URL)
+	rec, ok := n.records[req.Doc.URL]
+	if !ok {
+		rec = newNodeRecord()
+		n.records[req.Doc.URL] = rec
+	}
+	rec.updates.Observe(now, 1)
+	if req.Doc.Version > rec.version {
+		rec.version = req.Doc.Version
+	}
+	holders := make([]string, 0, len(rec.holders))
+	for h := range rec.holders {
+		holders = append(holders, h)
+	}
+	n.mu.Unlock()
+
+	push := UpdateRequest{
+		Doc:        req.Doc,
+		LookupRate: rec.lookups.Rate(now),
+		UpdateRate: rec.updates.Rate(now),
+		Replicas:   len(holders),
+	}
+	notified := 0
+	var stale []string
+	for _, h := range holders {
+		if h == n.name {
+			if n.applyLocal(push) {
+				notified++
+			} else {
+				stale = append(stale, h)
+			}
+			continue
+		}
+		base, ok := n.cfg.Addrs[h]
+		if !ok {
+			continue
+		}
+		var ar applyResponse
+		if err := postJSON(n.client, base+"/apply", push, &ar); err == nil {
+			notified++
+			if !ar.Held {
+				stale = append(stale, h)
+			}
+		}
+	}
+	n.mu.Lock()
+	for _, h := range stale {
+		delete(rec.holders, h)
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, UpdateResponse{Notified: notified})
+}
+
+// applyResponse is the body of a /apply reply.
+type applyResponse struct {
+	Held bool `json:"held"`
+}
+
+// applyLocal refreshes a held copy with the pushed version, then
+// re-evaluates the placement decision using the beacon's piggybacked
+// monitoring: a copy whose consistency-maintenance cost has overtaken its
+// benefit is dropped rather than refreshed again next time.
+func (n *CacheNode) applyLocal(req UpdateRequest) bool {
+	now := n.now()
+	if !n.store.ApplyUpdate(req.Doc, now) {
+		return false
+	}
+	others := req.Replicas - 1
+	if others < 0 {
+		others = 0
+	}
+	n.mu.Lock()
+	owner, ownerErr := n.assign.ownerOf(req.Doc.URL, n.cfg.IntraGen)
+	n.mu.Unlock()
+	ctx := placement.Context{
+		Now: now, CacheID: n.name, DocURL: req.Doc.URL, DocSize: req.Doc.Size,
+		IsBeacon:        ownerErr == nil && owner == n.name,
+		LocalAccessRate: n.store.AccessRate(req.Doc.URL, now),
+		MeanLocalRate:   n.store.MeanAccessRate(now),
+		CloudLookupRate: req.LookupRate,
+		CloudUpdateRate: req.UpdateRate,
+		ReplicaCount:    others,
+		Residence:       placement.ExpectedResidence(n.store.Capacity(), n.store.EvictionByteRate(now)),
+	}
+	if _, isAdHoc := n.policy.(placement.AdHoc); !isAdHoc && !n.policy.ShouldStore(ctx).Store {
+		n.store.Remove(req.Doc.URL)
+		return false
+	}
+	return true
+}
+
+func (n *CacheNode) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, applyResponse{Held: n.applyLocal(req)})
+}
+
+// handleSubranges installs a new assignment and hands off the lookup
+// records this node no longer owns. Records for newly owned sub-ranges
+// that are missing locally are promoted from the sibling replicas — this
+// is how lookups survive a beacon crash (Section 2.3's lazy replication).
+func (n *CacheNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
+	var req Assignments
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	n.assign = req
+	promoted := 0
+	for url, wr := range n.replicas {
+		owner, err := req.ownerOf(url, n.cfg.IntraGen)
+		if err != nil || owner != n.name {
+			continue
+		}
+		if _, have := n.records[url]; have {
+			continue
+		}
+		rec := newNodeRecord()
+		rec.version = wr.Version
+		for _, h := range wr.Holders {
+			rec.holders[h] = struct{}{}
+		}
+		n.records[url] = rec
+		promoted++
+	}
+	// Find records whose owner is no longer this node.
+	outbound := make(map[string][]WireRecord)
+	for url, rec := range n.records {
+		owner, err := req.ownerOf(url, n.cfg.IntraGen)
+		if err != nil || owner == n.name {
+			continue
+		}
+		wr := WireRecord{URL: url, Version: rec.version}
+		for h := range rec.holders {
+			wr.Holders = append(wr.Holders, h)
+		}
+		outbound[owner] = append(outbound[owner], wr)
+		delete(n.records, url)
+	}
+	n.mu.Unlock()
+
+	for owner, recs := range outbound {
+		base, ok := n.cfg.Addrs[owner]
+		if !ok {
+			continue
+		}
+		_ = postJSON(n.client, base+"/records/import", RecordsImport{Records: recs}, nil)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"migratedOut": len(outbound), "promoted": promoted})
+}
+
+// handleRecordsReplica stores a sibling's record copies without taking
+// ownership; they are promoted only if this node later owns their range.
+func (n *CacheNode) handleRecordsReplica(w http.ResponseWriter, r *http.Request) {
+	var req RecordsImport
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	for _, wr := range req.Records {
+		n.replicas[wr.URL] = wr
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"replicated": len(req.Records)})
+}
+
+// handleReplicate pushes this node's lookup records to its ring sibling
+// (the lazy replication pass, typically triggered by the origin once per
+// cycle).
+func (n *CacheNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	ringIdx := n.assign.ringOf(n.name)
+	sibling := ""
+	if ringIdx >= 0 {
+		for _, sub := range n.assign.Rings[ringIdx] {
+			if sub.Node != n.name {
+				sibling = sub.Node
+				break
+			}
+		}
+	}
+	recs := make([]WireRecord, 0, len(n.records))
+	for url, rec := range n.records {
+		wr := WireRecord{URL: url, Version: rec.version}
+		for h := range rec.holders {
+			wr.Holders = append(wr.Holders, h)
+		}
+		recs = append(recs, wr)
+	}
+	n.mu.Unlock()
+
+	if sibling == "" || len(recs) == 0 {
+		writeJSON(w, http.StatusOK, map[string]int{"sent": 0})
+		return
+	}
+	base, ok := n.cfg.Addrs[sibling]
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("no address for sibling %q", sibling))
+		return
+	}
+	if err := postJSON(n.client, base+"/records/replica", RecordsImport{Records: recs}, nil); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"sent": len(recs)})
+}
+
+// handleGetSubranges exposes this node's current view of the sub-range
+// layout (observability).
+func (n *CacheNode) handleGetSubranges(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	out := n.assign
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz answers origin liveness probes.
+func (n *CacheNode) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "node": n.name})
+}
+
+func (n *CacheNode) handleRecordsImport(w http.ResponseWriter, r *http.Request) {
+	var req RecordsImport
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	for _, wr := range req.Records {
+		rec, ok := n.records[wr.URL]
+		if !ok {
+			rec = newNodeRecord()
+			n.records[wr.URL] = rec
+		}
+		if wr.Version > rec.version {
+			rec.version = wr.Version
+		}
+		for _, h := range wr.Holders {
+			rec.holders[h] = struct{}{}
+		}
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"imported": len(req.Records)})
+}
+
+// handleLoadsCollect reports this node's per-IrH cycle loads and resets
+// them (called by the origin at the end of each cycle).
+func (n *CacheNode) handleLoadsCollect(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	rep := LoadReport{Node: n.name, PerIrH: make(map[int][]int64, len(n.loads))}
+	for ringIdx, dense := range n.loads {
+		cp := make([]int64, len(dense))
+		copy(cp, dense)
+		rep.PerIrH[ringIdx] = cp
+		for _, v := range dense {
+			rep.Total += v
+		}
+		for i := range dense {
+			dense[i] = 0
+		}
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := n.localHits + n.peerHits + n.originMZ
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = float64(n.localHits+n.peerHits) / float64(total)
+	}
+	writeJSON(w, http.StatusOK, CacheStats{
+		Node:        n.name,
+		StoredDocs:  n.store.Len(),
+		UsedBytes:   n.store.Used(),
+		LocalHits:   n.localHits,
+		PeerHits:    n.peerHits,
+		OriginMiss:  n.originMZ,
+		BeaconOps:   n.beaconOps,
+		HitRate:     hitRate,
+		RecordsHeld: len(n.records),
+	})
+}

@@ -1,0 +1,112 @@
+package node
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"cachecloud/internal/document"
+)
+
+// LocalCluster boots a complete live cluster in-process using
+// httptest servers — used by the integration tests, the livecluster
+// example, and anyone who wants a self-contained demo without separate
+// processes.
+type LocalCluster struct {
+	Cfg     ClusterConfig
+	Origin  *OriginNode
+	Caches  map[string]*CacheNode
+	servers []*httptest.Server
+	byName  map[string]*httptest.Server
+}
+
+// StartLocalCluster creates nodeNames cache nodes arranged into rings of
+// ringSize beacon points plus one origin node, all listening on loopback.
+func StartLocalCluster(nodeNames []string, ringSize int, docs []document.Document, opts ClusterConfig) (*LocalCluster, error) {
+	if ringSize < 1 {
+		ringSize = 2
+	}
+	if len(nodeNames) < ringSize {
+		return nil, fmt.Errorf("node: %d nodes cannot form rings of %d", len(nodeNames), ringSize)
+	}
+	cfg := ClusterConfig{
+		IntraGen:         opts.IntraGen,
+		CapacityBytes:    opts.CapacityBytes,
+		UtilityPlacement: opts.UtilityPlacement,
+		Addrs:            make(map[string]string, len(nodeNames)),
+	}
+	if cfg.IntraGen == 0 {
+		cfg.IntraGen = 1000
+	}
+	numRings := len(nodeNames) / ringSize
+	if numRings < 1 {
+		numRings = 1
+	}
+	cfg.Rings = make([][]string, numRings)
+	for i, name := range nodeNames {
+		r := i % numRings
+		cfg.Rings[r] = append(cfg.Rings[r], name)
+	}
+
+	lc := &LocalCluster{
+		Cfg:    cfg,
+		Caches: make(map[string]*CacheNode, len(nodeNames)),
+		byName: make(map[string]*httptest.Server, len(nodeNames)),
+	}
+
+	// Reserve listeners first so every node knows every address.
+	type pending struct {
+		name string
+		srv  *httptest.Server
+	}
+	var pendings []pending
+	for _, name := range nodeNames {
+		srv := httptest.NewUnstartedServer(nil)
+		cfg.Addrs[name] = "http://" + srv.Listener.Addr().String()
+		pendings = append(pendings, pending{name: name, srv: srv})
+		lc.servers = append(lc.servers, srv)
+		lc.byName[name] = srv
+	}
+	originSrv := httptest.NewUnstartedServer(nil)
+	cfg.OriginAddr = "http://" + originSrv.Listener.Addr().String()
+	lc.servers = append(lc.servers, originSrv)
+
+	for _, p := range pendings {
+		cn, err := NewCacheNode(p.name, cfg)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.Caches[p.name] = cn
+		p.srv.Config.Handler = cn.Handler()
+		p.srv.Start()
+	}
+	on, err := NewOriginNode(cfg, docs)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Origin = on
+	originSrv.Config.Handler = on.Handler()
+	originSrv.Start()
+	lc.Cfg = cfg
+	return lc, nil
+}
+
+// StopNode kills one cache node's server, simulating a crash. Returns
+// false if the node is unknown or already stopped.
+func (lc *LocalCluster) StopNode(name string) bool {
+	srv, ok := lc.byName[name]
+	if !ok {
+		return false
+	}
+	srv.Close()
+	delete(lc.byName, name)
+	return true
+}
+
+// Close shuts down every server in the cluster.
+func (lc *LocalCluster) Close() {
+	for _, s := range lc.servers {
+		s.Close()
+	}
+}

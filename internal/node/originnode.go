@@ -1,0 +1,364 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/loadstats"
+	"cachecloud/internal/ring"
+)
+
+// queryEscape escapes a URL for use as a query parameter.
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// OriginNode is the live origin server. Besides serving fetches and
+// publishing updates, it executes the periodic sub-range determination
+// process: it collects load reports from the beacon points of each ring,
+// runs the same algorithm as internal/ring, and installs the new
+// assignments on every node (the paper notes the process may run at any
+// beacon point and that the origin server is informed of the results; a
+// single deterministic coordinator keeps the live protocol simple).
+type OriginNode struct {
+	cfg    ClusterConfig
+	client *http.Client
+
+	mu         sync.Mutex
+	docs       map[string]document.Document
+	assign     Assignments
+	down       map[string]bool // nodes removed after failed health checks
+	fetches    int64
+	updates    int64
+	bytesOut   int64
+	rebalances int64
+	repairs    int64
+}
+
+// NewOriginNode constructs the origin with its document catalog.
+func NewOriginNode(cfg ClusterConfig, docs []document.Document) (*OriginNode, error) {
+	if cfg.IntraGen <= 0 {
+		return nil, errors.New("node: IntraGen must be positive")
+	}
+	if len(cfg.Rings) == 0 {
+		return nil, errors.New("node: cluster has no rings")
+	}
+	o := &OriginNode{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 10 * time.Second},
+		docs:   make(map[string]document.Document, len(docs)),
+		assign: equalSplit(cfg),
+		down:   make(map[string]bool),
+	}
+	for _, d := range docs {
+		if d.Version == 0 {
+			d.Version = 1
+		}
+		o.docs[d.URL] = d
+	}
+	return o, nil
+}
+
+// Handler returns the origin's HTTP handler.
+func (o *OriginNode) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fetch", o.handleFetch)
+	mux.HandleFunc("POST /publish", o.handlePublish)
+	mux.HandleFunc("POST /rebalance", o.handleRebalance)
+	mux.HandleFunc("POST /replicate", o.handleReplicate)
+	mux.HandleFunc("POST /repair", o.handleRepair)
+	mux.HandleFunc("GET /stats", o.handleStats)
+	mux.HandleFunc("GET /metrics", o.handleMetrics)
+	return mux
+}
+
+func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
+	u := r.URL.Query().Get("url")
+	o.mu.Lock()
+	d, ok := o.docs[u]
+	if ok {
+		o.fetches++
+		o.bytesOut += d.Size
+	}
+	o.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown document %q", u))
+		return
+	}
+	writeJSON(w, http.StatusOK, FetchResponse{Doc: d})
+}
+
+func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	o.mu.Lock()
+	d, ok := o.docs[req.URL]
+	if !ok {
+		o.mu.Unlock()
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown document %q", req.URL))
+		return
+	}
+	d.Version++
+	o.docs[req.URL] = d
+	beacon, err := o.assign.ownerOf(req.URL, o.cfg.IntraGen)
+	o.updates++
+	o.bytesOut += d.Size
+	o.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	base, okAddr := o.cfg.Addrs[beacon]
+	if !okAddr {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("no address for beacon %q", beacon))
+		return
+	}
+	var ur UpdateResponse
+	if err := postJSON(o.client, base+"/update", UpdateRequest{Doc: d}, &ur); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PublishResponse{Version: d.Version, Notified: ur.Notified})
+}
+
+// handleRebalance runs one sub-range determination cycle across all rings.
+func (o *OriginNode) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	resp, err := o.Rebalance()
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Rebalance collects cycle loads from every beacon point, recomputes the
+// sub-ranges with the intra-ring algorithm, and installs the new layout on
+// all nodes (triggering record handoffs between them).
+func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
+	o.mu.Lock()
+	current := o.assign
+	o.mu.Unlock()
+
+	// Collect per-IrH loads from every live node.
+	reports := make(map[string]LoadReport)
+	for name, base := range o.liveAddrs() {
+		var rep LoadReport
+		if err := postJSON(o.client, base+"/loads/collect", struct{}{}, &rep); err != nil {
+			return RebalanceResponse{}, fmt.Errorf("collect loads from %s: %w", name, err)
+		}
+		reports[name] = rep
+	}
+
+	// Re-run the intra-ring algorithm per ring by reconstructing a ring
+	// with the current boundaries and replaying the reported loads.
+	next := Assignments{Rings: make([][]Subrange, len(current.Rings))}
+	totalMoves := 0
+	for ringIdx, subs := range current.Rings {
+		members := make([]ring.Member, len(subs))
+		for i, s := range subs {
+			members[i] = ring.Member{ID: s.Node, Capability: 1}
+		}
+		rg, err := ring.New(ring.Config{IntraGen: o.cfg.IntraGen, FineGrained: true}, members)
+		if err != nil {
+			return RebalanceResponse{}, fmt.Errorf("rebuild ring %d: %w", ringIdx, err)
+		}
+		// Resume the algorithm from the live layout rather than the
+		// constructor's equal split.
+		bounds := make([]ring.SubRange, len(subs))
+		for i, s := range subs {
+			bounds[i] = ring.SubRange{Lo: s.Lo, Hi: s.Hi}
+		}
+		if err := rg.SetSubRanges(bounds); err != nil {
+			return RebalanceResponse{}, fmt.Errorf("ring %d layout: %w", ringIdx, err)
+		}
+		for _, s := range subs {
+			rep, ok := reports[s.Node]
+			if !ok {
+				continue
+			}
+			dense := rep.PerIrH[ringIdx]
+			for irh, load := range dense {
+				if load == 0 || irh < s.Lo || irh > s.Hi {
+					continue
+				}
+				if err := rg.Record(irh, loadstats.Lookup, load); err != nil {
+					return RebalanceResponse{}, err
+				}
+			}
+		}
+		moves := rg.Rebalance()
+		totalMoves += len(moves)
+		for _, a := range rg.Assignments() {
+			next.Rings[ringIdx] = append(next.Rings[ringIdx], Subrange{Node: a.ID, Lo: a.Sub.Lo, Hi: a.Sub.Hi})
+		}
+	}
+
+	o.mu.Lock()
+	o.assign = next
+	o.rebalances++
+	o.mu.Unlock()
+
+	// Install everywhere; nodes hand off records among themselves.
+	for name, base := range o.liveAddrs() {
+		if err := postJSON(o.client, base+"/subranges", next, nil); err != nil {
+			return RebalanceResponse{}, fmt.Errorf("install assignment on %s: %w", name, err)
+		}
+	}
+	return RebalanceResponse{Moves: totalMoves, RecordsSent: totalMoves}, nil
+}
+
+// liveAddrs returns the addresses of nodes not marked down.
+func (o *OriginNode) liveAddrs() map[string]string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]string, len(o.cfg.Addrs))
+	for name, base := range o.cfg.Addrs {
+		if !o.down[name] {
+			out[name] = base
+		}
+	}
+	return out
+}
+
+// TriggerReplication asks every live beacon point to push its lookup
+// records to its ring sibling (the lazy replication pass). Returns the
+// number of nodes that replicated.
+func (o *OriginNode) TriggerReplication() (int, error) {
+	done := 0
+	for name, base := range o.liveAddrs() {
+		if err := postJSON(o.client, base+"/replicate", struct{}{}, nil); err != nil {
+			return done, fmt.Errorf("replicate on %s: %w", name, err)
+		}
+		done++
+	}
+	return done, nil
+}
+
+// CheckNodes probes every live node's /healthz and returns the ones that
+// did not answer.
+func (o *OriginNode) CheckNodes() []string {
+	probe := &http.Client{Timeout: 2 * time.Second}
+	var dead []string
+	for name, base := range o.liveAddrs() {
+		var reply map[string]string
+		if err := getJSON(probe, base+"/healthz", &reply); err != nil {
+			dead = append(dead, name)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// RepairResponse answers POST /repair.
+type RepairResponse struct {
+	Removed []string `json:"removed"`
+}
+
+// Repair runs one failure-handling pass: probe all nodes, remove the dead
+// ones from the sub-range layout (each dead beacon's ranges merge into its
+// ring neighbour), and install the repaired assignment on the survivors —
+// which promote their replicas for the ranges they now own.
+func (o *OriginNode) Repair() (RepairResponse, error) {
+	dead := o.CheckNodes()
+	if len(dead) == 0 {
+		return RepairResponse{}, nil
+	}
+	for _, name := range dead {
+		if err := o.removeNode(name); err != nil {
+			return RepairResponse{}, err
+		}
+	}
+	o.mu.Lock()
+	next := o.assign
+	o.repairs++
+	o.mu.Unlock()
+	for name, base := range o.liveAddrs() {
+		if err := postJSON(o.client, base+"/subranges", next, nil); err != nil {
+			return RepairResponse{}, fmt.Errorf("install repaired assignment on %s: %w", name, err)
+		}
+	}
+	return RepairResponse{Removed: dead}, nil
+}
+
+// removeNode merges the dead node's sub-ranges into a ring neighbour and
+// marks it down.
+func (o *OriginNode) removeNode(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.down[name] {
+		return nil
+	}
+	next := Assignments{Rings: make([][]Subrange, len(o.assign.Rings))}
+	for r, subs := range o.assign.Rings {
+		kept := make([]Subrange, 0, len(subs))
+		deadIdx := -1
+		for i, sub := range subs {
+			if sub.Node == name {
+				deadIdx = i
+				continue
+			}
+			kept = append(kept, sub)
+		}
+		if deadIdx == -1 {
+			next.Rings[r] = append(next.Rings[r], subs...)
+			continue
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("node: cannot repair ring %d: %q was its only beacon point", r, name)
+		}
+		deadSub := subs[deadIdx]
+		if deadIdx > 0 {
+			kept[deadIdx-1].Hi = deadSub.Hi
+		} else {
+			kept[0].Lo = deadSub.Lo
+		}
+		next.Rings[r] = kept
+	}
+	o.assign = next
+	o.down[name] = true
+	return nil
+}
+
+func (o *OriginNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	n, err := o.TriggerReplication()
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"nodes": n})
+}
+
+func (o *OriginNode) handleRepair(w http.ResponseWriter, r *http.Request) {
+	resp, err := o.Repair()
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (o *OriginNode) handleStats(w http.ResponseWriter, r *http.Request) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	writeJSON(w, http.StatusOK, OriginStats{
+		Documents:   len(o.docs),
+		Fetches:     o.fetches,
+		Updates:     o.updates,
+		BytesServed: o.bytesOut,
+		Rebalances:  o.rebalances,
+	})
+}
+
+// Assignments returns the origin's current view of the sub-range layout.
+func (o *OriginNode) Assignments() Assignments {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.assign
+}

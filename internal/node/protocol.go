@@ -1,0 +1,282 @@
+// Package node implements the cache cloud protocols as real networked
+// services over net/http: edge-cache nodes that serve client requests,
+// perform beacon-point duties for their intra-ring hash sub-ranges, and an
+// origin node that publishes updates and periodically runs the sub-range
+// determination process ("any beacon point within the beacon ring may
+// execute this process" — here the origin does, and informs all caches and
+// itself of the new assignments, exactly as Section 2.3 describes).
+//
+// The wire protocol is JSON over HTTP:
+//
+//	cache node
+//	  GET  /doc?url=U          client entry point: serve, cooperate, place
+//	  GET  /lookup?url=U       beacon duty: holder list + version
+//	  POST /register           beacon duty: add a holder
+//	  POST /deregister         beacon duty: drop a holder
+//	  GET  /fetch?url=U        peer-to-peer copy transfer
+//	  POST /update             beacon duty: receive origin update, fan out
+//	  POST /apply              holder: apply a pushed update
+//	  POST /subranges          install a new sub-range assignment
+//	  POST /records/import     receive migrated lookup records
+//	  POST /loads/collect      report and reset cycle load counters
+//	  GET  /stats              node statistics
+//
+//	origin node
+//	  GET  /fetch?url=U        group-miss fetch
+//	  POST /publish            apply an update and push it to beacons
+//	  POST /rebalance          run one sub-range determination cycle
+//	  GET  /stats              origin statistics
+package node
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"cachecloud/internal/document"
+)
+
+// Subrange is one beacon point's inclusive IrH interval on the wire.
+type Subrange struct {
+	Node string `json:"node"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// ClusterConfig is the static bootstrap configuration every node receives.
+type ClusterConfig struct {
+	// IntraGen is the intra-ring hash generator.
+	IntraGen int `json:"intraGen"`
+	// Rings lists the beacon-point node names of each ring in position
+	// order; initial sub-ranges divide the range equally.
+	Rings [][]string `json:"rings"`
+	// Addrs maps node name to base URL (http://host:port).
+	Addrs map[string]string `json:"addrs"`
+	// OriginAddr is the origin node's base URL.
+	OriginAddr string `json:"originAddr"`
+	// CapacityBytes is each cache's byte budget (0 = unlimited).
+	CapacityBytes int64 `json:"capacityBytes"`
+	// UtilityPlacement selects the utility-based placement policy for the
+	// cache nodes (ad hoc placement otherwise).
+	UtilityPlacement bool `json:"utilityPlacement"`
+}
+
+// Assignments carries the complete sub-range layout of all rings.
+type Assignments struct {
+	Rings [][]Subrange `json:"rings"`
+}
+
+// equalSplit builds the initial assignment: each ring's range divided
+// equally among its beacon points.
+func equalSplit(cfg ClusterConfig) Assignments {
+	a := Assignments{Rings: make([][]Subrange, len(cfg.Rings))}
+	for r, members := range cfg.Rings {
+		n := len(members)
+		lo := 0
+		for i, m := range members {
+			hi := (i + 1) * cfg.IntraGen / n
+			if i == n-1 {
+				hi = cfg.IntraGen
+			}
+			a.Rings[r] = append(a.Rings[r], Subrange{Node: m, Lo: lo, Hi: hi - 1})
+			lo = hi
+		}
+	}
+	return a
+}
+
+// ownerOf resolves the beacon node for a URL under an assignment.
+func (a Assignments) ownerOf(url string, intraGen int) (string, error) {
+	if len(a.Rings) == 0 {
+		return "", fmt.Errorf("node: empty assignment")
+	}
+	h := document.HashURL(url)
+	ringIdx := h.RingIndex(len(a.Rings))
+	irh := h.IrH(intraGen)
+	for _, s := range a.Rings[ringIdx] {
+		if irh >= s.Lo && irh <= s.Hi {
+			return s.Node, nil
+		}
+	}
+	return "", fmt.Errorf("node: no beacon covers IrH %d in ring %d", irh, ringIdx)
+}
+
+// ringOf returns the index of the ring containing the node, or -1.
+func (a Assignments) ringOf(nodeName string) int {
+	for r, subs := range a.Rings {
+		for _, s := range subs {
+			if s.Node == nodeName {
+				return r
+			}
+		}
+	}
+	return -1
+}
+
+// LookupResponse answers GET /lookup. The beacon piggybacks its monitored
+// cloud-wide lookup and update rates so the requester can evaluate the
+// utility function without extra round trips.
+type LookupResponse struct {
+	Holders    []string         `json:"holders"`
+	Version    document.Version `json:"version"`
+	LookupRate float64          `json:"lookupRate"`
+	UpdateRate float64          `json:"updateRate"`
+}
+
+// RegisterRequest is the body of POST /register and /deregister.
+type RegisterRequest struct {
+	URL  string `json:"url"`
+	Node string `json:"node"`
+}
+
+// FetchResponse answers GET /fetch.
+type FetchResponse struct {
+	Doc document.Document `json:"doc"`
+}
+
+// UpdateRequest is the body of POST /update and /apply. On /apply the
+// beacon piggybacks its monitored rates so the holder can re-evaluate
+// whether the copy is still worth its consistency-maintenance cost.
+type UpdateRequest struct {
+	Doc        document.Document `json:"doc"`
+	LookupRate float64           `json:"lookupRate,omitempty"`
+	UpdateRate float64           `json:"updateRate,omitempty"`
+	Replicas   int               `json:"replicas,omitempty"`
+}
+
+// UpdateResponse answers POST /update.
+type UpdateResponse struct {
+	Notified int `json:"notified"`
+}
+
+// DocResponse answers the client-facing GET /doc.
+type DocResponse struct {
+	Doc document.Document `json:"doc"`
+	// Source reports where the copy came from: "local", "peer", "origin".
+	Source string `json:"source"`
+	// Stored reports whether the node kept a copy.
+	Stored bool `json:"stored"`
+}
+
+// WireRecord is one lookup record in transit during migration.
+type WireRecord struct {
+	URL     string           `json:"url"`
+	Holders []string         `json:"holders"`
+	Version document.Version `json:"version"`
+}
+
+// RecordsImport is the body of POST /records/import.
+type RecordsImport struct {
+	Records []WireRecord `json:"records"`
+}
+
+// LoadReport answers POST /loads/collect: per-IrH-value loads for the
+// node's owned sub-ranges in every ring, reset after reporting.
+type LoadReport struct {
+	Node   string          `json:"node"`
+	Total  int64           `json:"total"`
+	PerIrH map[int][]int64 `json:"perIrH"` // ring → dense [intraGen]int64
+}
+
+// PublishRequest is the body of the origin's POST /publish.
+type PublishRequest struct {
+	URL string `json:"url"`
+}
+
+// PublishResponse answers POST /publish.
+type PublishResponse struct {
+	Version  document.Version `json:"version"`
+	Notified int              `json:"notified"`
+}
+
+// RebalanceResponse answers the origin's POST /rebalance.
+type RebalanceResponse struct {
+	Moves       int `json:"moves"`
+	RecordsSent int `json:"recordsSent"`
+}
+
+// CacheStats answers a cache node's GET /stats.
+type CacheStats struct {
+	Node        string  `json:"node"`
+	StoredDocs  int     `json:"storedDocs"`
+	UsedBytes   int64   `json:"usedBytes"`
+	LocalHits   int64   `json:"localHits"`
+	PeerHits    int64   `json:"peerHits"`
+	OriginMiss  int64   `json:"originMiss"`
+	BeaconOps   int64   `json:"beaconOps"`
+	HitRate     float64 `json:"hitRate"`
+	RecordsHeld int     `json:"recordsHeld"`
+}
+
+// OriginStats answers the origin node's GET /stats.
+type OriginStats struct {
+	Documents   int   `json:"documents"`
+	Fetches     int64 `json:"fetches"`
+	Updates     int64 `json:"updates"`
+	BytesServed int64 `json:"bytesServed"`
+	Rebalances  int64 `json:"rebalances"`
+}
+
+// --- small HTTP helpers shared by both node kinds ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func readJSON(r *http.Request, v any) error {
+	defer func() {
+		_, _ = io.Copy(io.Discard, r.Body)
+		_ = r.Body.Close()
+	}()
+	return json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(v)
+}
+
+// postJSON sends a JSON request and decodes the JSON reply into out (out
+// may be nil).
+func postJSON(client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("node: marshal %s: %w", url, err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("node: post %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("node: post %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// getJSON performs a GET and decodes the JSON reply. A 404 returns
+// errNotFound so callers can distinguish absence from failure.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("node: get %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return errNotFound
+	}
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("node: get %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,146 @@
+package node
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"cachecloud/internal/trace"
+)
+
+func TestClientFailover(t *testing.T) {
+	lc := startCluster(t, 3, 3, ClusterConfig{})
+	cl, err := NewClient(lc.Cfg, "live-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Preferred() != "live-01" {
+		t.Fatal("wrong preferred node")
+	}
+
+	dr, served, err := cl.Get("http://live/doc/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != "live-01" || dr.Doc.URL != "http://live/doc/5" {
+		t.Fatalf("served by %s: %+v", served, dr)
+	}
+
+	// Kill the preferred node: the client must fail over transparently.
+	lc.StopNode("live-01")
+	dr, served, err = cl.Get("http://live/doc/6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served == "live-01" {
+		t.Fatal("served by dead node")
+	}
+	if dr.Doc.URL != "http://live/doc/6" {
+		t.Fatalf("wrong doc after failover: %+v", dr)
+	}
+	reqs, fails := cl.Stats()
+	if reqs != 2 || fails != 1 {
+		t.Fatalf("stats = %d req, %d failovers", reqs, fails)
+	}
+}
+
+func TestClientAllNodesDown(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	cl, err := NewClient(lc.Cfg, "live-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.StopNode("live-00")
+	lc.StopNode("live-01")
+	if _, _, err := cl.Get("http://live/doc/1"); !errors.Is(err, ErrNoNodesReachable) {
+		t.Fatalf("err = %v, want ErrNoNodesReachable", err)
+	}
+}
+
+func TestClientUnknownPreferred(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	if _, err := NewClient(lc.Cfg, "ghost"); err == nil {
+		t.Fatal("unknown preferred node accepted")
+	}
+}
+
+func TestReplayTraceThroughLiveCluster(t *testing.T) {
+	names := []string{"live-00", "live-01", "live-02", "live-03"}
+	// The catalog must cover the trace's documents: build the trace first,
+	// then start the cluster with its docs.
+	tr := trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 6, NumDocs: 150, Alpha: 0.9, CacheIDs: names,
+		Duration: 12, ReqPerCache: 6, UpdatesPerUnit: 3,
+	})
+	lc, err := StartLocalCluster(names, 2, tr.Docs, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+
+	res, err := Replay(lc.Cfg, tr, ReplayOptions{RebalanceEvery: 4, ReplicateOnRebalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay had %d errors", res.Errors)
+	}
+	if res.Requests != int64(tr.NumRequests()) || res.Updates != int64(tr.NumUpdates()) {
+		t.Fatalf("replay counts %+v vs trace %d/%d", res, tr.NumRequests(), tr.NumUpdates())
+	}
+	if res.LocalHits+res.PeerHits+res.OriginMiss != res.Requests {
+		t.Fatalf("outcome accounting broken: %+v", res)
+	}
+	if res.HitRate() <= 0.3 {
+		t.Fatalf("hit rate %.2f implausibly low for a Zipf-0.9 replay", res.HitRate())
+	}
+	if res.Rebalances < 2 {
+		t.Fatalf("rebalances = %d, want >= 2", res.Rebalances)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	if _, err := Replay(lc.Cfg, &trace.Trace{}, ReplayOptions{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := &trace.Trace{Events: []trace.Event{{Kind: trace.Request, Cache: "ghost", URL: "u"}}}
+	bad.Docs = testCatalog(1)
+	if _, err := Replay(lc.Cfg, bad, ReplayOptions{}); err == nil {
+		t.Fatal("unknown cache accepted")
+	}
+}
+
+// The live stack and the simulator should agree qualitatively on the same
+// workload: both serve a majority of requests in-network.
+func TestReplayAgreesWithSimulatorShape(t *testing.T) {
+	names := []string{"live-00", "live-01", "live-02", "live-03"}
+	tr := trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 8, NumDocs: 200, Alpha: 0.9, CacheIDs: names,
+		Duration: 15, ReqPerCache: 8, UpdatesPerUnit: 4,
+	})
+	lc, err := StartLocalCluster(names, 2, tr.Docs, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	res, err := Replay(lc.Cfg, tr, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() < 0.5 {
+		t.Fatalf("live hit rate %.2f below the simulator's qualitative range", res.HitRate())
+	}
+	// Origin stats must agree with the replay's accounting.
+	var os OriginStats
+	if err := getJSON(&http.Client{Timeout: 5 * time.Second}, lc.Cfg.OriginAddr+"/stats", &os); err != nil {
+		t.Fatal(err)
+	}
+	if os.Fetches != res.OriginMiss {
+		t.Fatalf("origin fetches %d != replay misses %d", os.Fetches, res.OriginMiss)
+	}
+	if os.Updates != res.Updates {
+		t.Fatalf("origin updates %d != replay updates %d", os.Updates, res.Updates)
+	}
+}

@@ -1,0 +1,122 @@
+package node
+
+import (
+	"bytes"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Warm live-00 with some documents and beacon records.
+	for i := 0; i < 10; i++ {
+		getDoc(t, client, lc.Cfg.Addrs["live-00"], testCatalog(20)[i].URL)
+	}
+	src := lc.Caches["live-00"]
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh node with the same name restores the state.
+	restored, err := NewCacheNode("live-00", lc.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.store.Len() != src.store.Len() {
+		t.Fatalf("restored %d docs, want %d", restored.store.Len(), src.store.Len())
+	}
+	srcRecs, dstRecs := len(src.records), len(restored.records)
+	if dstRecs != srcRecs {
+		t.Fatalf("restored %d records, want %d", dstRecs, srcRecs)
+	}
+}
+
+func TestSnapshotRejectsWrongNode(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	var buf bytes.Buffer
+	if err := lc.Caches["live-00"].SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := lc.Caches["live-01"]
+	err := other.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "belongs to") {
+		t.Fatalf("err = %v, want node mismatch", err)
+	}
+}
+
+func TestSnapshotFileLifecycle(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	getDoc(t, client, lc.Cfg.Addrs["live-00"], "http://live/doc/2")
+
+	path := filepath.Join(t.TempDir(), "node.snap")
+	n := lc.Caches["live-00"]
+
+	// Missing file is a clean cold start.
+	if err := n.LoadSnapshotFile(path); err != nil {
+		t.Fatalf("missing snapshot file: %v", err)
+	}
+	if err := n.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCacheNode("live-00", lc.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.store.Has("http://live/doc/2") {
+		t.Fatal("restored node lost the stored document")
+	}
+}
+
+func TestSnapshotSaveEndpoint(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Without a configured path the endpoint refuses.
+	err := postJSON(client, lc.Cfg.Addrs["live-00"]+"/snapshot/save", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("save without configured path accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "ep.snap")
+	lc.Caches["live-00"].SetSnapshotPath(path)
+	getDoc(t, client, lc.Cfg.Addrs["live-00"], "http://live/doc/5")
+	var out map[string]string
+	if err := postJSON(client, lc.Cfg.Addrs["live-00"]+"/snapshot/save", struct{}{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["saved"] != path {
+		t.Fatalf("saved = %q", out["saved"])
+	}
+	fresh, err := NewCacheNode("live-00", lc.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.store.Has("http://live/doc/5") {
+		t.Fatal("endpoint-saved snapshot not restorable")
+	}
+}
+
+func TestSnapshotLoadGarbage(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	n := lc.Caches["live-00"]
+	if err := n.LoadSnapshot(strings.NewReader("{broken")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}

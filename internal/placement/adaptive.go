@@ -1,0 +1,201 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AdaptiveUtility implements the weight-tuning approach the paper leaves as
+// future work (Section 4.2): "continuously monitor various system
+// parameters and use a feedback mechanism to adjust the weight parameters
+// as needed". It wraps the utility policy with a multiplicative-weights
+// controller fed by periodic system observations:
+//
+//   - rising network load per unit shifts weight toward the consistency
+//     maintenance component (replicate update-churned documents less);
+//   - a falling cloud hit rate shifts weight toward the availability and
+//     access-frequency components (replicate more);
+//   - rising eviction pressure shifts weight toward the disk-space
+//     contention component.
+//
+// Weights stay non-negative, are re-normalised to sum to 1 after every
+// adjustment, and each component is clamped to [MinWeight, MaxWeight] so
+// no signal can be silenced permanently.
+type AdaptiveUtility struct {
+	mu        sync.Mutex
+	weights   Weights
+	threshold float64
+	rate      float64 // adjustment step per feedback call
+
+	prev     Observation
+	hasPrev  bool
+	feedback int64
+}
+
+// Bounds for individual adaptive weights.
+const (
+	// MinWeight is the floor any enabled component is clamped to.
+	MinWeight = 0.05
+	// MaxWeight is the ceiling any component is clamped to.
+	MaxWeight = 0.70
+)
+
+var _ Policy = (*AdaptiveUtility)(nil)
+
+// Observation is one period's system measurement fed to the controller.
+type Observation struct {
+	// NetworkMBPerUnit is the cloud's network load over the period.
+	NetworkMBPerUnit float64
+	// HitRate is the cloud-wide hit rate (local + cloud hits / requests).
+	HitRate float64
+	// EvictionMBPerUnit is the aggregate eviction pressure.
+	EvictionMBPerUnit float64
+}
+
+// NewAdaptiveUtility starts from the given weights (normalised) and
+// threshold; rate is the relative adjustment applied per feedback call
+// (0 < rate ≤ 0.5; e.g. 0.1 moves a weight by 10% per period).
+func NewAdaptiveUtility(start Weights, threshold, rate float64) (*AdaptiveUtility, error) {
+	base, err := NewUtility(start, threshold)
+	if err != nil {
+		return nil, err
+	}
+	if rate <= 0 || rate > 0.5 {
+		return nil, fmt.Errorf("%w: adaptation rate %v outside (0, 0.5]", ErrBadWeights, rate)
+	}
+	return &AdaptiveUtility{
+		weights:   base.Weights(),
+		threshold: threshold,
+		rate:      rate,
+	}, nil
+}
+
+// Name implements Policy.
+func (a *AdaptiveUtility) Name() string { return "adaptive-utility" }
+
+// Weights returns the current (normalised) weights.
+func (a *AdaptiveUtility) Weights() Weights {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.weights
+}
+
+// FeedbackCount returns how many observations have been applied.
+func (a *AdaptiveUtility) FeedbackCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.feedback
+}
+
+// ShouldStore implements Policy with the current weights.
+func (a *AdaptiveUtility) ShouldStore(ctx Context) Decision {
+	a.mu.Lock()
+	w := a.weights
+	th := a.threshold
+	a.mu.Unlock()
+	comp := Evaluate(ctx)
+	util := w.CMC*comp.CMC + w.AFC*comp.AFC + w.DAC*comp.DAC + w.DsCC*comp.DsCC
+	return Decision{Store: util > th, Utility: util, Components: comp}
+}
+
+// Feedback applies one period's observation. The first call only seeds the
+// baseline; subsequent calls adjust weights from period-over-period trends.
+func (a *AdaptiveUtility) Feedback(obs Observation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.feedback++
+	if !a.hasPrev {
+		a.prev, a.hasPrev = obs, true
+		return
+	}
+	w := a.weights
+
+	// Network load trending up → emphasise consistency maintenance.
+	if obs.NetworkMBPerUnit > a.prev.NetworkMBPerUnit*1.02 {
+		w.CMC *= 1 + a.rate
+	} else if obs.NetworkMBPerUnit < a.prev.NetworkMBPerUnit*0.98 {
+		w.CMC *= 1 - a.rate/2
+	}
+	// Hit rate trending down → emphasise availability and access
+	// frequency.
+	if obs.HitRate < a.prev.HitRate-0.005 {
+		w.DAC *= 1 + a.rate
+		w.AFC *= 1 + a.rate/2
+	} else if obs.HitRate > a.prev.HitRate+0.005 {
+		w.DAC *= 1 - a.rate/2
+	}
+	// Eviction pressure trending up → emphasise disk-space contention
+	// (only if the component is enabled at all).
+	if w.DsCC > 0 && obs.EvictionMBPerUnit > a.prev.EvictionMBPerUnit*1.02 {
+		w.DsCC *= 1 + a.rate
+	}
+
+	a.weights = clampNormalise(w)
+	a.prev = obs
+}
+
+// clampNormalise projects the raw weights onto the constraint set
+// {sum = 1, each enabled weight in [MinWeight, MaxWeight]} by
+// water-filling: weights that would cross a bound are pinned there and the
+// remaining budget is distributed proportionally over the rest.
+func clampNormalise(w Weights) Weights {
+	raw := []float64{w.CMC, w.AFC, w.DAC, w.DsCC}
+	out := make([]float64, 4)
+	pinned := make([]bool, 4)
+	enabled := 0
+	for _, v := range raw {
+		if v > 0 {
+			enabled++
+		}
+	}
+	if enabled == 0 {
+		return Weights{CMC: 0.25, AFC: 0.25, DAC: 0.25, DsCC: 0.25}
+	}
+	for iter := 0; iter < 5; iter++ {
+		budget := 1.0
+		freeSum := 0.0
+		for i, v := range raw {
+			if v <= 0 {
+				continue
+			}
+			if pinned[i] {
+				budget -= out[i]
+			} else {
+				freeSum += v
+			}
+		}
+		if freeSum <= 0 || budget <= 0 {
+			break
+		}
+		scale := budget / freeSum
+		crossed := false
+		for i, v := range raw {
+			if v <= 0 || pinned[i] {
+				continue
+			}
+			x := v * scale
+			switch {
+			case x < MinWeight:
+				out[i], pinned[i], crossed = MinWeight, true, true
+			case x > MaxWeight:
+				out[i], pinned[i], crossed = MaxWeight, true, true
+			default:
+				out[i] = x
+			}
+		}
+		if !crossed {
+			return Weights{CMC: out[0], AFC: out[1], DAC: out[2], DsCC: out[3]}
+		}
+	}
+	// Fallback (everything pinned): renormalise the pinned values.
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return Weights{CMC: out[0], AFC: out[1], DAC: out[2], DsCC: out[3]}
+}

@@ -1,0 +1,141 @@
+package placement
+
+import (
+	"math"
+	"testing"
+)
+
+func newAdaptive(t *testing.T) *AdaptiveUtility {
+	t.Helper()
+	a, err := NewAdaptiveUtility(EqualOn(true, true, true, true), 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func weightSum(w Weights) float64 { return w.CMC + w.AFC + w.DAC + w.DsCC }
+
+func TestNewAdaptiveValidation(t *testing.T) {
+	if _, err := NewAdaptiveUtility(Weights{}, 0.5, 0.1); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+	if _, err := NewAdaptiveUtility(EqualOn(true, true, true, true), 0.5, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewAdaptiveUtility(EqualOn(true, true, true, true), 0.5, 0.9); err == nil {
+		t.Fatal("huge rate accepted")
+	}
+}
+
+func TestAdaptiveFirstFeedbackOnlySeeds(t *testing.T) {
+	a := newAdaptive(t)
+	before := a.Weights()
+	a.Feedback(Observation{NetworkMBPerUnit: 100, HitRate: 0.5})
+	if a.Weights() != before {
+		t.Fatal("first feedback call changed weights")
+	}
+	if a.FeedbackCount() != 1 {
+		t.Fatalf("feedback count = %d", a.FeedbackCount())
+	}
+}
+
+func TestAdaptiveRisingNetworkLoadBoostsCMC(t *testing.T) {
+	a := newAdaptive(t)
+	a.Feedback(Observation{NetworkMBPerUnit: 100, HitRate: 0.5})
+	before := a.Weights()
+	a.Feedback(Observation{NetworkMBPerUnit: 150, HitRate: 0.5})
+	after := a.Weights()
+	if after.CMC <= before.CMC {
+		t.Fatalf("CMC weight %v did not rise from %v under rising network load", after.CMC, before.CMC)
+	}
+	if math.Abs(weightSum(after)-1) > 1e-9 {
+		t.Fatalf("weights not normalised: %+v", after)
+	}
+}
+
+func TestAdaptiveFallingHitRateBoostsAvailability(t *testing.T) {
+	a := newAdaptive(t)
+	a.Feedback(Observation{NetworkMBPerUnit: 100, HitRate: 0.8})
+	before := a.Weights()
+	a.Feedback(Observation{NetworkMBPerUnit: 100, HitRate: 0.6})
+	after := a.Weights()
+	if after.DAC <= before.DAC {
+		t.Fatalf("DAC weight %v did not rise from %v under falling hit rate", after.DAC, before.DAC)
+	}
+}
+
+func TestAdaptiveEvictionPressureBoostsDsCC(t *testing.T) {
+	a := newAdaptive(t)
+	a.Feedback(Observation{EvictionMBPerUnit: 10, HitRate: 0.5})
+	before := a.Weights()
+	a.Feedback(Observation{EvictionMBPerUnit: 30, HitRate: 0.5})
+	after := a.Weights()
+	if after.DsCC <= before.DsCC {
+		t.Fatalf("DsCC weight %v did not rise from %v under eviction pressure", after.DsCC, before.DsCC)
+	}
+}
+
+func TestAdaptiveDisabledComponentStaysDisabled(t *testing.T) {
+	a, err := NewAdaptiveUtility(EqualOn(true, true, true, false), 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Feedback(Observation{EvictionMBPerUnit: 10, HitRate: 0.5})
+	a.Feedback(Observation{EvictionMBPerUnit: 99, HitRate: 0.5})
+	if got := a.Weights().DsCC; got != 0 {
+		t.Fatalf("disabled DsCC became %v", got)
+	}
+}
+
+// Property: weights remain a valid distribution within clamps under any
+// observation sequence.
+func TestAdaptiveWeightInvariants(t *testing.T) {
+	a := newAdaptive(t)
+	obs := []Observation{
+		{NetworkMBPerUnit: 10, HitRate: 0.9, EvictionMBPerUnit: 0},
+		{NetworkMBPerUnit: 500, HitRate: 0.1, EvictionMBPerUnit: 100},
+		{NetworkMBPerUnit: 1, HitRate: 0.99, EvictionMBPerUnit: 0},
+		{NetworkMBPerUnit: 1000, HitRate: 0.01, EvictionMBPerUnit: 500},
+	}
+	for round := 0; round < 200; round++ {
+		a.Feedback(obs[round%len(obs)])
+		w := a.Weights()
+		if math.Abs(weightSum(w)-1) > 1e-6 {
+			t.Fatalf("round %d: weights sum %v: %+v", round, weightSum(w), w)
+		}
+		for _, v := range []float64{w.CMC, w.AFC, w.DAC, w.DsCC} {
+			if v != 0 && (v < MinWeight-1e-9 || v > MaxWeight+1e-9) {
+				t.Fatalf("round %d: weight %v outside clamps: %+v", round, v, w)
+			}
+		}
+	}
+}
+
+// The adapted policy must actually change decisions: after sustained
+// network-load growth, an update-heavy document that was marginally stored
+// becomes rejected.
+func TestAdaptiveChangesDecisions(t *testing.T) {
+	a := newAdaptive(t)
+	ctx := Context{
+		CloudLookupRate: 4, CloudUpdateRate: 12, // CMC = 0.25
+		LocalAccessRate: 9, MeanLocalRate: 1, // AFC = 0.9
+		ReplicaCount: 0, // DAC = 1
+		Residence:    100, HolderResidence: 0,
+	}
+	before := a.ShouldStore(ctx)
+	if !before.Store {
+		t.Fatalf("baseline decision should store: %+v", before)
+	}
+	a.Feedback(Observation{NetworkMBPerUnit: 100, HitRate: 0.5})
+	for i := 0; i < 60; i++ {
+		a.Feedback(Observation{NetworkMBPerUnit: 100 * float64(i+2), HitRate: 0.5})
+	}
+	after := a.ShouldStore(ctx)
+	if after.Utility >= before.Utility {
+		t.Fatalf("utility did not fall after CMC emphasis: %v -> %v", before.Utility, after.Utility)
+	}
+	if a.Name() != "adaptive-utility" {
+		t.Fatal("wrong name")
+	}
+}

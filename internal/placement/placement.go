@@ -1,0 +1,294 @@
+// Package placement implements the paper's three document placement
+// schemes (Section 3): ad hoc placement, beacon point placement, and the
+// utility-based scheme whose four components weigh the benefits and costs
+// of storing a retrieved copy at a particular edge cache.
+//
+// The mathematical formulations of the utility components appear only in
+// the (unavailable) technical-report version of the paper, so this package
+// uses the simplest monotone formulations consistent with the semantics the
+// ICDCS text gives for each component; every formulation is documented on
+// its function. All components are normalised to [0, 1], matching the
+// paper's use of a weighted linear sum compared against a threshold of 0.5
+// with weights summing to 1.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadWeights is returned for invalid utility weights.
+var ErrBadWeights = errors.New("placement: weights must be non-negative and sum to > 0")
+
+// Context carries everything a placement policy may consult when a cache
+// decides whether to store a document copy it just retrieved.
+type Context struct {
+	// Now is the current time unit.
+	Now int64
+	// CacheID is the deciding cache; DocURL and DocSize describe the copy.
+	CacheID string
+	DocURL  string
+	DocSize int64
+	// IsBeacon reports whether the deciding cache is the document's beacon
+	// point in this cloud.
+	IsBeacon bool
+
+	// LocalAccessRate is the document's access rate at this cache
+	// (accesses per unit, from the cache's continued monitoring).
+	LocalAccessRate float64
+	// MeanLocalRate is the mean per-document access rate over the
+	// documents this cache currently stores.
+	MeanLocalRate float64
+
+	// CloudLookupRate and CloudUpdateRate are the beacon-side monitored
+	// cloud-wide rates for the document.
+	CloudLookupRate float64
+	CloudUpdateRate float64
+
+	// ReplicaCount is the number of copies already present in the cloud
+	// (not counting the one being decided on).
+	ReplicaCount int
+
+	// Residence is this cache's expected copy residence time in units
+	// (+Inf when the cache has unlimited space or no eviction pressure).
+	Residence float64
+	// HolderResidence is the mean expected residence of the existing
+	// copies' caches (+Inf when those caches are unpressured; 0 when there
+	// are no existing copies).
+	HolderResidence float64
+}
+
+// Decision is a policy's verdict.
+type Decision struct {
+	Store bool
+	// Utility and Components are populated by the utility policy
+	// (zero-valued for ad hoc and beacon point placement).
+	Utility    float64
+	Components Components
+}
+
+// Components are the four utility terms.
+type Components struct {
+	// CMC is the consistency maintenance component: high when the document
+	// is accessed more often than it is updated.
+	CMC float64
+	// AFC is the access frequency component: high when the document is hot
+	// relative to the other documents stored at this cache.
+	AFC float64
+	// DAC is the document availability improvement component: high when
+	// few copies exist in the cloud.
+	DAC float64
+	// DsCC is the disk-space contention component: high when the new copy
+	// is likely to outlive the existing copies.
+	DsCC float64
+}
+
+// Policy decides whether a cache that just retrieved a document should
+// store it.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// ShouldStore returns the placement decision for the context.
+	ShouldStore(ctx Context) Decision
+}
+
+// AdHoc is the paper's ad hoc placement scheme: every cache that receives a
+// request for a document stores it. Simple, but it replicates without
+// control, inflating consistency-maintenance costs and disk contention.
+type AdHoc struct{}
+
+var _ Policy = AdHoc{}
+
+// Name implements Policy.
+func (AdHoc) Name() string { return "adhoc" }
+
+// ShouldStore implements Policy.
+func (AdHoc) ShouldStore(Context) Decision { return Decision{Store: true} }
+
+// BeaconPoint is the paper's beacon point caching scheme: a document is
+// stored only at its beacon point, giving exactly one copy per cloud. It
+// minimises update cost but concentrates load and forces every other cache
+// to fetch remotely on every request.
+type BeaconPoint struct{}
+
+var _ Policy = BeaconPoint{}
+
+// Name implements Policy.
+func (BeaconPoint) Name() string { return "beacon" }
+
+// ShouldStore implements Policy.
+func (BeaconPoint) ShouldStore(ctx Context) Decision {
+	return Decision{Store: ctx.IsBeacon}
+}
+
+// Weights are the utility component weights (the paper's β constants).
+// They must be non-negative with a positive sum; Utility normalises them
+// to sum to 1.
+type Weights struct {
+	CMC, AFC, DAC, DsCC float64
+}
+
+// EqualOn returns weights of 1/n over the components enabled by the flags,
+// the paper's convention of giving each turned-on component weight 1/n.
+func EqualOn(cmc, afc, dac, dscc bool) Weights {
+	var w Weights
+	n := 0.0
+	for _, on := range []bool{cmc, afc, dac, dscc} {
+		if on {
+			n++
+		}
+	}
+	if n == 0 {
+		return w
+	}
+	v := 1 / n
+	if cmc {
+		w.CMC = v
+	}
+	if afc {
+		w.AFC = v
+	}
+	if dac {
+		w.DAC = v
+	}
+	if dscc {
+		w.DsCC = v
+	}
+	return w
+}
+
+// Utility is the utility-based placement scheme: the weighted linear sum of
+// the four components is compared against a threshold (0.5 in the paper's
+// experiments).
+type Utility struct {
+	weights   Weights
+	threshold float64
+}
+
+var _ Policy = (*Utility)(nil)
+
+// NewUtility constructs the utility policy. Weights are normalised to sum
+// to 1; the paper's experiments use threshold 0.5.
+func NewUtility(w Weights, threshold float64) (*Utility, error) {
+	if w.CMC < 0 || w.AFC < 0 || w.DAC < 0 || w.DsCC < 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadWeights, w)
+	}
+	sum := w.CMC + w.AFC + w.DAC + w.DsCC
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadWeights, w)
+	}
+	return &Utility{
+		weights: Weights{
+			CMC: w.CMC / sum, AFC: w.AFC / sum, DAC: w.DAC / sum, DsCC: w.DsCC / sum,
+		},
+		threshold: threshold,
+	}, nil
+}
+
+// Name implements Policy.
+func (u *Utility) Name() string { return "utility" }
+
+// Weights returns the normalised weights.
+func (u *Utility) Weights() Weights { return u.weights }
+
+// Threshold returns the storage threshold.
+func (u *Utility) Threshold() float64 { return u.threshold }
+
+// ShouldStore implements Policy.
+func (u *Utility) ShouldStore(ctx Context) Decision {
+	comp := Evaluate(ctx)
+	util := u.weights.CMC*comp.CMC + u.weights.AFC*comp.AFC +
+		u.weights.DAC*comp.DAC + u.weights.DsCC*comp.DsCC
+	return Decision{Store: util > u.threshold, Utility: util, Components: comp}
+}
+
+// Evaluate computes the four utility components for a context.
+func Evaluate(ctx Context) Components {
+	return Components{
+		CMC:  cmc(ctx),
+		AFC:  afc(ctx),
+		DAC:  dac(ctx),
+		DsCC: dscc(ctx),
+	}
+}
+
+// cmc — consistency maintenance component. The paper: "a high value
+// indicates that the document is accessed more frequently than it is
+// updated, and vice-versa". Formulation: the access fraction of the
+// document's combined access+update traffic, lookups/(lookups+updates),
+// which is 1 for never-updated documents, 0.5 at parity, and → 0 for
+// update-dominated documents. With no observed traffic we return the
+// neutral 0.5.
+func cmc(ctx Context) float64 {
+	a, u := ctx.CloudLookupRate, ctx.CloudUpdateRate
+	if a <= 0 && u <= 0 {
+		return 0.5
+	}
+	return a / (a + u)
+}
+
+// afc — access frequency component. The paper: high when the document's
+// access frequency at this cache is high "in comparison to other documents
+// stored in the cache". Formulation: the document's share against the mean
+// per-document rate, local/(local+mean): 0.5 for an exactly average
+// document, → 1 for hot ones, → 0 for cold ones.
+func afc(ctx Context) float64 {
+	l, m := ctx.LocalAccessRate, ctx.MeanLocalRate
+	if l <= 0 && m <= 0 {
+		return 0.5
+	}
+	return l / (l + m)
+}
+
+// dac — document availability improvement component. The marginal
+// availability gain of one more replica shrinks with each existing copy;
+// formulation: 1/(1+replicas), i.e. 1 for the first copy in the cloud, 1/2
+// for the second, and so on.
+func dac(ctx Context) float64 {
+	r := ctx.ReplicaCount
+	if r < 0 {
+		r = 0
+	}
+	return 1 / (1 + float64(r))
+}
+
+// dscc — disk-space contention component. The paper: high when "the new
+// document copy ... is likely to remain longer in the cache cloud than the
+// existing copies". Formulation: the new copy's expected residence against
+// the mean residence of the existing copies, mine/(mine+theirs), with 1
+// when there are no existing copies and 0.5 when both sides are equally
+// (un)pressured — including the both-infinite case. (An absolute
+// contention-survival variant was evaluated during development and
+// reproduced the paper's Figure 9 less faithfully; see EXPERIMENTS.md.)
+func dscc(ctx Context) float64 {
+	mine, theirs := ctx.Residence, ctx.HolderResidence
+	if ctx.ReplicaCount <= 0 || theirs <= 0 {
+		// No competing copies: storing strictly improves cloud residence.
+		return 1
+	}
+	mineInf, theirsInf := math.IsInf(mine, 1), math.IsInf(theirs, 1)
+	switch {
+	case mineInf && theirsInf:
+		return 0.5
+	case mineInf:
+		return 1
+	case theirsInf:
+		return 0
+	case mine <= 0:
+		return 0
+	default:
+		return mine / (mine + theirs)
+	}
+}
+
+// ExpectedResidence estimates how long a newly stored copy survives at a
+// cache: the byte capacity divided by the byte eviction rate (a cache that
+// turns over its whole budget every T units keeps a new copy for ≈T units).
+// Unlimited caches and caches with no eviction pressure return +Inf.
+func ExpectedResidence(capacity int64, evictionByteRate float64) float64 {
+	if capacity <= 0 || evictionByteRate <= 1e-12 {
+		return math.Inf(1)
+	}
+	return float64(capacity) / evictionByteRate
+}

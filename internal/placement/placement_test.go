@@ -1,0 +1,243 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdHocAlwaysStores(t *testing.T) {
+	var p AdHoc
+	if !p.ShouldStore(Context{}).Store {
+		t.Fatal("ad hoc refused to store")
+	}
+	if p.Name() != "adhoc" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestBeaconPointStoresOnlyAtBeacon(t *testing.T) {
+	p := BeaconPoint{}
+	if p.ShouldStore(Context{IsBeacon: false}).Store {
+		t.Fatal("stored at non-beacon")
+	}
+	if !p.ShouldStore(Context{IsBeacon: true}).Store {
+		t.Fatal("refused to store at beacon")
+	}
+	if p.Name() != "beacon" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestNewUtilityValidation(t *testing.T) {
+	if _, err := NewUtility(Weights{CMC: -1, AFC: 1}, 0.5); !errors.Is(err, ErrBadWeights) {
+		t.Fatalf("err = %v, want ErrBadWeights", err)
+	}
+	if _, err := NewUtility(Weights{}, 0.5); !errors.Is(err, ErrBadWeights) {
+		t.Fatalf("err = %v, want ErrBadWeights", err)
+	}
+}
+
+func TestNewUtilityNormalisesWeights(t *testing.T) {
+	u, err := NewUtility(Weights{CMC: 2, AFC: 2, DAC: 2, DsCC: 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := u.Weights()
+	if w.CMC != 0.25 || w.AFC != 0.25 || w.DAC != 0.25 || w.DsCC != 0.25 {
+		t.Fatalf("weights = %+v, want all 0.25", w)
+	}
+	if u.Threshold() != 0.5 {
+		t.Fatalf("threshold = %v", u.Threshold())
+	}
+	if u.Name() != "utility" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestEqualOn(t *testing.T) {
+	w := EqualOn(true, true, true, false)
+	if math.Abs(w.CMC-1.0/3) > 1e-12 || w.DsCC != 0 {
+		t.Fatalf("weights = %+v", w)
+	}
+	if w4 := EqualOn(true, true, true, true); w4.DsCC != 0.25 {
+		t.Fatalf("weights = %+v", w4)
+	}
+	if w0 := EqualOn(false, false, false, false); w0 != (Weights{}) {
+		t.Fatalf("weights = %+v, want zero", w0)
+	}
+}
+
+func TestCMCSemantics(t *testing.T) {
+	// Never updated → 1; parity → 0.5; update-dominated → small.
+	if got := Evaluate(Context{CloudLookupRate: 5, CloudUpdateRate: 0}).CMC; got != 1 {
+		t.Fatalf("CMC = %v, want 1", got)
+	}
+	if got := Evaluate(Context{CloudLookupRate: 5, CloudUpdateRate: 5}).CMC; got != 0.5 {
+		t.Fatalf("CMC = %v, want 0.5", got)
+	}
+	if got := Evaluate(Context{CloudLookupRate: 1, CloudUpdateRate: 9}).CMC; got != 0.1 {
+		t.Fatalf("CMC = %v, want 0.1", got)
+	}
+	if got := Evaluate(Context{}).CMC; got != 0.5 {
+		t.Fatalf("no-signal CMC = %v, want 0.5", got)
+	}
+}
+
+func TestAFCSemantics(t *testing.T) {
+	if got := Evaluate(Context{LocalAccessRate: 3, MeanLocalRate: 3}).AFC; got != 0.5 {
+		t.Fatalf("average doc AFC = %v, want 0.5", got)
+	}
+	hot := Evaluate(Context{LocalAccessRate: 30, MeanLocalRate: 3}).AFC
+	cold := Evaluate(Context{LocalAccessRate: 0.1, MeanLocalRate: 3}).AFC
+	if hot <= 0.5 || cold >= 0.5 {
+		t.Fatalf("hot = %v cold = %v", hot, cold)
+	}
+	if got := Evaluate(Context{}).AFC; got != 0.5 {
+		t.Fatalf("no-signal AFC = %v, want 0.5", got)
+	}
+}
+
+func TestDACSemantics(t *testing.T) {
+	if got := Evaluate(Context{ReplicaCount: 0}).DAC; got != 1 {
+		t.Fatalf("first copy DAC = %v, want 1", got)
+	}
+	if got := Evaluate(Context{ReplicaCount: 1}).DAC; got != 0.5 {
+		t.Fatalf("second copy DAC = %v, want 0.5", got)
+	}
+	if got := Evaluate(Context{ReplicaCount: 9}).DAC; got != 0.1 {
+		t.Fatalf("tenth copy DAC = %v, want 0.1", got)
+	}
+	if got := Evaluate(Context{ReplicaCount: -3}).DAC; got != 1 {
+		t.Fatalf("negative replicas DAC = %v, want 1", got)
+	}
+}
+
+func TestDsCCSemantics(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		ctx  Context
+		want float64
+	}{
+		{"no existing copies", Context{ReplicaCount: 0, Residence: 5, HolderResidence: 0}, 1},
+		{"both unpressured", Context{ReplicaCount: 2, Residence: inf, HolderResidence: inf}, 0.5},
+		{"only we are unpressured", Context{ReplicaCount: 2, Residence: inf, HolderResidence: 10}, 1},
+		{"only they are unpressured", Context{ReplicaCount: 2, Residence: 10, HolderResidence: inf}, 0},
+		{"we live twice as long", Context{ReplicaCount: 2, Residence: 20, HolderResidence: 10}, 2.0 / 3},
+		{"we are thrashing", Context{ReplicaCount: 2, Residence: 0, HolderResidence: 10}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Evaluate(tc.ctx).DsCC; math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("DsCC = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExpectedResidence(t *testing.T) {
+	if !math.IsInf(ExpectedResidence(0, 100), 1) {
+		t.Fatal("unlimited cache should have infinite residence")
+	}
+	if !math.IsInf(ExpectedResidence(1000, 0), 1) {
+		t.Fatal("unpressured cache should have infinite residence")
+	}
+	if got := ExpectedResidence(1000, 50); got != 20 {
+		t.Fatalf("residence = %v, want 20", got)
+	}
+}
+
+// The headline behaviours of Figure 7: with DsCC off and equal weights, a
+// rarely-updated average document is stored, and the same document under
+// heavy updates with existing replicas is not.
+func TestUtilityFigure7Behaviour(t *testing.T) {
+	u, err := NewUtility(EqualOn(true, true, true, false), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowUpd := Context{
+		CloudLookupRate: 10, CloudUpdateRate: 0.1,
+		LocalAccessRate: 1, MeanLocalRate: 1,
+		ReplicaCount: 2,
+	}
+	if d := u.ShouldStore(lowUpd); !d.Store {
+		t.Fatalf("low-update doc rejected: %+v", d)
+	}
+	highUpd := lowUpd
+	highUpd.CloudUpdateRate = 50
+	if d := u.ShouldStore(highUpd); d.Store {
+		t.Fatalf("update-dominated replicated doc stored: %+v", d)
+	}
+	// The first copy of even a heavily-updated document is still stored
+	// (DAC=1 rescues it), so the cloud always keeps at least some copy.
+	first := highUpd
+	first.ReplicaCount = 0
+	if d := u.ShouldStore(first); !d.Store {
+		t.Fatalf("first copy rejected: %+v", d)
+	}
+}
+
+// Utility decreases monotonically in update rate and in replica count.
+func TestUtilityMonotonicity(t *testing.T) {
+	u, err := NewUtility(EqualOn(true, true, true, true), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Context{
+		CloudLookupRate: 10, LocalAccessRate: 2, MeanLocalRate: 2,
+		ReplicaCount: 1, Residence: 100, HolderResidence: 100,
+	}
+	prev := math.Inf(1)
+	for upd := 0.0; upd <= 100; upd += 10 {
+		ctx := base
+		ctx.CloudUpdateRate = upd
+		v := u.ShouldStore(ctx).Utility
+		if v > prev {
+			t.Fatalf("utility not monotone in update rate at %v: %v > %v", upd, v, prev)
+		}
+		prev = v
+	}
+	prev = math.Inf(1)
+	for reps := 0; reps < 10; reps++ {
+		ctx := base
+		ctx.ReplicaCount = reps
+		v := u.ShouldStore(ctx).Utility
+		if v > prev {
+			t.Fatalf("utility not monotone in replicas at %d: %v > %v", reps, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Property: utility is always within [0,1] for non-negative inputs, and
+// components are each within [0,1].
+func TestUtilityBoundsProperty(t *testing.T) {
+	u, err := NewUtility(Weights{CMC: 1, AFC: 2, DAC: 3, DsCC: 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(lr, ur, la, ml, res, hres float64, reps uint8) bool {
+		abs := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Abs(v)
+		}
+		ctx := Context{
+			CloudLookupRate: abs(lr), CloudUpdateRate: abs(ur),
+			LocalAccessRate: abs(la), MeanLocalRate: abs(ml),
+			Residence: abs(res), HolderResidence: abs(hres),
+			ReplicaCount: int(reps % 32),
+		}
+		d := u.ShouldStore(ctx)
+		inUnit := func(v float64) bool { return v >= 0 && v <= 1 && !math.IsNaN(v) }
+		return inUnit(d.Utility) && inUnit(d.Components.CMC) &&
+			inUnit(d.Components.AFC) && inUnit(d.Components.DAC) &&
+			inUnit(d.Components.DsCC)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

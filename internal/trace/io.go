@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cachecloud/internal/document"
+)
+
+// The trace file format is line-oriented text, mirroring the paper's setup
+// of separate request and update trace files folded into one stream:
+//
+//	# comment
+//	T <duration>
+//	D <url> <size>          catalog entry
+//	R <time> <cache> <url>  request event
+//	U <time> <url>          update event
+//
+// Events must be non-decreasing in time; Write emits them in stream order.
+
+// Write serialises the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# cachecloud trace: %d docs, %d events\n", len(t.Docs), len(t.Events)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "T %d\n", t.Duration); err != nil {
+		return err
+	}
+	for _, d := range t.Docs {
+		if _, err := fmt.Fprintf(bw, "D %s %d\n", d.URL, d.Size); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.Events {
+		var err error
+		switch e.Kind {
+		case Request:
+			_, err = fmt.Fprintf(bw, "R %d %s %s\n", e.Time, e.Cache, e.URL)
+		case Update:
+			_, err = fmt.Fprintf(bw, "U %d %s\n", e.Time, e.URL)
+		default:
+			err = fmt.Errorf("trace: unknown event kind %d", e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseError reports a malformed trace line.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// Read parses a trace previously produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	t := &Trace{}
+	lineNo := 0
+	var lastTime int64
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		perr := func(msg string) error { return &ParseError{Line: lineNo, Text: line, Msg: msg} }
+		switch fields[0] {
+		case "T":
+			if len(fields) != 2 {
+				return nil, perr("T needs 1 field")
+			}
+			d, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, perr("bad duration")
+			}
+			t.Duration = d
+		case "D":
+			if len(fields) != 3 {
+				return nil, perr("D needs 2 fields")
+			}
+			size, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || size < 0 {
+				return nil, perr("bad size")
+			}
+			t.Docs = append(t.Docs, document.Document{URL: fields[1], Size: size, Version: 1})
+		case "R":
+			if len(fields) != 4 {
+				return nil, perr("R needs 3 fields")
+			}
+			tm, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, perr("bad time")
+			}
+			if tm < lastTime {
+				return nil, perr("events out of order")
+			}
+			lastTime = tm
+			t.Events = append(t.Events, Event{Time: tm, Kind: Request, Cache: fields[2], URL: fields[3]})
+		case "U":
+			if len(fields) != 3 {
+				return nil, perr("U needs 2 fields")
+			}
+			tm, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, perr("bad time")
+			}
+			if tm < lastTime {
+				return nil, perr("events out of order")
+			}
+			lastTime = tm
+			t.Events = append(t.Events, Event{Time: tm, Kind: Update, URL: fields[2]})
+		default:
+			return nil, perr("unknown record type")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return t, nil
+}

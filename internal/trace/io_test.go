@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := GenerateZipf(ZipfConfig{Seed: 11, Duration: 4, NumDocs: 50, Caches: 3, ReqPerCache: 4, UpdatesPerUnit: 3})
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tr.Duration {
+		t.Fatalf("duration %d != %d", got.Duration, tr.Duration)
+	}
+	if len(got.Docs) != len(tr.Docs) {
+		t.Fatalf("docs %d != %d", len(got.Docs), len(tr.Docs))
+	}
+	for i := range tr.Docs {
+		if got.Docs[i].URL != tr.Docs[i].URL || got.Docs[i].Size != tr.Docs[i].Size {
+			t.Fatalf("doc %d mismatch: %v vs %v", i, got.Docs[i], tr.Docs[i])
+		}
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events %d != %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mismatch: %v vs %v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# hello\n\nT 10\nD http://a/1 100\nR 0 cache-00 http://a/1\nU 1 http://a/1\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration != 10 || len(tr.Docs) != 1 || len(tr.Events) != 2 {
+		t.Fatalf("parsed %+v", tr)
+	}
+	if tr.Events[1].Kind != Update {
+		t.Fatal("second event should be update")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown record", "X 1 2\n"},
+		{"bad duration", "T abc\n"},
+		{"short D", "D onlyurl\n"},
+		{"bad size", "D u notanint\n"},
+		{"negative size", "D u -5\n"},
+		{"short R", "R 0 cache\n"},
+		{"bad R time", "R x cache u\n"},
+		{"short U", "U 0\n"},
+		{"bad U time", "U x u\n"},
+		{"out of order", "R 5 c u\nU 3 u\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Read(%q) succeeded, want error", tc.in)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+		})
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Read(strings.NewReader("T 1\nX bad\n"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("message %q lacks line number", pe.Error())
+	}
+}
+
+func TestWriteRejectsUnknownKind(t *testing.T) {
+	tr := &Trace{Events: []Event{{Kind: EventKind(99)}}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err == nil {
+		t.Fatal("Write accepted unknown event kind")
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Stats summarises a trace the way workload-characterisation sections of
+// caching papers do: request/update volumes, skew (top-k mass and a
+// fitted Zipf exponent), update concentration, working-set and size
+// statistics. Produced by Analyze; printed by tracegen -stats.
+type Stats struct {
+	Docs     int
+	Duration int64
+
+	Requests       int64
+	Updates        int64
+	ReqPerUnit     float64
+	UpdPerUnit     float64
+	DistinctReq    int     // distinct documents requested
+	DistinctUpd    int     // distinct documents updated
+	Top1ReqShare   float64 // fraction of requests to the hottest document
+	Top10ReqShare  float64
+	Top1PctShare   float64 // fraction of requests to the hottest 1% of docs
+	Top1UpdShare   float64
+	FittedZipf     float64 // least-squares Zipf exponent over the head
+	MeanDocBytes   float64
+	MedianDocBytes int64
+	MaxDocBytes    int64
+	CorpusBytes    int64
+
+	// PeakToTroughReq is the ratio of the busiest to the quietest unit's
+	// request count (diurnal variation).
+	PeakToTroughReq float64
+}
+
+// Analyze computes trace statistics.
+func Analyze(t *Trace) Stats {
+	s := Stats{Docs: len(t.Docs), Duration: t.Duration}
+	reqCounts := make(map[string]int64)
+	updCounts := make(map[string]int64)
+	perUnit := make(map[int64]int64)
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case Request:
+			s.Requests++
+			reqCounts[ev.URL]++
+			perUnit[ev.Time]++
+		case Update:
+			s.Updates++
+			updCounts[ev.URL]++
+		}
+	}
+	s.DistinctReq = len(reqCounts)
+	s.DistinctUpd = len(updCounts)
+	if t.Duration > 0 {
+		s.ReqPerUnit = float64(s.Requests) / float64(t.Duration)
+		s.UpdPerUnit = float64(s.Updates) / float64(t.Duration)
+	}
+
+	reqSorted := sortedCounts(reqCounts)
+	updSorted := sortedCounts(updCounts)
+	s.Top1ReqShare = topShare(reqSorted, s.Requests, 1)
+	s.Top10ReqShare = topShare(reqSorted, s.Requests, 10)
+	onePct := len(reqSorted) / 100
+	if onePct < 1 {
+		onePct = 1
+	}
+	s.Top1PctShare = topShare(reqSorted, s.Requests, onePct)
+	s.Top1UpdShare = topShare(updSorted, s.Updates, 1)
+	s.FittedZipf = fitZipf(reqSorted)
+
+	if len(t.Docs) > 0 {
+		sizes := make([]int64, len(t.Docs))
+		for i, d := range t.Docs {
+			sizes[i] = d.Size
+			s.CorpusBytes += d.Size
+			if d.Size > s.MaxDocBytes {
+				s.MaxDocBytes = d.Size
+			}
+		}
+		s.MeanDocBytes = float64(s.CorpusBytes) / float64(len(t.Docs))
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		s.MedianDocBytes = sizes[len(sizes)/2]
+	}
+
+	minU, maxU := int64(math.MaxInt64), int64(0)
+	for _, c := range perUnit {
+		if c < minU {
+			minU = c
+		}
+		if c > maxU {
+			maxU = c
+		}
+	}
+	if minU > 0 && maxU > 0 && minU != math.MaxInt64 {
+		s.PeakToTroughReq = float64(maxU) / float64(minU)
+	}
+	return s
+}
+
+func sortedCounts(m map[string]int64) []int64 {
+	out := make([]int64, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+func topShare(sorted []int64, total int64, k int) float64 {
+	if total == 0 || len(sorted) == 0 {
+		return 0
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	var sum int64
+	for _, c := range sorted[:k] {
+		sum += c
+	}
+	return float64(sum) / float64(total)
+}
+
+// fitZipf estimates the Zipf exponent by least squares on
+// log(count) = -alpha·log(rank) + c over the head of the distribution
+// (up to 1000 ranks). Returns 0 for degenerate inputs.
+func fitZipf(sorted []int64) float64 {
+	n := len(sorted)
+	if n > 1000 {
+		n = 1000
+	}
+	if n < 10 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	m := 0
+	for i := 0; i < n; i++ {
+		if sorted[i] <= 0 {
+			break
+		}
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(sorted[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		m++
+	}
+	if m < 10 {
+		return 0
+	}
+	fm := float64(m)
+	den := fm*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	slope := (fm*sxy - sx*sy) / den
+	return -slope
+}
+
+// Format writes the statistics as text.
+func (s Stats) Format(w io.Writer) {
+	fmt.Fprintf(w, "documents:       %d (%.1f MB corpus, mean %.0f B, median %d B, max %d B)\n",
+		s.Docs, float64(s.CorpusBytes)/(1<<20), s.MeanDocBytes, s.MedianDocBytes, s.MaxDocBytes)
+	fmt.Fprintf(w, "duration:        %d units\n", s.Duration)
+	fmt.Fprintf(w, "requests:        %d (%.1f/unit, %d distinct docs)\n", s.Requests, s.ReqPerUnit, s.DistinctReq)
+	fmt.Fprintf(w, "updates:         %d (%.1f/unit, %d distinct docs)\n", s.Updates, s.UpdPerUnit, s.DistinctUpd)
+	fmt.Fprintf(w, "request skew:    top-1 %.2f%%, top-10 %.2f%%, top-1%% of docs %.1f%%, fitted Zipf %.2f\n",
+		100*s.Top1ReqShare, 100*s.Top10ReqShare, 100*s.Top1PctShare, s.FittedZipf)
+	fmt.Fprintf(w, "update skew:     top-1 %.2f%%\n", 100*s.Top1UpdShare)
+	fmt.Fprintf(w, "peak/trough:     %.2f (requests per unit)\n", s.PeakToTroughReq)
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cachecloud/internal/document"
+)
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	s := Analyze(&Trace{})
+	if s.Requests != 0 || s.Updates != 0 || s.FittedZipf != 0 || s.PeakToTroughReq != 0 {
+		t.Fatalf("empty-trace stats %+v", s)
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	tr := &Trace{
+		Docs: []document.Document{
+			{URL: "a", Size: 100}, {URL: "b", Size: 300}, {URL: "c", Size: 200},
+		},
+		Duration: 10,
+		Events: []trEvent{
+			{Time: 0, Kind: Request, Cache: "c0", URL: "a"},
+			{Time: 0, Kind: Request, Cache: "c0", URL: "a"},
+			{Time: 1, Kind: Request, Cache: "c1", URL: "b"},
+			{Time: 2, Kind: Update, URL: "a"},
+		},
+	}
+	s := Analyze(tr)
+	if s.Requests != 3 || s.Updates != 1 {
+		t.Fatalf("counts %+v", s)
+	}
+	if s.DistinctReq != 2 || s.DistinctUpd != 1 {
+		t.Fatalf("distinct %+v", s)
+	}
+	if math.Abs(s.Top1ReqShare-2.0/3) > 1e-9 {
+		t.Fatalf("top1 share = %v", s.Top1ReqShare)
+	}
+	if s.Top1UpdShare != 1 {
+		t.Fatalf("top1 upd share = %v", s.Top1UpdShare)
+	}
+	if s.CorpusBytes != 600 || s.MedianDocBytes != 200 || s.MaxDocBytes != 300 {
+		t.Fatalf("sizes %+v", s)
+	}
+	if s.ReqPerUnit != 0.3 {
+		t.Fatalf("req/unit = %v", s.ReqPerUnit)
+	}
+}
+
+// trEvent aliases Event for brevity in literals.
+type trEvent = Event
+
+// The fitted Zipf exponent on a generated Zipf trace should land near the
+// generator's alpha.
+func TestAnalyzeFittedZipf(t *testing.T) {
+	tr := GenerateZipf(ZipfConfig{
+		Seed: 13, NumDocs: 20000, Alpha: 0.9, Caches: 10,
+		Duration: 60, ReqPerCache: 100, UpdatesPerUnit: 10,
+	})
+	s := Analyze(tr)
+	if s.FittedZipf < 0.7 || s.FittedZipf > 1.1 {
+		t.Fatalf("fitted Zipf = %.2f, want ≈0.9", s.FittedZipf)
+	}
+}
+
+func TestAnalyzeDiurnalVariation(t *testing.T) {
+	tr := GenerateSydney(SydneyConfig{
+		Seed: 2, NumDocs: 2000, Caches: 4, Duration: 240,
+		PeakReqPerCache: 30, UpdatesPerUnit: 5,
+	})
+	s := Analyze(tr)
+	if s.PeakToTroughReq < 2 {
+		t.Fatalf("peak/trough = %.2f, want diurnal variation >= 2", s.PeakToTroughReq)
+	}
+}
+
+func TestStatsFormat(t *testing.T) {
+	tr := GenerateZipf(ZipfConfig{Seed: 1, NumDocs: 500, Caches: 2, Duration: 20, ReqPerCache: 10, UpdatesPerUnit: 5})
+	var buf bytes.Buffer
+	Analyze(tr).Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"documents:", "requests:", "updates:", "request skew:", "peak/trough:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFitZipfDegenerate(t *testing.T) {
+	if got := fitZipf(nil); got != 0 {
+		t.Fatalf("fitZipf(nil) = %v", got)
+	}
+	if got := fitZipf([]int64{5, 4, 3}); got != 0 {
+		t.Fatalf("fitZipf(short) = %v", got)
+	}
+	// Uniform counts → exponent ≈ 0.
+	uniform := make([]int64, 200)
+	for i := range uniform {
+		uniform[i] = 50
+	}
+	if got := fitZipf(uniform); math.Abs(got) > 0.01 {
+		t.Fatalf("fitZipf(uniform) = %v, want ≈0", got)
+	}
+}

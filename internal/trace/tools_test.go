@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"cachecloud/internal/document"
+)
+
+func toyTrace(urlPrefix string, dur int64) *Trace {
+	t := &Trace{Duration: dur}
+	for i := 0; i < 3; i++ {
+		t.Docs = append(t.Docs, document.Document{URL: urlPrefix + string(rune('a'+i)), Size: 10})
+	}
+	for tu := int64(0); tu < dur; tu++ {
+		t.Events = append(t.Events,
+			Event{Time: tu, Kind: Request, Cache: "c0", URL: t.Docs[0].URL},
+			Event{Time: tu, Kind: Update, URL: t.Docs[1].URL},
+		)
+	}
+	return t
+}
+
+func TestMerge(t *testing.T) {
+	a, b := toyTrace("a-", 3), toyTrace("b-", 5)
+	m := Merge(a, b, nil)
+	if len(m.Docs) != 6 {
+		t.Fatalf("docs = %d", len(m.Docs))
+	}
+	if m.Duration != 5 {
+		t.Fatalf("duration = %d", m.Duration)
+	}
+	if len(m.Events) != len(a.Events)+len(b.Events) {
+		t.Fatalf("events = %d", len(m.Events))
+	}
+	last := int64(0)
+	for _, ev := range m.Events {
+		if ev.Time < last {
+			t.Fatal("merged events out of order")
+		}
+		last = ev.Time
+	}
+	// Duplicate catalog entries collapse.
+	m2 := Merge(a, a)
+	if len(m2.Docs) != 3 {
+		t.Fatalf("duplicate merge docs = %d", len(m2.Docs))
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := toyTrace("s-", 10)
+	s, err := tr.Slice(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration != 3 {
+		t.Fatalf("duration = %d", s.Duration)
+	}
+	if len(s.Events) != 6 {
+		t.Fatalf("events = %d", len(s.Events))
+	}
+	for _, ev := range s.Events {
+		if ev.Time < 0 || ev.Time >= 3 {
+			t.Fatalf("event not rebased: %+v", ev)
+		}
+	}
+	if _, err := tr.Slice(5, 5); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if _, err := tr.Slice(-1, 3); err == nil {
+		t.Fatal("negative slice accepted")
+	}
+}
+
+func TestFilterKind(t *testing.T) {
+	tr := toyTrace("f-", 4)
+	reqs := tr.FilterKind(Request)
+	if len(reqs.Events) != 4 {
+		t.Fatalf("requests = %d", len(reqs.Events))
+	}
+	for _, ev := range reqs.Events {
+		if ev.Kind != Request {
+			t.Fatal("non-request survived filter")
+		}
+	}
+	if got := tr.FilterKind(Update).NumUpdates(); got != 4 {
+		t.Fatalf("updates = %d", got)
+	}
+}
+
+func TestScaleUpdates(t *testing.T) {
+	tr := toyTrace("u-", 100) // 100 requests + 100 updates
+
+	double, err := tr.ScaleUpdates(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.NumUpdates() != 200 || double.NumRequests() != 100 {
+		t.Fatalf("x2: %d upd / %d req", double.NumUpdates(), double.NumRequests())
+	}
+
+	half, err := tr.ScaleUpdates(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(half.NumUpdates())-50) > 2 {
+		t.Fatalf("x0.5: %d updates, want ≈50", half.NumUpdates())
+	}
+	if half.NumRequests() != 100 {
+		t.Fatal("requests must be untouched")
+	}
+
+	x15, err := tr.ScaleUpdates(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(x15.NumUpdates())-150) > 2 {
+		t.Fatalf("x1.5: %d updates, want ≈150", x15.NumUpdates())
+	}
+
+	if _, err := tr.ScaleUpdates(0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}
