@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures figures-fast examples clean
+.PHONY: all build vet test race bench bench-json figures figures-fast examples clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 # Full benchmark sweep: figure reproductions, ablations, micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark report: every figure's series plus hot-path
+# micro-benchmark timings (ns/op, allocs/op), written to BENCH_1.json.
+bench-json:
+	$(GO) run ./cmd/cloudsim -all -json -microbench -scale 0.08 > BENCH_1.json
 
 # Reproduce every paper figure at full scale (several minutes).
 figures:

@@ -260,6 +260,24 @@ func BenchmarkAblationRecordReplication(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSweep measures the parallel experiment engine on the
+// Figure 6 sweep (22 independent simulation runs) at 1, 2 and 4 workers.
+// The speedup is hardware-dependent — it needs free CPU cores — but the
+// results are byte-identical at every worker count (see
+// internal/experiments TestParallelMatchesSequential).
+func BenchmarkParallelSweep(b *testing.B) {
+	const sweepScale = 0.05
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.NewRunner(workers).Figure6(sweepScale, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks on the hot paths ---
 
 func BenchmarkHashURL(b *testing.B) {
@@ -277,6 +295,11 @@ func BenchmarkZipfSample(b *testing.B) {
 	}
 }
 
+// BenchmarkCloudLookup measures beacon lookups with populated holder lists
+// through both entry points: the string-URL path (hashes the URL and
+// defensively copies the holders on every call) and the hash-keyed hot path
+// the simulator uses (precomputed hash, alias-returned holders — the
+// allocation-free fast path).
 func BenchmarkCloudLookup(b *testing.B) {
 	cloud, err := core.New(core.Config{NumRings: 5, IntraGen: 1000, FineGrained: true},
 		trace.CacheNames(10), nil)
@@ -284,15 +307,35 @@ func BenchmarkCloudLookup(b *testing.B) {
 		b.Fatal(err)
 	}
 	urls := make([]string, 1024)
+	hashes := make([]document.Hash, len(urls))
 	for i := range urls {
-		urls[i] = fmt.Sprintf("http://site/doc/%d", i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := cloud.Lookup(urls[i%len(urls)], int64(i)); err != nil {
-			b.Fatal(err)
+		urls[i] = fmt.Sprintf("http://site.example.com/docs/dynamic/page-%04d.html", i)
+		hashes[i] = document.HashURL(urls[i])
+		for _, id := range trace.CacheNames(10)[:3] {
+			if err := cloud.RegisterHolder(urls[i], id); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	b.Run("url", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(urls)), "docs/op")
+		for i := 0; i < b.N; i++ {
+			if _, err := cloud.Lookup(urls[i%len(urls)], int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(urls)), "docs/op")
+		for i := 0; i < b.N; i++ {
+			j := i % len(urls)
+			if _, err := cloud.LookupHash(urls[j], hashes[j], int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkCacheGetPut(b *testing.B) {
@@ -344,6 +387,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		Duration: 60, ReqPerCache: 30, UpdatesPerUnit: 60,
 	})
 	events := float64(len(tr.Events))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.Config{Arch: sim.DynamicHashing, NumRings: 5}, tr); err != nil {
@@ -351,6 +395,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(len(tr.Docs)), "docs/op")
 }
 
 // BenchmarkUtilityEvaluate measures one placement decision.

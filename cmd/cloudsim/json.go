@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"cachecloud/internal/core"
+	"cachecloud/internal/document"
+	"cachecloud/internal/experiments"
+	"cachecloud/internal/placement"
+	"cachecloud/internal/sim"
+	"cachecloud/internal/trace"
+)
+
+// report is the -json output shape. Figures maps experiment names to the
+// result structs of internal/experiments (whose exported fields carry the
+// plotted series); Benchmarks carries hot-path micro-benchmark timings.
+type report struct {
+	Schema     string                 `json:"schema"`
+	Scale      float64                `json:"scale"`
+	Seed       int64                  `json:"seed"`
+	Workers    int                    `json:"workers"`
+	Figures    map[string]any         `json:"figures"`
+	Benchmarks map[string]benchResult `json:"benchmarks,omitempty"`
+}
+
+// benchResult is one micro-benchmark's timings in testing.Benchmark units.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+const reportSchema = "cachecloud-bench/v1"
+
+// writeJSON runs the named experiments on the runner and writes the JSON
+// report to stdout.
+func writeJSON(r *experiments.Runner, names []string, scale float64, seed int64, microbench bool) error {
+	rep := report{
+		Schema:  reportSchema,
+		Scale:   scale,
+		Seed:    seed,
+		Workers: r.Workers(),
+		Figures: make(map[string]any, len(names)),
+	}
+	for _, name := range names {
+		res, err := r.Result(name, scale, seed)
+		if err != nil {
+			return err
+		}
+		rep.Figures[name] = res
+	}
+	if microbench {
+		rep.Benchmarks = microBenchmarks(seed)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// microBenchmarks times the protocol hot paths with testing.Benchmark:
+// URL hashing, beacon lookups through the string and the hash-keyed entry
+// points, and whole-simulator event processing (reported per event).
+func microBenchmarks(seed int64) map[string]benchResult {
+	out := make(map[string]benchResult)
+	record := func(name string, res testing.BenchmarkResult, opsPerIter int64) {
+		if opsPerIter < 1 {
+			opsPerIter = 1
+		}
+		out[name] = benchResult{
+			NsPerOp:     float64(res.NsPerOp()) / float64(opsPerIter),
+			AllocsPerOp: res.AllocsPerOp() / opsPerIter,
+			BytesPerOp:  res.AllocedBytesPerOp() / opsPerIter,
+		}
+	}
+
+	url := "http://bench.example.com/docs/dynamic/page-0042.html"
+	record("hash_url", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = document.HashURL(url)
+		}
+	}), 1)
+
+	cloud := benchCloud(url)
+	h := document.HashURL(url)
+	record("cloud_lookup_hash", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cloud.LookupHash(url, h, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 1)
+	record("cloud_lookup_url", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cloud.Lookup(url, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 1)
+
+	tr := trace.GenerateZipf(trace.ZipfConfig{
+		Seed: seed, NumDocs: 5000, Alpha: 0.9, Caches: 10,
+		Duration: 40, ReqPerCache: 40, UpdatesPerUnit: 50,
+	})
+	record("sim_event", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.Config{
+				Arch: sim.DynamicHashing, NumRings: 5, CycleLength: 10,
+				Policy: placement.AdHoc{}, Seed: seed,
+			}
+			if _, err := sim.Run(cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), int64(len(tr.Events)))
+	return out
+}
+
+// benchCloud builds a 10-cache cloud with three registered holders for the
+// benchmarked URL, matching the repository benchmarks in bench_test.go.
+func benchCloud(url string) *core.Cloud {
+	cloud, err := core.New(core.Config{NumRings: 5, IntraGen: 1000, FineGrained: true},
+		trace.CacheNames(10), nil)
+	if err != nil {
+		panic(fmt.Sprintf("cloudsim: bench cloud: %v", err))
+	}
+	for _, id := range trace.CacheNames(10)[:3] {
+		if err := cloud.RegisterHolder(url, id); err != nil {
+			panic(fmt.Sprintf("cloudsim: bench holder: %v", err))
+		}
+	}
+	return cloud
+}

@@ -7,6 +7,13 @@
 //	cloudsim -fig fig3 [-scale 1] [-seed 1]
 //	cloudsim -all -scale 0.2
 //
+// Experiments fan their independent simulation runs across a worker pool;
+// -workers (or the CACHECLOUD_WORKERS environment variable) sets the pool
+// size, 0 meaning one worker per CPU. Output is byte-identical for every
+// worker count. -json emits the figure series as machine-readable JSON
+// instead of text tables, and -microbench appends micro-benchmark timings
+// of the protocol hot paths to the JSON report.
+//
 // Run a custom simulation over a generated trace file:
 //
 //	cloudsim -trace sydney.trace -arch dynamic -rings 5 -policy utility
@@ -46,26 +53,33 @@ func run(args []string) error {
 		ttl       = fs.Int64("ttl", 0, "custom run: TTL consistency in units (0 = server-driven push)")
 		lease     = fs.Int64("lease", 0, "custom run: cooperative-lease duration in units")
 		series    = fs.Bool("series", false, "custom run: print per-unit convergence series")
+		workers   = fs.Int("workers", 0, "parallel runs per experiment (0 = CACHECLOUD_WORKERS or one per CPU)")
+		jsonOut   = fs.Bool("json", false, "emit figure results as JSON instead of text")
+		microb    = fs.Bool("microbench", false, "with -json: include hot-path micro-benchmark timings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	runner := experiments.NewRunner(*workers)
 	switch {
 	case *all:
-		for _, name := range experiments.Names() {
-			if name == "fig8" {
-				continue // fig7 prints the shared sweep
-			}
+		if *jsonOut {
+			return writeJSON(runner, figureNames(), *scale, *seed, *microb)
+		}
+		for _, name := range figureNames() {
 			fmt.Printf("=== %s ===\n", name)
-			if err := experiments.Run(name, *scale, *seed, os.Stdout); err != nil {
+			if err := runner.Run(name, *scale, *seed, os.Stdout); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 		return nil
 	case *fig != "":
-		return experiments.Run(*fig, *scale, *seed, os.Stdout)
+		if *jsonOut {
+			return writeJSON(runner, []string{*fig}, *scale, *seed, *microb)
+		}
+		return runner.Run(*fig, *scale, *seed, os.Stdout)
 	case *traceFile != "":
 		return customRun(customOpts{
 			traceFile: *traceFile, arch: *arch, policy: *policy, rings: *rings,
@@ -75,6 +89,19 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("nothing to do: pass -fig, -all or -trace (experiments: %v)", experiments.Names())
 	}
+}
+
+// figureNames lists the experiments -all runs: every name except fig8,
+// whose sweep fig7 already covers.
+func figureNames() []string {
+	var names []string
+	for _, name := range experiments.Names() {
+		if name == "fig8" {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names
 }
 
 // customOpts bundles the custom-run flags.

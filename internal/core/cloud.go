@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"cachecloud/internal/cache"
@@ -62,35 +63,65 @@ type Config struct {
 	Replacement cache.ReplacementKind
 }
 
-// record is the beacon-side lookup record for one document.
+// record is the beacon-side lookup record for one document. The document
+// hash is cached here so migrations and replica management never re-hash the
+// URL, and the holder list is an insertion-ordered slice: holder sets are
+// small (bounded by the cloud size), membership checks are a short linear
+// scan, and — unlike a map — iteration order is deterministic, which keeps
+// whole simulation runs reproducible.
 type record struct {
-	holders    map[string]struct{}
+	hash       document.Hash
+	holders    []string
 	version    document.Version
 	lookupRate *loadstats.EWRate // cloud-wide lookups for this document
 	updateRate *loadstats.EWRate // updates for this document
 }
 
-func newRecord() *record {
+func newRecord(h document.Hash) *record {
 	return &record{
-		holders:    make(map[string]struct{}),
+		hash:       h,
 		lookupRate: loadstats.NewEWRate(monitorHalfLife),
 		updateRate: loadstats.NewEWRate(monitorHalfLife),
 	}
 }
 
-func (r *record) holderList() []string {
-	out := make([]string, 0, len(r.holders))
-	for h := range r.holders {
-		out = append(out, h)
+func (r *record) hasHolder(id string) bool {
+	for _, h := range r.holders {
+		if h == id {
+			return true
+		}
 	}
+	return false
+}
+
+func (r *record) addHolder(id string) {
+	if !r.hasHolder(id) {
+		r.holders = append(r.holders, id)
+	}
+}
+
+func (r *record) removeHolder(id string) {
+	for i, h := range r.holders {
+		if h == id {
+			r.holders = append(r.holders[:i], r.holders[i+1:]...)
+			return
+		}
+	}
+}
+
+// holderList returns a defensive copy of the holder list.
+func (r *record) holderList() []string {
+	if len(r.holders) == 0 {
+		return nil
+	}
+	out := make([]string, len(r.holders))
+	copy(out, r.holders)
 	return out
 }
 
 func (r *record) clone() *record {
-	c := newRecord()
-	for h := range r.holders {
-		c.holders[h] = struct{}{}
-	}
+	c := newRecord(r.hash)
+	c.holders = r.holderList()
 	c.version = r.version
 	return c
 }
@@ -185,7 +216,9 @@ func (c *Cloud) Cache(id string) *cache.Cache {
 	return c.caches[id]
 }
 
-// CacheIDs returns the IDs of all member caches (unordered).
+// CacheIDs returns the IDs of all member caches in sorted order, so
+// consumers that fold floating-point quantities over the membership get the
+// same summation order — and therefore bit-identical results — on every run.
 func (c *Cloud) CacheIDs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -193,6 +226,7 @@ func (c *Cloud) CacheIDs() []string {
 	for id := range c.caches {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -202,13 +236,17 @@ func (c *Cloud) NumRings() int { return c.cfg.NumRings }
 // BeaconFor resolves a document's beacon point with the two-step process:
 // static hash to a ring, intra-ring hash to a beacon point.
 func (c *Cloud) BeaconFor(url string) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.beaconForLocked(url)
+	return c.BeaconForHash(document.HashURL(url))
 }
 
-func (c *Cloud) beaconForLocked(url string) (string, error) {
-	h := document.HashURL(url)
+// BeaconForHash is BeaconFor for a precomputed document hash.
+func (c *Cloud) BeaconForHash(h document.Hash) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.beaconForHashLocked(h)
+}
+
+func (c *Cloud) beaconForHashLocked(h document.Hash) (string, error) {
 	rg := c.rings[h.RingIndex(len(c.rings))]
 	return rg.BeaconFor(h.IrH(rg.IntraGen()))
 }
@@ -227,32 +265,49 @@ type LookupResult struct {
 // Lookup runs the document lookup protocol: it resolves the beacon point,
 // records the lookup load on the owning ring (for sub-range determination)
 // and on the beacon's lifetime counters (for the evaluation figures), and
-// returns the current holders.
+// returns the current holders. The returned holder list is a copy the
+// caller owns; the simulator's hot path uses LookupHash instead, which
+// avoids both the re-hash and the defensive copy.
 func (c *Cloud) Lookup(url string, now int64) (LookupResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	beacon, err := c.recordOp(url, loadstats.Lookup)
+	res, err := c.lookupHashLocked(url, document.HashURL(url), now)
 	if err != nil {
-		return LookupResult{}, err
+		return res, err
 	}
-	res := LookupResult{Beacon: beacon}
-	if rec, ok := c.records[beacon][url]; ok {
-		rec.lookupRate.Observe(now, 1)
-		res.Holders = rec.holderList()
-		res.Version = rec.version
-	} else {
-		// Create the record so monitoring starts with the first lookup.
-		rec = newRecord()
-		rec.lookupRate.Observe(now, 1)
-		c.records[beacon][url] = rec
-	}
+	res.Holders = append([]string(nil), res.Holders...)
 	return res, nil
 }
 
-// recordOp resolves the beacon for url and charges one load unit of the
-// given kind. Caller holds the lock.
-func (c *Cloud) recordOp(url string, kind loadstats.Kind) (string, error) {
-	h := document.HashURL(url)
+// LookupHash is Lookup for a precomputed document hash — the simulator's
+// hot path. To avoid an allocation per lookup the returned Holders slice
+// aliases the beacon's internal record: it is valid only until the next
+// mutating call on the cloud and must not be modified. Concurrent callers
+// should use Lookup, which returns a private copy.
+func (c *Cloud) LookupHash(url string, h document.Hash, now int64) (LookupResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupHashLocked(url, h, now)
+}
+
+func (c *Cloud) lookupHashLocked(url string, h document.Hash, now int64) (LookupResult, error) {
+	beacon, err := c.recordOp(h, loadstats.Lookup)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	rec, ok := c.records[beacon][url]
+	if !ok {
+		// Create the record so monitoring starts with the first lookup.
+		rec = newRecord(h)
+		c.records[beacon][url] = rec
+	}
+	rec.lookupRate.Observe(now, 1)
+	return LookupResult{Beacon: beacon, Holders: rec.holders, Version: rec.version}, nil
+}
+
+// recordOp resolves the beacon for a document hash and charges one load
+// unit of the given kind. Caller holds the lock.
+func (c *Cloud) recordOp(h document.Hash, kind loadstats.Kind) (string, error) {
 	rg := c.rings[h.RingIndex(len(c.rings))]
 	irh := h.IrH(rg.IntraGen())
 	beacon, err := rg.BeaconFor(irh)
@@ -269,35 +324,45 @@ func (c *Cloud) recordOp(url string, kind loadstats.Kind) (string, error) {
 // RegisterHolder adds a cache to the document's holder list at its beacon
 // point. Typically called after a placement decision stores a copy.
 func (c *Cloud) RegisterHolder(url, cacheID string) error {
+	return c.RegisterHolderHash(url, document.HashURL(url), cacheID)
+}
+
+// RegisterHolderHash is RegisterHolder for a precomputed document hash.
+func (c *Cloud) RegisterHolderHash(url string, h document.Hash, cacheID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.caches[cacheID]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCache, cacheID)
 	}
-	beacon, err := c.beaconForLocked(url)
+	beacon, err := c.beaconForHashLocked(h)
 	if err != nil {
 		return err
 	}
 	rec, ok := c.records[beacon][url]
 	if !ok {
-		rec = newRecord()
+		rec = newRecord(h)
 		c.records[beacon][url] = rec
 	}
-	rec.holders[cacheID] = struct{}{}
+	rec.addHolder(cacheID)
 	return nil
 }
 
 // DeregisterHolder removes a cache from the document's holder list (after
 // an eviction).
 func (c *Cloud) DeregisterHolder(url, cacheID string) error {
+	return c.DeregisterHolderHash(url, document.HashURL(url), cacheID)
+}
+
+// DeregisterHolderHash is DeregisterHolder for a precomputed document hash.
+func (c *Cloud) DeregisterHolderHash(url string, h document.Hash, cacheID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	beacon, err := c.beaconForLocked(url)
+	beacon, err := c.beaconForHashLocked(h)
 	if err != nil {
 		return err
 	}
 	if rec, ok := c.records[beacon][url]; ok {
-		delete(rec.holders, cacheID)
+		rec.removeHolder(cacheID)
 	}
 	return nil
 }
@@ -308,7 +373,7 @@ func (c *Cloud) DeregisterHolder(url, cacheID string) error {
 func (c *Cloud) Holders(url string) []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	beacon, err := c.beaconForLocked(url)
+	beacon, err := c.beaconForHashLocked(document.HashURL(url))
 	if err != nil {
 		return nil
 	}
@@ -335,15 +400,20 @@ type UpdateResult struct {
 // distributes the new version to every cache currently holding the
 // document.
 func (c *Cloud) Update(doc document.Document, now int64) (UpdateResult, error) {
+	return c.UpdateHash(doc, document.HashURL(doc.URL), now)
+}
+
+// UpdateHash is Update for a precomputed document hash.
+func (c *Cloud) UpdateHash(doc document.Document, h document.Hash, now int64) (UpdateResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	beacon, err := c.recordOp(doc.URL, loadstats.Update)
+	beacon, err := c.recordOp(h, loadstats.Update)
 	if err != nil {
 		return UpdateResult{}, err
 	}
 	rec, ok := c.records[beacon][doc.URL]
 	if !ok {
-		rec = newRecord()
+		rec = newRecord(h)
 		c.records[beacon][doc.URL] = rec
 	}
 	rec.updateRate.Observe(now, 1)
@@ -351,20 +421,21 @@ func (c *Cloud) Update(doc document.Document, now int64) (UpdateResult, error) {
 		rec.version = doc.Version
 	}
 	res := UpdateResult{Beacon: beacon}
-	for holder := range rec.holders {
+	// Filter the holder list in place: holders that no longer exist or no
+	// longer hold the document (stale record) drop out.
+	keep := rec.holders[:0]
+	for _, holder := range rec.holders {
 		hc, ok := c.caches[holder]
 		if !ok {
-			delete(rec.holders, holder)
 			continue
 		}
 		if hc.ApplyUpdate(doc, now) {
 			res.Notified = append(res.Notified, holder)
 			res.FanoutBytes += doc.Size
-		} else {
-			// The cache no longer holds the document (stale record).
-			delete(rec.holders, holder)
+			keep = append(keep, holder)
 		}
 	}
+	rec.holders = keep
 	return res, nil
 }
 
@@ -372,9 +443,14 @@ func (c *Cloud) Update(doc document.Document, now int64) (UpdateResult, error) {
 // update rates for a document — the inputs to the utility placement
 // scheme's consistency-maintenance component.
 func (c *Cloud) DocumentRates(url string, now int64) (lookupRate, updateRate float64) {
+	return c.DocumentRatesHash(url, document.HashURL(url), now)
+}
+
+// DocumentRatesHash is DocumentRates for a precomputed document hash.
+func (c *Cloud) DocumentRatesHash(url string, h document.Hash, now int64) (lookupRate, updateRate float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	beacon, err := c.beaconForLocked(url)
+	beacon, err := c.beaconForHashLocked(h)
 	if err != nil {
 		return 0, 0
 	}
@@ -411,11 +487,11 @@ func (c *Cloud) migrateLocked(ringIdx int, rg *ring.Ring, mv ring.Move) int {
 	}
 	n := 0
 	for url, rec := range src {
-		h := document.HashURL(url)
-		if h.RingIndex(len(c.rings)) != ringIdx {
+		// The record caches its document hash, so migration never re-hashes.
+		if rec.hash.RingIndex(len(c.rings)) != ringIdx {
 			continue
 		}
-		if !mv.Sub.Contains(h.IrH(rg.IntraGen())) {
+		if !mv.Sub.Contains(rec.hash.IrH(rg.IntraGen())) {
 			continue
 		}
 		dst[url] = rec
@@ -514,12 +590,12 @@ func (c *Cloud) RemoveCache(id string, graceful bool) error {
 	// when a later crash promotes them.
 	for _, shard := range c.records {
 		for _, rec := range shard {
-			delete(rec.holders, id)
+			rec.removeHolder(id)
 		}
 	}
 	for _, shard := range c.replicas {
 		for _, rec := range shard {
-			delete(rec.holders, id)
+			rec.removeHolder(id)
 		}
 	}
 	return nil
@@ -565,11 +641,18 @@ func (c *Cloud) BeaconLoads() map[string]int64 {
 }
 
 // LoadDistribution returns the beacon loads as a loadstats.Distribution.
+// Loads are folded in sorted cache-ID order so derived statistics are
+// bit-identical across runs.
 func (c *Cloud) LoadDistribution() loadstats.Distribution {
 	loads := c.BeaconLoads()
-	vals := make([]float64, 0, len(loads))
-	for _, v := range loads {
-		vals = append(vals, float64(v))
+	ids := make([]string, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	vals := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		vals = append(vals, float64(loads[id]))
 	}
 	return loadstats.NewDistribution(vals)
 }

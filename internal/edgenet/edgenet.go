@@ -238,7 +238,7 @@ func (n *Network) Run(tr *trace.Trace) (*Result, error) {
 			}
 		case trace.Update:
 			res.Updates++
-			out, err := n.origin.PublishUpdate(ev.URL, ev.Time)
+			out, err := n.origin.PublishUpdateHash(ev.URL, evHash(ev), ev.Time)
 			if err != nil {
 				return nil, fmt.Errorf("edgenet: publish: %w", err)
 			}
@@ -264,6 +264,15 @@ func (n *Network) Run(tr *trace.Trace) (*Result, error) {
 	return res, nil
 }
 
+// evHash returns the event's interned document hash, computing it on the
+// fly for hand-built traces that never went through EnsureHashes.
+func evHash(ev trace.Event) document.Hash {
+	if ev.Hash != 0 {
+		return ev.Hash
+	}
+	return document.HashURL(ev.URL)
+}
+
 // handleRequest serves one request inside a cloud; reports whether it was
 // served in-network (locally or from a peer).
 func (n *Network) handleRequest(c *core.Cloud, ev trace.Event, rng *rand.Rand, res *Result) (bool, error) {
@@ -272,14 +281,15 @@ func (n *Network) handleRequest(c *core.Cloud, ev trace.Event, rng *rand.Rand, r
 		res.LocalHits++
 		return true, nil
 	}
-	lr, err := c.Lookup(ev.URL, ev.Time)
+	h := evHash(ev)
+	lr, err := c.LookupHash(ev.URL, h, ev.Time)
 	if err != nil {
 		return false, err
 	}
 	holders := make([]string, 0, len(lr.Holders))
-	for _, h := range lr.Holders {
-		if h != ev.Cache {
-			holders = append(holders, h)
+	for _, hd := range lr.Holders {
+		if hd != ev.Cache {
+			holders = append(holders, hd)
 		}
 	}
 	var doc document.Document
@@ -302,7 +312,7 @@ func (n *Network) handleRequest(c *core.Cloud, ev trace.Event, rng *rand.Rand, r
 		res.ServerBytes += doc.Size
 	}
 
-	lookupRate, updateRate := c.DocumentRates(ev.URL, ev.Time)
+	lookupRate, updateRate := c.DocumentRatesHash(ev.URL, h, ev.Time)
 	ctx := placement.Context{
 		Now: ev.Time, CacheID: ev.Cache, DocURL: ev.URL, DocSize: doc.Size,
 		IsBeacon:        lr.Beacon == ev.Cache,
@@ -315,7 +325,7 @@ func (n *Network) handleRequest(c *core.Cloud, ev trace.Event, rng *rand.Rand, r
 	}
 	if n.cfg.Policy.ShouldStore(ctx).Store {
 		if evicted, err := ch.Put(document.Copy{Doc: doc, FetchedAt: ev.Time}, ev.Time); err == nil {
-			if err := c.RegisterHolder(ev.URL, ev.Cache); err != nil {
+			if err := c.RegisterHolderHash(ev.URL, h, ev.Cache); err != nil {
 				return served, err
 			}
 			for _, dead := range evicted {

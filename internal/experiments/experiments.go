@@ -136,41 +136,6 @@ func loadBalanceCfg(arch sim.Architecture, numRings int, tr *trace.Trace, seed i
 	}
 }
 
-// loadBalance runs one static and one dynamic simulation over a trace.
-func loadBalance(dataset string, tr *trace.Trace, numRings int, seed int64) (*LoadBalance, error) {
-	static, err := sim.Run(loadBalanceCfg(sim.StaticHashing, 0, tr, seed), tr)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: static run: %w", err)
-	}
-	dynamic, err := sim.Run(loadBalanceCfg(sim.DynamicHashing, numRings, tr, seed), tr)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: dynamic run: %w", err)
-	}
-	sd, dd := static.LoadPerUnit(), dynamic.LoadPerUnit()
-	return &LoadBalance{
-		Dataset:        dataset,
-		StaticLoads:    sd.Sorted(),
-		DynamicLoads:   dd.Sorted(),
-		StaticCoV:      sd.CoV(),
-		DynamicCoV:     dd.CoV(),
-		StaticMaxMean:  sd.MaxToMean(),
-		DynamicMaxMean: dd.MaxToMean(),
-	}, nil
-}
-
-// Figure3 reproduces Figure 3: load distribution for the Zipf-0.9 dataset
-// on a 10-cache cloud (dynamic: 5 rings × 2 beacon points).
-func Figure3(scale float64, seed int64) (*LoadBalance, error) {
-	tr := zipfTrace(seed, 10, 0.9, 195, scale)
-	return loadBalance("Zipf-0.9", tr, 5, seed)
-}
-
-// Figure4 reproduces Figure 4: load distribution for the Sydney dataset.
-func Figure4(scale float64, seed int64) (*LoadBalance, error) {
-	tr := sydneyTrace(seed, 10, 195, scale)
-	return loadBalance("Sydney", tr, 5, seed)
-}
-
 // RingSize is the result of Figure 5: load-balancing CoV versus cache-cloud
 // size for static hashing and dynamic hashing with several ring sizes.
 type RingSize struct {
@@ -203,34 +168,6 @@ func (r *RingSize) Format(w io.Writer) {
 	}
 }
 
-// Figure5 reproduces Figure 5: clouds of 10, 20 and 50 caches; dynamic
-// hashing with 2, 5 and 10 beacon points per ring versus static hashing.
-func Figure5(scale float64, seed int64) (*RingSize, error) {
-	res := &RingSize{
-		CloudSizes: []int{10, 20, 50},
-		RingSizes:  []int{2, 5, 10},
-		StaticCoV:  make(map[int]float64),
-		DynamicCoV: make(map[int]map[int]float64),
-	}
-	for _, cs := range res.CloudSizes {
-		tr := sydneyTrace(seed, cs, 195, scale)
-		static, err := sim.Run(loadBalanceCfg(sim.StaticHashing, 0, tr, seed), tr)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig5 static %d: %w", cs, err)
-		}
-		res.StaticCoV[cs] = static.LoadPerUnit().CoV()
-		res.DynamicCoV[cs] = make(map[int]float64)
-		for _, rs := range res.RingSizes {
-			dynamic, err := sim.Run(loadBalanceCfg(sim.DynamicHashing, cs/rs, tr, seed), tr)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig5 dynamic %d/%d: %w", cs, rs, err)
-			}
-			res.DynamicCoV[cs][rs] = dynamic.LoadPerUnit().CoV()
-		}
-	}
-	return res, nil
-}
-
 // ZipfSweep is the result of Figure 6: CoV versus Zipf parameter for static
 // and dynamic hashing.
 type ZipfSweep struct {
@@ -246,26 +183,6 @@ func (z *ZipfSweep) Format(w io.Writer) {
 	for i, a := range z.Alphas {
 		fmt.Fprintf(w, "%-8.2f %10.3f %10.3f\n", a, z.StaticCoV[i], z.DynamicCoV[i])
 	}
-}
-
-// Figure6 reproduces Figure 6: Zipf parameters 0.0 … 0.99 on a 10-cache
-// cloud.
-func Figure6(scale float64, seed int64) (*ZipfSweep, error) {
-	res := &ZipfSweep{Alphas: []float64{0.001, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.99}}
-	for _, a := range res.Alphas {
-		tr := zipfTrace(seed, 10, a, 195, scale)
-		static, err := sim.Run(loadBalanceCfg(sim.StaticHashing, 0, tr, seed), tr)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 static %.2f: %w", a, err)
-		}
-		dynamic, err := sim.Run(loadBalanceCfg(sim.DynamicHashing, 5, tr, seed), tr)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 dynamic %.2f: %w", a, err)
-		}
-		res.StaticCoV = append(res.StaticCoV, static.LoadPerUnit().CoV())
-		res.DynamicCoV = append(res.DynamicCoV, dynamic.LoadPerUnit().CoV())
-	}
-	return res, nil
 }
 
 // PlacementSweep is the result of Figures 7, 8 and 9: stored percentage and
@@ -318,53 +235,6 @@ func (p *PlacementSweep) table(w io.Writer, series map[string][]float64, cellFmt
 	}
 }
 
-// placementSweep runs the three policies across the update-rate axis.
-func placementSweep(scale float64, seed int64, limitedDisk bool, rates []int) (*PlacementSweep, error) {
-	res := &PlacementSweep{
-		LimitedDisk: limitedDisk,
-		UpdateRates: rates,
-		StoredPct:   make(map[string][]float64),
-		NetworkMB:   make(map[string][]float64),
-	}
-	util, err := placement.NewUtility(placement.EqualOn(true, true, true, limitedDisk), 0.5)
-	if err != nil {
-		return nil, err
-	}
-	policies := []placement.Policy{placement.AdHoc{}, util, placement.BeaconPoint{}}
-	for _, rate := range rates {
-		tr := sydneyTrace(seed, 10, rate, scale)
-		cycle := cycleFor(tr.Duration)
-		for _, pol := range policies {
-			cfg := sim.Config{
-				Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle,
-				Policy: pol, Seed: seed,
-			}
-			if limitedDisk {
-				cfg.CapacityFraction = 0.30
-			}
-			r, err := sim.Run(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep %s rate %d: %w", pol.Name(), rate, err)
-			}
-			res.StoredPct[pol.Name()] = append(res.StoredPct[pol.Name()], r.StoredPctMean())
-			res.NetworkMB[pol.Name()] = append(res.NetworkMB[pol.Name()], r.NetworkMBPerUnit())
-		}
-	}
-	return res, nil
-}
-
-// Figure7and8 reproduces Figures 7 and 8 in one sweep: unlimited disk
-// space, DsCC turned off, weights 1/3 each, threshold 0.5.
-func Figure7and8(scale float64, seed int64) (*PlacementSweep, error) {
-	return placementSweep(scale, seed, false, UpdateRates)
-}
-
-// Figure9 reproduces Figure 9: disk space limited to 30% of the corpus,
-// LRU replacement, DsCC turned on with weights 1/4 each.
-func Figure9(scale float64, seed int64) (*PlacementSweep, error) {
-	return placementSweep(scale, seed, true, UpdateRates)
-}
-
 // Names lists the runnable experiment identifiers for CLI help
 // ("scaleout" is an extension experiment beyond the paper's figures).
 func Names() []string {
@@ -373,72 +243,3 @@ func Names() []string {
 	return names
 }
 
-// Run executes an experiment by figure name ("fig3" … "fig9") and writes
-// its formatted output to w. Figures 7 and 8 share a sweep.
-func Run(name string, scale float64, seed int64, w io.Writer) error {
-	switch name {
-	case "fig3":
-		r, err := Figure3(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "fig4":
-		r, err := Figure4(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "fig5":
-		r, err := Figure5(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "fig6":
-		r, err := Figure6(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "fig7", "fig8":
-		r, err := Figure7and8(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "fig9":
-		r, err := Figure9(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "scaleout":
-		r, err := ScaleOutExperiment(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "latency":
-		r, err := LatencyExperiment(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "capability":
-		r, err := CapabilityExperiment(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	case "resilience":
-		r, err := ResilienceExperiment(scale, seed)
-		if err != nil {
-			return err
-		}
-		r.Format(w)
-	default:
-		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
-	}
-	return nil
-}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"cachecloud/internal/core"
 	"cachecloud/internal/document"
@@ -40,24 +41,30 @@ func (l *Latency) Format(w io.Writer) {
 }
 
 // LatencyExperiment measures client latency under each architecture on the
-// Sydney workload.
-func LatencyExperiment(scale float64, seed int64) (*Latency, error) {
-	tr := sydneyTrace(seed, 10, 195, scale)
+// Sydney workload — one independent run per architecture on the pool.
+func (r *Runner) LatencyExperiment(scale float64, seed int64) (*Latency, error) {
+	tr := r.sydneyTrace(seed, 10, 195, scale)
 	cycle := cycleFor(tr.Duration)
-	out := &Latency{}
-	for _, arch := range []sim.Architecture{sim.NoCooperation, sim.StaticHashing, sim.DynamicHashing} {
-		r, err := sim.Run(sim.Config{Arch: arch, NumRings: 5, CycleLength: cycle, Seed: seed}, tr)
+	archs := []sim.Architecture{sim.NoCooperation, sim.StaticHashing, sim.DynamicHashing}
+	out := &Latency{Rows: make([]LatencyRow, len(archs))}
+	err := r.Map(len(archs), func(i int) error {
+		arch := archs[i]
+		run, err := sim.Run(sim.Config{Arch: arch, NumRings: 5, CycleLength: cycle, Seed: seed}, tr)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: latency %s: %w", arch, err)
+			return fmt.Errorf("experiments: latency %s: %w", arch, err)
 		}
-		out.Rows = append(out.Rows, LatencyRow{
+		out.Rows[i] = LatencyRow{
 			Arch:    arch.String(),
-			MeanMs:  r.Latency.Mean(),
-			P50Ms:   r.Latency.Quantile(0.50),
-			P95Ms:   r.Latency.Quantile(0.95),
-			P99Ms:   r.Latency.Quantile(0.99),
-			HitRate: r.CloudHitRate(),
-		})
+			MeanMs:  run.Latency.Mean(),
+			P50Ms:   run.Latency.Quantile(0.50),
+			P95Ms:   run.Latency.Quantile(0.95),
+			P99Ms:   run.Latency.Quantile(0.99),
+			HitRate: run.CloudHitRate(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -82,9 +89,12 @@ func (c *Capability) Format(w io.Writer) {
 }
 
 // CapabilityExperiment runs the heterogeneous-capability measurement.
-// It uses the cloud directly (the simulator assumes uniform capabilities).
-func CapabilityExperiment(scale float64, seed int64) (*Capability, error) {
-	tr := zipfTrace(seed, 10, 0.9, 195, scale)
+// It uses the cloud directly (the simulator assumes uniform capabilities);
+// the static and dynamic runs execute independently on the pool, driving
+// the cloud through the hash-keyed protocol calls with the trace's interned
+// document hashes.
+func (r *Runner) CapabilityExperiment(scale float64, seed int64) (*Capability, error) {
+	tr := r.zipfTrace(seed, 10, 0.9, 195, scale)
 	caps := make(map[string]float64)
 	strong := make(map[string]bool)
 	for i, id := range trace.CacheNames(10) {
@@ -109,13 +119,17 @@ func CapabilityExperiment(scale float64, seed int64) (*Capability, error) {
 				cloud.Rebalance()
 				next += cycle
 			}
+			h := ev.Hash
+			if h == 0 {
+				h = document.HashURL(ev.URL)
+			}
 			switch ev.Kind {
 			case trace.Request:
-				if _, err := cloud.Lookup(ev.URL, ev.Time); err != nil {
+				if _, err := cloud.LookupHash(ev.URL, h, ev.Time); err != nil {
 					return loadstats.Distribution{}, nil, err
 				}
 			case trace.Update:
-				if _, err := cloud.Update(docStub(ev.URL), ev.Time); err != nil {
+				if _, err := cloud.UpdateHash(docStub(ev.URL), h, ev.Time); err != nil {
 					return loadstats.Distribution{}, nil, err
 				}
 			}
@@ -123,15 +137,22 @@ func CapabilityExperiment(scale float64, seed int64) (*Capability, error) {
 		return cloud.LoadDistribution(), cloud.BeaconLoads(), nil
 	}
 
+	// ratio folds loads in sorted cache-ID order so the float sums are
+	// bit-identical across runs.
 	ratio := func(loads map[string]int64) float64 {
+		ids := make([]string, 0, len(loads))
+		for id := range loads {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
 		var sSum, wSum float64
 		var sN, wN int
-		for id, v := range loads {
+		for _, id := range ids {
 			if strong[id] {
-				sSum += float64(v)
+				sSum += float64(loads[id])
 				sN++
 			} else {
-				wSum += float64(v)
+				wSum += float64(loads[id])
 				wN++
 			}
 		}
@@ -141,17 +162,23 @@ func CapabilityExperiment(scale float64, seed int64) (*Capability, error) {
 		return (sSum / float64(sN)) / (wSum / float64(wN))
 	}
 
-	_, staticLoads, err := run(10) // rings of 1 = static hashing
+	rings := []int{10, 5} // rings of 1 = static hashing; rings of 2 = dynamic
+	loads := make([]map[string]int64, len(rings))
+	labels := []string{"static", "dynamic"}
+	err := r.Map(len(rings), func(i int) error {
+		_, l, err := run(rings[i])
+		if err != nil {
+			return fmt.Errorf("experiments: capability %s: %w", labels[i], err)
+		}
+		loads[i] = l
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: capability static: %w", err)
-	}
-	_, dynLoads, err := run(5)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: capability dynamic: %w", err)
+		return nil, err
 	}
 	return &Capability{
-		StaticRatio:  ratio(staticLoads),
-		DynamicRatio: ratio(dynLoads),
+		StaticRatio:  ratio(loads[0]),
+		DynamicRatio: ratio(loads[1]),
 		TargetRatio:  3,
 	}, nil
 }
@@ -183,9 +210,10 @@ func (r *Resilience) Format(w io.Writer) {
 }
 
 // ResilienceExperiment crashes three caches mid-run and compares record
-// loss and hit rate with and without lazy replication.
-func ResilienceExperiment(scale float64, seed int64) (*Resilience, error) {
-	tr := zipfTrace(seed, 10, 0.9, 195, scale)
+// loss and hit rate with and without lazy replication; the two runs
+// execute independently on the pool.
+func (r *Runner) ResilienceExperiment(scale float64, seed int64) (*Resilience, error) {
+	tr := r.zipfTrace(seed, 10, 0.9, 195, scale)
 	mid := tr.Duration / 2
 	failures := func() map[int64][]string {
 		return map[int64][]string{
@@ -195,20 +223,28 @@ func ResilienceExperiment(scale float64, seed int64) (*Resilience, error) {
 		}
 	}
 	cycle := cycleFor(tr.Duration)
-	bare, err := sim.Run(sim.Config{
-		Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle,
-		FailAt: failures(), Seed: seed,
-	}, tr)
+	runs := make([]*sim.Result, 2)
+	err := r.Map(2, func(i int) error {
+		cfg := sim.Config{
+			Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle,
+			FailAt: failures(), Seed: seed,
+		}
+		label := "bare"
+		if i == 1 {
+			cfg.ReplicateRecords = true
+			label = "repl"
+		}
+		var err error
+		runs[i], err = sim.Run(cfg, tr)
+		if err != nil {
+			return fmt.Errorf("experiments: resilience %s: %w", label, err)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: resilience bare: %w", err)
+		return nil, err
 	}
-	repl, err := sim.Run(sim.Config{
-		Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle,
-		FailAt: failures(), ReplicateRecords: true, Seed: seed,
-	}, tr)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: resilience repl: %w", err)
-	}
+	bare, repl := runs[0], runs[1]
 	return &Resilience{
 		RecordsLostBare:  bare.RecordsLost,
 		RecordsLostRepl:  repl.RecordsLost,

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 37
+		var counts [n]int32
+		err := NewRunner(workers).Map(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := NewRunner(workers).Map(10, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	if err := NewRunner(4).Map(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersEnvOverride(t *testing.T) {
+	t.Setenv(WorkersEnv, "7")
+	if got := DefaultWorkers(); got != 7 {
+		t.Fatalf("DefaultWorkers() = %d, want 7", got)
+	}
+	if got := NewRunner(0).Workers(); got != 7 {
+		t.Fatalf("NewRunner(0).Workers() = %d, want 7", got)
+	}
+	t.Setenv(WorkersEnv, "bogus")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers() = %d with bad env, want >= 1", got)
+	}
+	if got := NewRunner(3).Workers(); got != 3 {
+		t.Fatalf("NewRunner(3).Workers() = %d, want 3", got)
+	}
+}
+
+// TestParallelMatchesSequential is the determinism regression test for the
+// parallel engine: a reduced-scale Figure 6 sweep must produce
+// byte-identical formatted output with 1 worker and with 4.
+func TestParallelMatchesSequential(t *testing.T) {
+	const scale, seed = 0.05, 1
+	format := func(workers int) []byte {
+		t.Helper()
+		res, err := NewRunner(workers).Figure6(scale, seed)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		res.Format(&buf)
+		return buf.Bytes()
+	}
+	seq := format(1)
+	par := format(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel output differs from sequential:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}
+
+// TestRunnerResultDispatch covers the name dispatcher used by the CLI.
+func TestRunnerResultDispatch(t *testing.T) {
+	r := NewRunner(2)
+	res, err := r.Result("capability", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.(*Capability); !ok {
+		t.Fatalf("Result(capability) = %T, want *Capability", res)
+	}
+	if _, err := r.Result("nope", 0.05, 1); err == nil {
+		t.Fatal("Result(nope) succeeded, want error")
+	}
+}

@@ -3,9 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-
-	"cachecloud/internal/edgenet"
-	"cachecloud/internal/trace"
 )
 
 // ScaleOut is an extension experiment beyond the paper's figures: it grows
@@ -31,36 +28,4 @@ func (s *ScaleOut) Format(w io.Writer) {
 		fmt.Fprintf(w, "%-8d %18.1f %18.1f %9.1f%%\n",
 			c, s.UpdateMessages[i], s.HolderRefreshes[i], 100*s.HitRate[i])
 	}
-}
-
-// ScaleOutExperiment runs the scale-out sweep.
-func ScaleOutExperiment(scale float64, seed int64) (*ScaleOut, error) {
-	res := &ScaleOut{CloudCounts: []int{1, 2, 4, 8}}
-	for _, clouds := range res.CloudCounts {
-		memberships := make([][]string, clouds)
-		var allIDs []string
-		for c := 0; c < clouds; c++ {
-			for i := 0; i < 10; i++ {
-				id := fmt.Sprintf("edge-%02d-%02d", c, i)
-				memberships[c] = append(memberships[c], id)
-				allIDs = append(allIDs, id)
-			}
-		}
-		n, err := edgenet.Build(memberships, nil, edgenet.Config{Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scaleout build %d: %w", clouds, err)
-		}
-		tr := trace.GenerateZipf(trace.ZipfConfig{
-			Seed: seed, NumDocs: 20000, Alpha: 0.9, CacheIDs: allIDs,
-			Duration: scaleDuration(120, scale), ReqPerCache: 20, UpdatesPerUnit: 100,
-		})
-		r, err := n.Run(tr)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scaleout run %d: %w", clouds, err)
-		}
-		res.UpdateMessages = append(res.UpdateMessages, float64(r.UpdateMessages)/float64(r.Updates))
-		res.HolderRefreshes = append(res.HolderRefreshes, float64(r.HolderRefreshes)/float64(r.Updates))
-		res.HitRate = append(res.HitRate, r.HitRate())
-	}
-	return res, nil
 }

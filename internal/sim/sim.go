@@ -246,16 +246,22 @@ func (r *Result) NetworkMBPerUnit() float64 {
 }
 
 // StoredPctMean returns the mean over caches of the percentage of catalog
-// documents stored.
+// documents stored. Values are summed in sorted cache-ID order so the mean
+// is bit-identical across runs.
 func (r *Result) StoredPctMean() float64 {
 	if len(r.StoredPctPerCache) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range r.StoredPctPerCache {
-		sum += v
+	ids := make([]string, 0, len(r.StoredPctPerCache))
+	for id := range r.StoredPctPerCache {
+		ids = append(ids, id)
 	}
-	return sum / float64(len(r.StoredPctPerCache))
+	sort.Strings(ids)
+	var sum float64
+	for _, id := range ids {
+		sum += r.StoredPctPerCache[id]
+	}
+	return sum / float64(len(ids))
 }
 
 // LoadPerUnit returns the beacon load distribution normalised to operations
@@ -405,6 +411,10 @@ type state struct {
 	seriesUnit int64
 
 	leases map[string]int64 // lease-mode expiry per URL
+
+	// holderScratch is reused across requests to filter the aliased holder
+	// list LookupHash returns without allocating per miss.
+	holderScratch []string
 }
 
 func (s *state) cacheByID(id string) *cache.Cache {
@@ -472,6 +482,15 @@ func (s *state) run(tr *trace.Trace) error {
 	return nil
 }
 
+// evHash returns the event's interned document hash, computing it only for
+// hand-built traces that skipped trace.EnsureHashes.
+func evHash(ev trace.Event) document.Hash {
+	if ev.Hash != 0 {
+		return ev.Hash
+	}
+	return document.HashURL(ev.URL)
+}
+
 func (s *state) handleRequest(ev trace.Event) error {
 	ch := s.cacheByID(ev.Cache)
 	if ch == nil {
@@ -488,7 +507,7 @@ func (s *state) handleRequest(ev trace.Event) error {
 	if s.cloud == nil {
 		return s.handleMissNoCoop(ev, ch)
 	}
-	return s.handleMissCloud(ev, ch)
+	return s.handleMissCloud(ev, evHash(ev), ch)
 }
 
 // serveHit accounts freshness and latency on a local hit. Under
@@ -610,21 +629,26 @@ func (s *state) storeNoCoop(ch *cache.Cache, doc document.Document, now int64) {
 	}
 }
 
-// handleMissCloud runs the cooperative lookup-and-fetch protocol.
-func (s *state) handleMissCloud(ev trace.Event, ch *cache.Cache) error {
-	res, err := s.cloud.Lookup(ev.URL, ev.Time)
+// handleMissCloud runs the cooperative lookup-and-fetch protocol. h is the
+// event's interned document hash; the whole miss path hashes zero times.
+func (s *state) handleMissCloud(ev trace.Event, h document.Hash, ch *cache.Cache) error {
+	res, err := s.cloud.LookupHash(ev.URL, h, ev.Time)
 	if err != nil {
 		return fmt.Errorf("sim: lookup: %w", err)
 	}
 	s.res.ControlBytes += 2 * msgOverhead // lookup request + reply
 
-	// Candidate holders exclude the requester itself.
-	holders := res.Holders[:0:0]
-	for _, h := range res.Holders {
-		if h != ev.Cache {
-			holders = append(holders, h)
+	// Candidate holders exclude the requester itself. res.Holders aliases
+	// the beacon's record (LookupHash skips the defensive copy), so filter
+	// into scratch space owned by this run before touching the cloud again.
+	s.holderScratch = s.holderScratch[:0]
+	holders := s.holderScratch
+	for _, hd := range res.Holders {
+		if hd != ev.Cache {
+			holders = append(holders, hd)
 		}
 	}
+	s.holderScratch = holders
 
 	var doc document.Document
 	if len(holders) > 0 {
@@ -643,7 +667,7 @@ func (s *state) handleMissCloud(ev trace.Event, ch *cache.Cache) error {
 			s.res.Latency.Observe(s.cfg.Latency.LocalMs + s.cfg.Latency.LookupMs + s.cfg.Latency.PeerFetchMs)
 		} else {
 			// Directory was stale; repair and fall through to the origin.
-			if derr := s.cloud.DeregisterHolder(ev.URL, src); derr != nil {
+			if derr := s.cloud.DeregisterHolderHash(ev.URL, h, src); derr != nil {
 				return derr
 			}
 			holders = nil
@@ -665,14 +689,14 @@ func (s *state) handleMissCloud(ev trace.Event, ch *cache.Cache) error {
 		}
 	}
 
-	s.placeCloud(ev, ch, doc, res, holders)
+	s.placeCloud(ev, h, ch, doc, res, holders)
 	return nil
 }
 
 // placeCloud runs the placement decision for the requesting cache (and the
 // beacon-point seeding special case of the beacon placement scheme).
-func (s *state) placeCloud(ev trace.Event, ch *cache.Cache, doc document.Document, lr core.LookupResult, holders []string) {
-	lookupRate, updateRate := s.cloud.DocumentRates(ev.URL, ev.Time)
+func (s *state) placeCloud(ev trace.Event, h document.Hash, ch *cache.Cache, doc document.Document, lr core.LookupResult, holders []string) {
+	lookupRate, updateRate := s.cloud.DocumentRatesHash(ev.URL, h, ev.Time)
 	ctx := placement.Context{
 		Now: ev.Time, CacheID: ev.Cache, DocURL: ev.URL, DocSize: doc.Size,
 		IsBeacon:        lr.Beacon == ev.Cache,
@@ -685,7 +709,7 @@ func (s *state) placeCloud(ev trace.Event, ch *cache.Cache, doc document.Documen
 		HolderResidence: s.meanHolderResidence(holders, ev.Time),
 	}
 	if s.cfg.Policy.ShouldStore(ctx).Store {
-		s.storeCloud(ch, doc, ev.Time)
+		s.storeCloud(ch, doc, h, ev.Time)
 	}
 	// Beacon point placement: the cloud's single copy lives at the beacon,
 	// so a group miss seeds the beacon's cache with the fetched document.
@@ -693,20 +717,22 @@ func (s *state) placeCloud(ev trace.Event, ch *cache.Cache, doc document.Documen
 		bc := s.cacheByID(lr.Beacon)
 		if bc != nil && !bc.Has(doc.URL) {
 			s.res.IntraCloudBytes += doc.Size // requester hands copy to beacon
-			s.storeCloud(bc, doc, ev.Time)
+			s.storeCloud(bc, doc, h, ev.Time)
 		}
 	}
 }
 
-func (s *state) storeCloud(ch *cache.Cache, doc document.Document, now int64) {
+func (s *state) storeCloud(ch *cache.Cache, doc document.Document, h document.Hash, now int64) {
 	evicted, err := ch.Put(document.Copy{Doc: doc, FetchedAt: now}, now)
 	if errors.Is(err, cache.ErrTooLarge) {
 		return
 	}
-	if err := s.cloud.RegisterHolder(doc.URL, ch.ID()); err != nil {
+	if err := s.cloud.RegisterHolderHash(doc.URL, h, ch.ID()); err != nil {
 		return
 	}
 	for _, dead := range evicted {
+		// Evicted documents are rarely the hot ones; hashing here is off
+		// the per-request fast path.
 		_ = s.cloud.DeregisterHolder(dead.URL, ch.ID())
 	}
 }
@@ -739,7 +765,8 @@ func (s *state) meanHolderResidence(holders []string, now int64) float64 {
 
 func (s *state) handleUpdate(ev trace.Event) error {
 	s.res.Updates++
-	out, err := s.srv.PublishUpdate(ev.URL, ev.Time)
+	h := evHash(ev)
+	out, err := s.srv.PublishUpdateHash(ev.URL, h, ev.Time)
 	if err != nil {
 		return fmt.Errorf("sim: publish update: %w", err)
 	}
@@ -750,7 +777,7 @@ func (s *state) handleUpdate(ev trace.Event) error {
 		if s.cloud == nil || s.leases[ev.URL] <= ev.Time {
 			return nil // lease expired: the cloud is not notified
 		}
-		cr, err := s.cloud.Update(out.Doc, ev.Time)
+		cr, err := s.cloud.UpdateHash(out.Doc, h, ev.Time)
 		if err != nil {
 			return fmt.Errorf("sim: lease push: %w", err)
 		}
@@ -758,7 +785,7 @@ func (s *state) handleUpdate(ev trace.Event) error {
 		s.res.IntraCloudBytes += cr.FanoutBytes
 		s.res.HoldersNotified += int64(len(cr.Notified))
 		s.res.ControlBytes += msgOverhead * int64(1+len(cr.Notified))
-		s.reevaluateHolders(out.Doc, cr, ev.Time)
+		s.reevaluateHolders(out.Doc, h, cr, ev.Time)
 		return nil
 	}
 	if s.cloud != nil {
@@ -767,7 +794,7 @@ func (s *state) handleUpdate(ev trace.Event) error {
 		s.res.HoldersNotified += int64(out.HoldersNotified)
 		s.res.ControlBytes += msgOverhead * int64(1+out.HoldersNotified)
 		for _, cr := range out.Results {
-			s.reevaluateHolders(out.Doc, cr, ev.Time)
+			s.reevaluateHolders(out.Doc, h, cr, ev.Time)
 		}
 		return nil
 	}
@@ -861,14 +888,14 @@ func (s *state) feedAdaptive(now, period int64) {
 // access rate) drops the copy and deregisters instead of continuing to pay
 // the consistency-maintenance cost. Under ad hoc placement the decision is
 // always "keep", so this only changes behaviour for selective policies.
-func (s *state) reevaluateHolders(doc document.Document, cr core.UpdateResult, now int64) {
+func (s *state) reevaluateHolders(doc document.Document, h document.Hash, cr core.UpdateResult, now int64) {
 	if len(cr.Notified) == 0 {
 		return
 	}
 	if _, isAdHoc := s.cfg.Policy.(placement.AdHoc); isAdHoc {
 		return
 	}
-	lookupRate, updateRate := s.cloud.DocumentRates(doc.URL, now)
+	lookupRate, updateRate := s.cloud.DocumentRatesHash(doc.URL, h, now)
 	for _, holder := range cr.Notified {
 		hc := s.cacheByID(holder)
 		if hc == nil {
@@ -893,22 +920,24 @@ func (s *state) reevaluateHolders(doc document.Document, cr core.UpdateResult, n
 		}
 		if !s.cfg.Policy.ShouldStore(ctx).Store {
 			if hc.Remove(doc.URL) {
-				_ = s.cloud.DeregisterHolder(doc.URL, holder)
+				_ = s.cloud.DeregisterHolderHash(doc.URL, h, holder)
 			}
 		}
 	}
 }
 
-// finish computes the end-of-run summaries.
+// finish computes the end-of-run summaries. Per-cache quantities are folded
+// in sorted cache-ID order so the floating-point results are bit-identical
+// on every run (map iteration order would perturb the last ulp).
 func (s *state) finish() {
 	s.res.StoredPctPerCache = make(map[string]float64)
 	ids := make([]string, 0)
 	if s.cloud != nil {
-		ids = s.cloud.CacheIDs()
+		ids = s.cloud.CacheIDs() // sorted
 		loads := s.cloud.BeaconLoads()
 		vals := make([]float64, 0, len(loads))
-		for id, v := range loads {
-			vals = append(vals, float64(v-s.baselineLoads[id]))
+		for _, id := range ids {
+			vals = append(vals, float64(loads[id]-s.baselineLoads[id]))
 		}
 		s.res.BeaconLoads = loadstats.NewDistribution(vals)
 		s.res.MeasuredUnits = s.res.Duration
@@ -920,6 +949,7 @@ func (s *state) finish() {
 		for id := range s.caches {
 			ids = append(ids, id)
 		}
+		sort.Strings(ids)
 	}
 	for _, id := range ids {
 		ch := s.cacheByID(id)

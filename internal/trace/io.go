@@ -131,5 +131,8 @@ func Read(r io.Reader) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: read: %w", err)
 	}
+	// Intern document hashes once at load time so simulators never MD5 on
+	// the per-request path.
+	t.EnsureHashes()
 	return t, nil
 }

@@ -51,6 +51,11 @@ type Event struct {
 	Cache string
 	// URL identifies the document.
 	URL string
+	// Hash is the document hash of URL, interned at trace-generation or
+	// trace-load time so simulation hot paths never recompute MD5 per
+	// request. Zero means "not computed"; consumers fall back to
+	// document.HashURL (see Trace.EnsureHashes).
+	Hash document.Hash
 }
 
 // Trace bundles a document catalog with a time-ordered event stream.
@@ -76,6 +81,34 @@ func (t *Trace) NumRequests() int {
 
 // NumUpdates counts update events.
 func (t *Trace) NumUpdates() int { return len(t.Events) - t.NumRequests() }
+
+// EnsureHashes fills Event.Hash for every event, hashing each distinct URL
+// once. Traces produced by the generators or by Read are already hashed;
+// call this after assembling a Trace by hand so simulators take the
+// hash-once hot path. It mutates the trace and is NOT safe to call
+// concurrently with readers of the same Trace — hash before fanning a
+// shared trace out to parallel runs.
+func (t *Trace) EnsureHashes() {
+	var memo map[string]document.Hash
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Hash != 0 || ev.URL == "" {
+			continue
+		}
+		if memo == nil {
+			memo = make(map[string]document.Hash, len(t.Docs))
+			for _, d := range t.Docs {
+				memo[d.URL] = document.HashURL(d.URL)
+			}
+		}
+		h, ok := memo[ev.URL]
+		if !ok {
+			h = document.HashURL(ev.URL)
+			memo[ev.URL] = h
+		}
+		ev.Hash = h
+	}
+}
 
 // Zipf is a sampler for the classical Zipf distribution
 // P(rank=i) ∝ 1/i^alpha over ranks 1..n, valid for any alpha >= 0
@@ -137,6 +170,17 @@ func buildCatalog(rng *rand.Rand, site string, n int) []document.Document {
 		docs[i] = document.Document{URL: docURL(site, i), Size: size, Version: 1}
 	}
 	return docs
+}
+
+// catalogHashes precomputes the document hash of every catalog entry, so
+// generators intern hashes into events by index instead of re-hashing URLs
+// per event.
+func catalogHashes(docs []document.Document) []document.Hash {
+	hashes := make([]document.Hash, len(docs))
+	for i, d := range docs {
+		hashes[i] = document.HashURL(d.URL)
+	}
+	return hashes
 }
 
 // CacheNames returns the canonical cache identifiers used by generated
@@ -207,17 +251,20 @@ func GenerateZipf(cfg ZipfConfig) *Trace {
 		caches = CacheNames(cfg.Caches)
 	}
 
+	hashes := catalogHashes(docs)
 	events := make([]Event, 0, cfg.Duration*int64(cfg.Caches*cfg.ReqPerCache+cfg.UpdatesPerUnit))
 	for tu := int64(0); tu < cfg.Duration; tu++ {
 		for u := 0; u < cfg.UpdatesPerUnit; u++ {
+			idx := updZipf.Sample()
 			events = append(events, Event{
-				Time: tu, Kind: Update, URL: docs[updZipf.Sample()].URL,
+				Time: tu, Kind: Update, URL: docs[idx].URL, Hash: hashes[idx],
 			})
 		}
 		for _, cache := range caches {
 			for r := 0; r < cfg.ReqPerCache; r++ {
+				idx := reqZipf.Sample()
 				events = append(events, Event{
-					Time: tu, Kind: Request, Cache: cache, URL: docs[reqZipf.Sample()].URL,
+					Time: tu, Kind: Request, Cache: cache, URL: docs[idx].URL, Hash: hashes[idx],
 				})
 			}
 		}
@@ -288,6 +335,7 @@ func GenerateSydney(cfg SydneyConfig) *Trace {
 		caches = CacheNames(cfg.Caches)
 	}
 
+	hashes := catalogHashes(docs)
 	var events []Event
 	for tu := int64(0); tu < cfg.Duration; tu++ {
 		phase := tu / cfg.HotDriftPeriod
@@ -299,12 +347,12 @@ func GenerateSydney(cfg SydneyConfig) *Trace {
 		}
 		for u := 0; u < cfg.UpdatesPerUnit; u++ {
 			idx := (updZipf.Sample() + drift) % cfg.NumDocs
-			events = append(events, Event{Time: tu, Kind: Update, URL: docs[idx].URL})
+			events = append(events, Event{Time: tu, Kind: Update, URL: docs[idx].URL, Hash: hashes[idx]})
 		}
 		for _, cache := range caches {
 			for r := 0; r < reqs; r++ {
 				idx := (reqZipf.Sample() + drift) % cfg.NumDocs
-				events = append(events, Event{Time: tu, Kind: Request, Cache: cache, URL: docs[idx].URL})
+				events = append(events, Event{Time: tu, Kind: Request, Cache: cache, URL: docs[idx].URL, Hash: hashes[idx]})
 			}
 		}
 	}
