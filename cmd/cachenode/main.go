@@ -15,6 +15,10 @@
 // Usage:
 //
 //	cachenode -name n0 -listen 127.0.0.1:8100 -config cluster.json
+//
+// The node heartbeats its liveness to the origin every -heartbeat (0
+// disables); outbound calls get per-request deadlines (-timeout) with
+// -retries bounded retries and per-peer circuit breaking.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"cachecloud/internal/node"
 )
@@ -37,10 +42,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cachenode", flag.ContinueOnError)
 	var (
-		name    = fs.String("name", "", "this node's name (must appear in the cluster config)")
-		listen  = fs.String("listen", "", "listen address, e.g. 127.0.0.1:8100")
-		cfgPath = fs.String("config", "cluster.json", "cluster configuration file")
-		snap    = fs.String("snapshot", "", "snapshot file: loaded at start, written on POST /snapshot/save")
+		name      = fs.String("name", "", "this node's name (must appear in the cluster config)")
+		listen    = fs.String("listen", "", "listen address, e.g. 127.0.0.1:8100")
+		cfgPath   = fs.String("config", "cluster.json", "cluster configuration file")
+		snap      = fs.String("snapshot", "", "snapshot file: loaded at start, written on POST /snapshot/save")
+		heartbeat = fs.Duration("heartbeat", 2*time.Second, "heartbeat period to the origin (0 disables)")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-request deadline for outbound calls")
+		retries   = fs.Int("retries", 2, "outbound retries after a failed attempt (-1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +60,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	n, err := node.NewCacheNode(*name, cfg)
+	tp := node.NewHTTPTransport(node.TransportOptions{
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+		NoRetries:      *retries < 0,
+	})
+	n, err := node.NewCacheNodeWithTransport(*name, cfg, tp)
 	if err != nil {
 		return err
 	}
@@ -61,6 +74,10 @@ func run(args []string) error {
 		if err := n.LoadSnapshotFile(*snap); err != nil {
 			return fmt.Errorf("load snapshot: %w", err)
 		}
+	}
+	if *heartbeat > 0 {
+		stop := n.StartHeartbeat(*heartbeat)
+		defer stop()
 	}
 	fmt.Fprintf(os.Stderr, "cachenode %s listening on %s\n", *name, *listen)
 	return http.ListenAndServe(*listen, n.Handler())

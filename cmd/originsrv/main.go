@@ -9,6 +9,13 @@
 //
 //	originsrv -listen 127.0.0.1:8000 -config cluster.json -catalog sydney.trace \
 //	          -rebalance 60s
+//
+// The origin also runs the failure detector: cache nodes heartbeat their
+// liveness, and a node missing -miss-k consecutive beats (swept every
+// -heartbeat-interval) is declared dead — its sub-ranges merge into a
+// ring neighbour, survivors promote their lazy record replicas, and the
+// membership change is broadcast. A dead node that heartbeats again is
+// re-admitted with a fresh sub-range.
 package main
 
 import (
@@ -39,6 +46,8 @@ func run(args []string) error {
 		rebalance = fs.Duration("rebalance", 0, "rebalance period (0 = only on POST /rebalance)")
 		repair    = fs.Duration("repair", 0, "health-check/repair period (0 = only on POST /repair)")
 		replicate = fs.Duration("replicate", 0, "record-replication period (0 = only on POST /replicate)")
+		hbSweep   = fs.Duration("heartbeat-interval", 2*time.Second, "failure-detector sweep period over heartbeats (0 disables)")
+		missK     = fs.Int("miss-k", 3, "missed heartbeats before a node is declared dead")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +104,10 @@ func run(args []string) error {
 	runEvery(*rebalance, "rebalance", func() error { _, err := o.Rebalance(); return err })
 	runEvery(*repair, "repair", func() error { _, err := o.Repair(); return err })
 	runEvery(*replicate, "replicate", func() error { _, err := o.TriggerReplication(); return err })
+	if *hbSweep > 0 {
+		stopFD := o.StartFailureDetector(*hbSweep, *missK)
+		defer stopFD()
+	}
 
 	fmt.Fprintf(os.Stderr, "originsrv listening on %s with %d documents\n", *listen, len(tr.Docs))
 	return http.ListenAndServe(*listen, o.Handler())

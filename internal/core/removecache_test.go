@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/ring"
+)
+
+// beaconURLs generates n URLs whose beacon point is the given cache.
+func beaconURLs(t *testing.T, c *Cloud, beacon string, n int) []string {
+	t.Helper()
+	urls := make([]string, 0, n)
+	for i := 0; len(urls) < n; i++ {
+		if i > 100000 {
+			t.Fatalf("could not find %d URLs owned by %s", n, beacon)
+		}
+		u := fmt.Sprintf("http://edge/owned-%d", i)
+		if b, err := c.BeaconFor(u); err == nil && b == beacon {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// TestRemoveCacheReplicaHolderCrashedFirst covers the double-fault the
+// paper's lazy replication cannot mask: a beacon's ring sibling (the cache
+// holding its record replicas) crashes first, and the beacon itself
+// crashes before replication re-runs. The records are then genuinely
+// unrecoverable and must be accounted as lost, while lookups for the
+// affected documents still resolve (with empty holder lists) at the new
+// beacon rather than erroring.
+func TestRemoveCacheReplicaHolderCrashedFirst(t *testing.T) {
+	c := newTestCloud(t, 6, 2, func(cfg *Config) { cfg.ReplicateRecords = true })
+	victim := "cache-00"
+	sib := c.rings[c.ringOf[victim]].Sibling(victim)
+	if sib == "" {
+		t.Fatal("victim has no ring sibling")
+	}
+	var holder string
+	for _, id := range c.CacheIDs() {
+		if id != victim && id != sib {
+			holder = id
+			break
+		}
+	}
+	urls := beaconURLs(t, c, victim, 5)
+	for _, u := range urls {
+		if err := c.RegisterHolder(u, holder); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ReplicateRecords()
+
+	// The replica holder dies first, taking the victim's replicas with it.
+	if err := c.RemoveCache(sib, false); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	if err := c.RemoveCache(victim, false); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if got := after.RecordsRecovered - before.RecordsRecovered; got != 0 {
+		t.Fatalf("recovered %d records with the replica holder dead", got)
+	}
+	if got := after.RecordsLost - before.RecordsLost; got != int64(len(urls)) {
+		t.Fatalf("records lost = %d, want %d", got, len(urls))
+	}
+	// The documents are forgotten, not broken: lookups succeed at the new
+	// beacon with no holders.
+	for _, u := range urls {
+		res, err := c.Lookup(u, 1)
+		if err != nil {
+			t.Fatalf("lookup %s after double fault: %v", u, err)
+		}
+		if res.Beacon == victim || res.Beacon == sib {
+			t.Fatalf("dead cache %s still beacon for %s", res.Beacon, u)
+		}
+		if len(res.Holders) != 0 {
+			t.Fatalf("holders for %s survived unrecoverable crash: %v", u, res.Holders)
+		}
+	}
+}
+
+// TestRemoveCacheLastRingMember checks that a ring refuses to lose its
+// last beacon point: the removal fails cleanly and the cache remains a
+// functioning member.
+func TestRemoveCacheLastRingMember(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	members := c.rings[0].Members()
+	if len(members) != 2 {
+		t.Fatalf("ring 0 members = %v, want 2", members)
+	}
+	if err := c.RemoveCache(members[0], false); err != nil {
+		t.Fatal(err)
+	}
+	err := c.RemoveCache(members[1], false)
+	if !errors.Is(err, ring.ErrLastPoint) {
+		t.Fatalf("removing last ring member: err = %v, want ErrLastPoint", err)
+	}
+	// The failed removal must not have half-dismantled the cache.
+	found := false
+	for _, id := range c.CacheIDs() {
+		if id == members[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("%s dropped from membership by failed removal", members[1])
+	}
+	u := beaconURLs(t, c, members[1], 1)[0]
+	if _, err := c.Lookup(u, 1); err != nil {
+		t.Fatalf("lookup through surviving last member: %v", err)
+	}
+}
+
+// TestRemoveCacheCrashDuringUpdateFanout crashes a holder cache while the
+// update protocol is fanning out new document versions to holders. The
+// fan-out must never push to (or report) the dead cache once it is
+// removed, and holder lists must come out clean.
+func TestRemoveCacheCrashDuringUpdateFanout(t *testing.T) {
+	c := newTestCloud(t, 4, 2, nil)
+	victim, other := "cache-03", "cache-02"
+
+	// Documents held by both the victim and a survivor, with beacons away
+	// from the victim so its beacon role does not interfere.
+	var urls []string
+	for i := 0; len(urls) < 12; i++ {
+		u := fmt.Sprintf("http://edge/fanout-%d", i)
+		if b, err := c.BeaconFor(u); err == nil && b != victim {
+			urls = append(urls, u)
+		}
+	}
+	for _, u := range urls {
+		doc := document.Document{URL: u, Size: 100, Version: 1}
+		for _, id := range []string{victim, other} {
+			if _, err := c.Cache(id).Put(document.Copy{Doc: doc, FetchedAt: 0}, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RegisterHolder(u, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Drive continuous update fan-out while the victim crashes mid-stream.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := document.Version(2); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, u := range urls {
+				doc := document.Document{URL: u, Size: 100, Version: v}
+				if _, err := c.Update(doc, int64(v)); err != nil {
+					t.Errorf("update during crash: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	if err := c.RemoveCache(victim, false); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-crash fan-out: the survivor is refreshed, the dead cache is
+	// neither notified nor listed as a holder.
+	for _, u := range urls {
+		doc := document.Document{URL: u, Size: 100, Version: 1 << 30}
+		res, err := c.Update(doc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range res.Notified {
+			if n == victim {
+				t.Fatalf("update for %s notified crashed cache", u)
+			}
+		}
+		if len(res.Notified) != 1 || res.Notified[0] != other {
+			t.Fatalf("notified for %s = %v, want [%s]", u, res.Notified, other)
+		}
+		for _, h := range c.Holders(u) {
+			if h == victim {
+				t.Fatalf("crashed cache still a holder of %s", u)
+			}
+		}
+	}
+}
+
+// TestRemoveCacheAccountingGracefulVsCrash pins the exact record
+// accounting of the three departure modes: a graceful departure migrates
+// every record, a bare crash loses every record, and a replicated crash
+// recovers every record — and in each mode the three counters sum to the
+// records the departed beacon held.
+func TestRemoveCacheAccountingGracefulVsCrash(t *testing.T) {
+	const n = 6
+	setup := func(replicate bool) (*Cloud, []string) {
+		c := newTestCloud(t, 4, 2, func(cfg *Config) { cfg.ReplicateRecords = replicate })
+		urls := beaconURLs(t, c, "cache-00", n)
+		for _, u := range urls {
+			if err := c.RegisterHolder(u, "cache-01"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c, urls
+	}
+	check := func(c *Cloud, migrated, lost, recovered int64) {
+		t.Helper()
+		st := c.Stats()
+		if st.RecordsMigrated != migrated || st.RecordsLost != lost || st.RecordsRecovered != recovered {
+			t.Fatalf("stats = %+v, want migrated=%d lost=%d recovered=%d", st, migrated, lost, recovered)
+		}
+		if st.RecordsMigrated+st.RecordsLost+st.RecordsRecovered != n {
+			t.Fatalf("counters do not sum to %d records: %+v", n, st)
+		}
+	}
+
+	c, urls := setup(false)
+	if err := c.RemoveCache("cache-00", true); err != nil {
+		t.Fatal(err)
+	}
+	check(c, n, 0, 0)
+	for _, u := range urls {
+		if res, _ := c.Lookup(u, 1); len(res.Holders) != 1 {
+			t.Fatalf("graceful departure dropped holders of %s: %v", u, res.Holders)
+		}
+	}
+
+	c, urls = setup(false)
+	if err := c.RemoveCache("cache-00", false); err != nil {
+		t.Fatal(err)
+	}
+	check(c, 0, n, 0)
+	for _, u := range urls {
+		if res, _ := c.Lookup(u, 1); len(res.Holders) != 0 {
+			t.Fatalf("bare crash preserved holders of %s: %v", u, res.Holders)
+		}
+	}
+
+	c, urls = setup(true)
+	c.ReplicateRecords()
+	if err := c.RemoveCache("cache-00", false); err != nil {
+		t.Fatal(err)
+	}
+	check(c, 0, 0, n)
+	for _, u := range urls {
+		if res, _ := c.Lookup(u, 1); len(res.Holders) != 1 {
+			t.Fatalf("replicated crash dropped holders of %s: %v", u, res.Holders)
+		}
+	}
+}

@@ -177,7 +177,7 @@ func TestRunByName(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
+	if len(names) != 12 {
 		t.Fatalf("names = %v", names)
 	}
 }
@@ -277,6 +277,48 @@ func TestResilienceExperimentShape(t *testing.T) {
 	var buf bytes.Buffer
 	r.Format(&buf)
 	if !strings.Contains(buf.String(), "resilience") {
+		t.Fatal("format output unexpected")
+	}
+}
+
+func TestCrashSweepExperimentShape(t *testing.T) {
+	r, err := CrashSweepExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	prevCrashes := 0
+	for _, row := range r.Rows {
+		if row.Crashes <= prevCrashes {
+			t.Fatalf("crash counts not increasing: %+v", r.Rows)
+		}
+		prevCrashes = row.Crashes
+		if row.RecordsLostBare == 0 {
+			t.Fatalf("no records lost without replication at %d crashes", row.Crashes)
+		}
+		if row.RecordsLostRepl >= row.RecordsLostBare {
+			t.Fatalf("replication did not reduce loss at %d crashes: %d vs %d",
+				row.Crashes, row.RecordsLostRepl, row.RecordsLostBare)
+		}
+		if row.RecordsRecovered == 0 {
+			t.Fatalf("nothing recovered at %d crashes", row.Crashes)
+		}
+		if row.RecoveredFrac <= 0 || row.RecoveredFrac > 1 {
+			t.Fatalf("recovered fraction %.3f out of range at %d crashes",
+				row.RecoveredFrac, row.Crashes)
+		}
+	}
+	// More crashes must not lose fewer records (bare mode is monotone).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].RecordsLostBare < r.Rows[i-1].RecordsLostBare {
+			t.Fatalf("bare loss not monotone in crashes: %+v", r.Rows)
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "Crash-schedule sweep") {
 		t.Fatal("format output unexpected")
 	}
 }

@@ -183,6 +183,109 @@ func (r *Runner) CapabilityExperiment(scale float64, seed int64) (*Capability, e
 	}, nil
 }
 
+// CrashSweep is the result of the crash-schedule sweep (robustness
+// extension): for each crash count, the same trace runs with and without
+// lazy lookup-record replication, and the sweep reports how record loss
+// and hit rate respond as more of the cloud fails mid-run.
+type CrashSweep struct {
+	Rows []CrashSweepRow
+}
+
+// CrashSweepRow is one crash count's outcome under both modes.
+type CrashSweepRow struct {
+	Crashes          int
+	RecordsLostBare  int64
+	HitRateBare      float64
+	RecordsLostRepl  int64
+	RecordsRecovered int64
+	HitRateRepl      float64
+	// RecoveredFrac is RecordsRecovered over the records the crashed
+	// beacons held (replication mode), 1.0 meaning full recovery.
+	RecoveredFrac float64
+}
+
+// Format writes the crash sweep table.
+func (c *CrashSweep) Format(w io.Writer) {
+	fmt.Fprintln(w, "Crash-schedule sweep (extension): staggered mid-run crashes, replication off vs on")
+	fmt.Fprintf(w, "%8s %14s %12s %14s %12s %12s %10s\n",
+		"crashes", "lost (bare)", "hit (bare)", "lost (repl)", "recovered", "hit (repl)", "recov %")
+	for _, r := range c.Rows {
+		fmt.Fprintf(w, "%8d %14d %11.1f%% %14d %12d %11.1f%% %9.1f%%\n",
+			r.Crashes, r.RecordsLostBare, 100*r.HitRateBare,
+			r.RecordsLostRepl, r.RecordsRecovered, 100*r.HitRateRepl,
+			100*r.RecoveredFrac)
+	}
+}
+
+// CrashSweepExperiment sweeps the crash schedule over replication on/off:
+// for n = 1..4 crashed caches, n caches crash at staggered times after
+// the run's midpoint. All 2n runs execute independently on the pool.
+func (r *Runner) CrashSweepExperiment(scale float64, seed int64) (*CrashSweep, error) {
+	tr := r.zipfTrace(seed, 10, 0.9, 195, scale)
+	mid := tr.Duration / 2
+	cycle := cycleFor(tr.Duration)
+	crashCounts := []int{1, 2, 3, 4}
+	names := trace.CacheNames(10)
+
+	// Stagger crashes so each exercises the recovery path separately, yet
+	// the last still lands well inside the run even at tiny scales; crash
+	// every third cache so ring siblings survive to serve their replicas.
+	stagger := tr.Duration / 16
+	if stagger < 1 {
+		stagger = 1
+	}
+	failures := func(n int) map[int64][]string {
+		out := make(map[int64][]string, n)
+		for i := 0; i < n; i++ {
+			out[mid+int64(i)*stagger] = []string{names[(3*i)%len(names)]}
+		}
+		return out
+	}
+
+	type mode struct {
+		crashes int
+		repl    bool
+	}
+	modes := make([]mode, 0, 2*len(crashCounts))
+	for _, n := range crashCounts {
+		modes = append(modes, mode{crashes: n}, mode{crashes: n, repl: true})
+	}
+	runs := make([]*sim.Result, len(modes))
+	err := r.Map(len(modes), func(i int) error {
+		m := modes[i]
+		cfg := sim.Config{
+			Arch: sim.DynamicHashing, NumRings: 5, CycleLength: cycle,
+			FailAt: failures(m.crashes), ReplicateRecords: m.repl, Seed: seed,
+		}
+		var err error
+		runs[i], err = sim.Run(cfg, tr)
+		if err != nil {
+			return fmt.Errorf("experiments: crashsweep n=%d repl=%v: %w", m.crashes, m.repl, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &CrashSweep{Rows: make([]CrashSweepRow, len(crashCounts))}
+	for i, n := range crashCounts {
+		bare, repl := runs[2*i], runs[2*i+1]
+		row := CrashSweepRow{
+			Crashes:          n,
+			RecordsLostBare:  bare.RecordsLost,
+			HitRateBare:      bare.CloudHitRate(),
+			RecordsLostRepl:  repl.RecordsLost,
+			RecordsRecovered: repl.RecordsRecovered,
+			HitRateRepl:      repl.CloudHitRate(),
+		}
+		if atStake := repl.RecordsLost + repl.RecordsRecovered; atStake > 0 {
+			row.RecoveredFrac = float64(repl.RecordsRecovered) / float64(atStake)
+		}
+		out.Rows[i] = row
+	}
+	return out, nil
+}
+
 // docStub builds a minimal document for protocol-level updates.
 func docStub(url string) document.Document {
 	return document.Document{URL: url, Size: 1, Version: 1}

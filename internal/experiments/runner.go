@@ -401,6 +401,8 @@ func (r *Runner) Result(name string, scale float64, seed int64) (Formatter, erro
 		return r.CapabilityExperiment(scale, seed)
 	case "resilience":
 		return r.ResilienceExperiment(scale, seed)
+	case "crashsweep":
+		return r.CrashSweepExperiment(scale, seed)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -475,6 +477,12 @@ func CapabilityExperiment(scale float64, seed int64) (*Capability, error) {
 // loss and hit rate with and without lazy replication.
 func ResilienceExperiment(scale float64, seed int64) (*Resilience, error) {
 	return NewRunner(0).ResilienceExperiment(scale, seed)
+}
+
+// CrashSweepExperiment sweeps staggered crash counts over replication
+// on/off to profile degradation and recovery.
+func CrashSweepExperiment(scale float64, seed int64) (*CrashSweep, error) {
+	return NewRunner(0).CrashSweepExperiment(scale, seed)
 }
 
 // Run executes an experiment by figure name ("fig3" … "fig9") and writes

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -38,7 +39,7 @@ type CacheNode struct {
 	cfg          ClusterConfig
 	store        *cache.Cache
 	policy       placement.Policy
-	client       *http.Client
+	tp           Transport
 	start        time.Time
 	snapshotPath string
 
@@ -46,14 +47,18 @@ type CacheNode struct {
 	assign   Assignments
 	records  map[string]*nodeRecord
 	replicas map[string]WireRecord // sibling's records, lazily replicated
+	down     map[string]bool       // peers the origin declared dead
 	// loads[ring] is a dense per-IrH-value load counter for ranges this
 	// node owns in that ring (it only ever has entries for its own ring,
 	// but indexing by ring keeps the wire format uniform).
-	loads     map[int][]int64
-	localHits int64
-	peerHits  int64
-	originMZ  int64
-	beaconOps int64
+	loads      map[int][]int64
+	localHits  int64
+	peerHits   int64
+	originMZ   int64
+	beaconOps  int64
+	failedOver int64 // lookups answered by the ring sibling after a beacon failure
+	degraded   int64 // requests that fell through to the origin with no beacon
+	hbSeq      int64
 }
 
 // NewCacheNode constructs a live cache node. The node starts with the equal
@@ -79,12 +84,26 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		cfg:      cfg,
 		store:    cache.New(name, cfg.CapacityBytes),
 		policy:   pol,
-		client:   &http.Client{Timeout: 10 * time.Second},
+		tp:       NewHTTPTransport(TransportOptions{}),
 		start:    time.Now(),
 		assign:   equalSplit(cfg),
 		records:  make(map[string]*nodeRecord),
 		replicas: make(map[string]WireRecord),
+		down:     make(map[string]bool),
 		loads:    make(map[int][]int64),
+	}
+	return n, nil
+}
+
+// NewCacheNodeWithTransport constructs a cache node whose outbound calls
+// go through the given transport (tests inject the chaos transport here).
+func NewCacheNodeWithTransport(name string, cfg ClusterConfig, tp Transport) (*CacheNode, error) {
+	n, err := NewCacheNode(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tp != nil {
+		n.tp = tp
 	}
 	return n, nil
 }
@@ -113,6 +132,7 @@ func (n *CacheNode) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", n.handleHealthz)
 	mux.HandleFunc("GET /subranges", n.handleGetSubranges)
 	mux.HandleFunc("POST /loads/collect", n.handleLoadsCollect)
+	mux.HandleFunc("POST /membership", n.handleMembership)
 	mux.HandleFunc("GET /stats", n.handleStats)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("POST /snapshot/save", n.handleSnapshotSave)
@@ -132,6 +152,45 @@ func (n *CacheNode) beaconURL(url string) (name, base string, err error) {
 		return "", "", fmt.Errorf("node: no address for beacon %q", owner)
 	}
 	return owner, base, nil
+}
+
+// siblingOf returns another live member of the beacon's ring — the node
+// that holds the lazy replica of the beacon's lookup records and can
+// answer lookups while the beacon is unreachable.
+func (n *CacheNode) siblingOf(beaconName string) (name, base string, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ringIdx := n.assign.ringOf(beaconName)
+	if ringIdx < 0 {
+		// The beacon may already have been removed from the assignment;
+		// fall back to its configured ring.
+		for r, members := range n.cfg.Rings {
+			for _, m := range members {
+				if m == beaconName {
+					ringIdx = r
+				}
+			}
+		}
+	}
+	if ringIdx < 0 || ringIdx >= len(n.assign.Rings) {
+		return "", "", false
+	}
+	for _, sub := range n.assign.Rings[ringIdx] {
+		if sub.Node == beaconName || n.down[sub.Node] {
+			continue
+		}
+		if base, have := n.cfg.Addrs[sub.Node]; have {
+			return sub.Node, base, true
+		}
+	}
+	return "", "", false
+}
+
+// isDown reports whether the origin has declared the peer dead.
+func (n *CacheNode) isDown(peer string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[peer]
 }
 
 // chargeBeaconLoad records one beacon operation on the IrH value.
@@ -167,32 +226,77 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Ask the document's beacon point for holders.
+	ctx := r.Context()
 	beaconName, beaconBase, err := n.beaconURL(url)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	var lr LookupResponse
+	lookupOK := false
 	if beaconName == n.name {
 		lr = n.localLookup(url)
-	} else if err := getJSON(n.client, beaconBase+"/lookup?url="+queryEscape(url), &lr); err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		lookupOK = true
+	} else if !n.isDown(beaconName) {
+		if err := n.tp.GetJSON(ctx, beaconBase+"/lookup?url="+queryEscape(url), &lr); err == nil {
+			lookupOK = true
+		}
 	}
 
-	doc, source, err := n.retrieve(url, lr)
+	// Beacon unreachable: its ring sibling holds the lazy replica of the
+	// lookup records, so retry there before giving up on cooperation.
+	failedOver := false
+	if !lookupOK {
+		if sibName, sibBase, ok := n.siblingOf(beaconName); ok {
+			if sibName == n.name {
+				lr = n.localLookup(url)
+				lookupOK = true
+			} else if err := n.tp.GetJSON(ctx, sibBase+"/lookup?url="+queryEscape(url), &lr); err == nil {
+				lookupOK = true
+			}
+			if lookupOK {
+				failedOver = true
+				beaconName, beaconBase = sibName, sibBase
+			}
+		}
+	}
+
+	// No beacon at all: degrade to a direct origin fetch so the client
+	// request still completes.
+	if !lookupOK {
+		var fr FetchResponse
+		if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+			writeErr(w, http.StatusBadGateway, err)
+			return
+		}
+		n.mu.Lock()
+		n.originMZ++
+		n.degraded++
+		n.mu.Unlock()
+		stored := n.place(ctx, fr.Doc, "", "", LookupResponse{}, now)
+		writeJSON(w, http.StatusOK, DocResponse{Doc: fr.Doc, Source: "origin", Stored: stored, Degraded: true})
+		return
+	}
+	if failedOver {
+		n.mu.Lock()
+		n.failedOver++
+		n.mu.Unlock()
+	}
+
+	doc, source, err := n.retrieve(ctx, url, lr)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return
 	}
-	stored := n.place(doc, beaconName, beaconBase, lr, now)
-	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored})
+	stored := n.place(ctx, doc, beaconName, beaconBase, lr, now)
+	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored, FailedOver: failedOver})
 }
 
 // retrieve fetches the document from a holder, falling back to the origin.
-func (n *CacheNode) retrieve(url string, lr LookupResponse) (document.Document, string, error) {
+// Holders the origin has declared dead are skipped without a network call.
+func (n *CacheNode) retrieve(ctx context.Context, url string, lr LookupResponse) (document.Document, string, error) {
 	for _, h := range lr.Holders {
-		if h == n.name {
+		if h == n.name || n.isDown(h) {
 			continue
 		}
 		base, ok := n.cfg.Addrs[h]
@@ -200,7 +304,7 @@ func (n *CacheNode) retrieve(url string, lr LookupResponse) (document.Document, 
 			continue
 		}
 		var fr FetchResponse
-		err := getJSON(n.client, base+"/fetch?url="+queryEscape(url), &fr)
+		err := n.tp.GetJSON(ctx, base+"/fetch?url="+queryEscape(url), &fr)
 		if err == nil {
 			n.mu.Lock()
 			n.peerHits++
@@ -212,7 +316,7 @@ func (n *CacheNode) retrieve(url string, lr LookupResponse) (document.Document, 
 		}
 	}
 	var fr FetchResponse
-	if err := getJSON(n.client, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+	if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
 		return document.Document{}, "", fmt.Errorf("origin fetch: %w", err)
 	}
 	n.mu.Lock()
@@ -222,8 +326,10 @@ func (n *CacheNode) retrieve(url string, lr LookupResponse) (document.Document, 
 }
 
 // place runs the placement decision and registers the copy when stored.
-func (n *CacheNode) place(doc document.Document, beaconName, beaconBase string, lr LookupResponse, now int64) bool {
-	ctx := placement.Context{
+// An empty beaconBase skips registration (fully degraded path: no beacon
+// is reachable, so the copy stays unregistered until the next lookup).
+func (n *CacheNode) place(ctx context.Context, doc document.Document, beaconName, beaconBase string, lr LookupResponse, now int64) bool {
+	pctx := placement.Context{
 		Now: now, CacheID: n.name, DocURL: doc.URL, DocSize: doc.Size,
 		IsBeacon:        beaconName == n.name,
 		LocalAccessRate: n.store.AccessRate(doc.URL, now),
@@ -233,29 +339,32 @@ func (n *CacheNode) place(doc document.Document, beaconName, beaconBase string, 
 		ReplicaCount:    len(lr.Holders),
 		Residence:       placement.ExpectedResidence(n.store.Capacity(), n.store.EvictionByteRate(now)),
 	}
-	if !n.policy.ShouldStore(ctx).Store {
+	if !n.policy.ShouldStore(pctx).Store {
 		return false
 	}
 	evicted, err := n.store.Put(document.Copy{Doc: doc, FetchedAt: now}, now)
 	if err != nil {
 		return false
 	}
-	n.register(doc.URL, beaconName, beaconBase)
+	n.register(ctx, doc.URL, beaconName, beaconBase)
 	for _, dead := range evicted {
-		n.deregister(dead.URL)
+		n.deregister(ctx, dead.URL)
 	}
 	return true
 }
 
-func (n *CacheNode) register(url, beaconName, beaconBase string) {
+func (n *CacheNode) register(ctx context.Context, url, beaconName, beaconBase string) {
 	if beaconName == n.name {
 		n.localRegister(url, n.name)
 		return
 	}
-	_ = postJSON(n.client, beaconBase+"/register", RegisterRequest{URL: url, Node: n.name}, nil)
+	if beaconBase == "" {
+		return
+	}
+	_ = n.tp.PostJSON(ctx, beaconBase+"/register", RegisterRequest{URL: url, Node: n.name}, nil)
 }
 
-func (n *CacheNode) deregister(url string) {
+func (n *CacheNode) deregister(ctx context.Context, url string) {
 	beaconName, beaconBase, err := n.beaconURL(url)
 	if err != nil {
 		return
@@ -264,7 +373,10 @@ func (n *CacheNode) deregister(url string) {
 		n.localDeregister(url, n.name)
 		return
 	}
-	_ = postJSON(n.client, beaconBase+"/deregister", RegisterRequest{URL: url, Node: n.name}, nil)
+	if n.isDown(beaconName) {
+		return
+	}
+	_ = n.tp.PostJSON(ctx, beaconBase+"/deregister", RegisterRequest{URL: url, Node: n.name}, nil)
 }
 
 // --- beacon duties ---
@@ -272,12 +384,29 @@ func (n *CacheNode) deregister(url string) {
 func (n *CacheNode) localLookup(url string) LookupResponse {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.chargeBeaconLoad(url)
 	rec, ok := n.records[url]
 	if !ok {
+		// No owned record. When a sibling fails over a lookup to this node
+		// for a range it does not own, answer from the lazy replica without
+		// taking ownership — promotion happens on /subranges installs.
+		owner, err := n.assign.ownerOf(url, n.cfg.IntraGen)
+		if err != nil || owner != n.name {
+			if wr, have := n.replicas[url]; have {
+				out := LookupResponse{Version: wr.Version}
+				for _, h := range wr.Holders {
+					if !n.down[h] {
+						out.Holders = append(out.Holders, h)
+					}
+				}
+				sort.Strings(out.Holders)
+				return out
+			}
+			return LookupResponse{}
+		}
 		rec = newNodeRecord()
 		n.records[url] = rec
 	}
+	n.chargeBeaconLoad(url)
 	now := n.now()
 	rec.lookups.Observe(now, 1)
 	out := LookupResponse{
@@ -394,12 +523,18 @@ func (n *CacheNode) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
+		if n.isDown(h) {
+			// A dead holder cannot refresh its copy; drop it from the
+			// record so it re-registers after rejoining.
+			stale = append(stale, h)
+			continue
+		}
 		base, ok := n.cfg.Addrs[h]
 		if !ok {
 			continue
 		}
 		var ar applyResponse
-		if err := postJSON(n.client, base+"/apply", push, &ar); err == nil {
+		if err := n.tp.PostJSON(r.Context(), base+"/apply", push, &ar); err == nil {
 			notified++
 			if !ar.Held {
 				stale = append(stale, h)
@@ -479,15 +614,25 @@ func (n *CacheNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
 		if err != nil || owner != n.name {
 			continue
 		}
-		if _, have := n.records[url]; have {
-			continue
+		rec, have := n.records[url]
+		if !have {
+			rec = newNodeRecord()
+			n.records[url] = rec
 		}
-		rec := newNodeRecord()
-		rec.version = wr.Version
+		// Fold the replica into the (possibly fresh) record: failover
+		// traffic during the detection window may already have recreated
+		// it, but the replica can still carry holders it lacks. The
+		// replica is consumed either way so a later install does not
+		// count it as recovered again.
+		if wr.Version > rec.version {
+			rec.version = wr.Version
+		}
 		for _, h := range wr.Holders {
-			rec.holders[h] = struct{}{}
+			if !n.down[h] {
+				rec.holders[h] = struct{}{}
+			}
 		}
-		n.records[url] = rec
+		delete(n.replicas, url)
 		promoted++
 	}
 	// Find records whose owner is no longer this node.
@@ -511,9 +656,9 @@ func (n *CacheNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		_ = postJSON(n.client, base+"/records/import", RecordsImport{Records: recs}, nil)
+		_ = n.tp.PostJSON(r.Context(), base+"/records/import", RecordsImport{Records: recs}, nil)
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"migratedOut": len(outbound), "promoted": promoted})
+	writeJSON(w, http.StatusOK, SubrangesResponse{MigratedOut: len(outbound), Promoted: promoted})
 }
 
 // handleRecordsReplica stores a sibling's record copies without taking
@@ -541,7 +686,7 @@ func (n *CacheNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	sibling := ""
 	if ringIdx >= 0 {
 		for _, sub := range n.assign.Rings[ringIdx] {
-			if sub.Node != n.name {
+			if sub.Node != n.name && !n.down[sub.Node] {
 				sibling = sub.Node
 				break
 			}
@@ -566,7 +711,7 @@ func (n *CacheNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("no address for sibling %q", sibling))
 		return
 	}
-	if err := postJSON(n.client, base+"/records/replica", RecordsImport{Records: recs}, nil); err != nil {
+	if err := n.tp.PostJSON(r.Context(), base+"/records/replica", RecordsImport{Records: recs}, nil); err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return
 	}
@@ -649,5 +794,82 @@ func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
 		BeaconOps:   n.beaconOps,
 		HitRate:     hitRate,
 		RecordsHeld: len(n.records),
+		FailedOver:  n.failedOver,
+		Degraded:    n.degraded,
+		DownPeers:   len(n.down),
 	})
+}
+
+// handleMembership receives the origin's broadcast of dead peers. Dead
+// nodes are dropped from all holder lists so lookups stop steering
+// requesters at them; they re-register as holders after rejoining.
+func (n *CacheNode) handleMembership(w http.ResponseWriter, r *http.Request) {
+	var req MembershipUpdate
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	n.down = make(map[string]bool, len(req.Down))
+	for _, d := range req.Down {
+		n.down[d] = true
+	}
+	if len(n.down) > 0 {
+		for _, rec := range n.records {
+			for d := range n.down {
+				delete(rec.holders, d)
+			}
+		}
+		for url, wr := range n.replicas {
+			kept := wr.Holders[:0]
+			for _, h := range wr.Holders {
+				if !n.down[h] {
+					kept = append(kept, h)
+				}
+			}
+			wr.Holders = kept
+			n.replicas[url] = wr
+		}
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// StartHeartbeat begins reporting liveness to the origin every interval.
+// The returned stop function is idempotent and safe to call concurrently.
+func (n *CacheNode) StartHeartbeat(interval time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		n.sendHeartbeat() // announce immediately so detection starts fresh
+		for {
+			select {
+			case <-ticker.C:
+				n.sendHeartbeat()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stopCh) }) }
+}
+
+// sendHeartbeat posts one beat. RecordsHeld rides along so the origin
+// knows how many lookup records are at stake if this node crashes.
+func (n *CacheNode) sendHeartbeat() {
+	n.mu.Lock()
+	n.hbSeq++
+	req := HeartbeatRequest{
+		Node:        n.name,
+		Seq:         n.hbSeq,
+		RecordsHeld: len(n.records),
+		StoredDocs:  n.store.Len(),
+	}
+	n.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var hr HeartbeatResponse
+	_ = n.tp.PostJSON(ctx, n.cfg.OriginAddr+"/heartbeat", req, &hr)
 }

@@ -1,0 +1,213 @@
+// Package chaos provides a deterministic fault-injecting Transport for
+// the live cache-cloud node layer. A single seeded Network is shared by
+// every node of a cluster (and by test clients); each participant wraps
+// its real transport with Network.Transport(owner, inner). The network
+// then injects faults on the calls flowing through it:
+//
+//   - partitions: Kill(name) isolates a node — every call from it and
+//     every call to it fails with ErrInjected until Heal(name);
+//   - drops: a seeded coin makes a call fail outright (DropProb);
+//   - delays: a seeded uniform delay in [0, MaxDelay] before each call;
+//   - errors: ErrorEvery(n) fails every n-th call deterministically.
+//
+// All decisions come from one seeded PRNG guarded by a mutex, so a
+// sequential test replays the exact same fault schedule on every run.
+// The package deliberately does not import internal/node: the Inner
+// interface is structural, so *node.HTTPTransport satisfies it and a
+// *chaos.Transport satisfies node.Transport.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every fault the network injects; test
+// assertions can errors.Is against it.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Inner is the transport being wrapped. *node.HTTPTransport implements
+// it structurally.
+type Inner interface {
+	GetJSON(ctx context.Context, url string, out any) error
+	PostJSON(ctx context.Context, url string, in, out any) error
+}
+
+// Config tunes a Network's background noise (partitions are managed
+// separately via Kill/Heal).
+type Config struct {
+	// Seed drives every probabilistic decision (0 means 1).
+	Seed int64
+	// DropProb is the probability a call fails outright.
+	DropProb float64
+	// MaxDelay is the upper bound of the uniform per-call delay (0 = no
+	// delay). Delays respect context cancellation.
+	MaxDelay time.Duration
+	// ErrorEvery fails every n-th call through the network (0 = never).
+	ErrorEvery int
+}
+
+// Network is the shared fault plane of one simulated cluster.
+type Network struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	hosts  map[string]string // host:port -> node name
+	dead   map[string]bool   // isolated nodes
+	calls  int64             // total calls observed
+	faults int64             // faults injected
+}
+
+// NewNetwork builds a fault plane with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		hosts: make(map[string]string),
+		dead:  make(map[string]bool),
+	}
+}
+
+// Bind registers a node name for a base URL, so partitions expressed by
+// node name can be matched against call targets.
+func (n *Network) Bind(name, baseURL string) {
+	u, err := url.Parse(baseURL)
+	host := baseURL
+	if err == nil && u.Host != "" {
+		host = u.Host
+	}
+	n.mu.Lock()
+	n.hosts[host] = name
+	n.mu.Unlock()
+}
+
+// Kill isolates a node: every call it originates and every call that
+// targets it fails until Heal. Idempotent.
+func (n *Network) Kill(name string) {
+	n.mu.Lock()
+	n.dead[name] = true
+	n.mu.Unlock()
+}
+
+// Heal reconnects a previously killed node. Idempotent.
+func (n *Network) Heal(name string) {
+	n.mu.Lock()
+	delete(n.dead, name)
+	n.mu.Unlock()
+}
+
+// Stats reports the calls observed and faults injected so far.
+func (n *Network) Stats() (calls, faults int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls, n.faults
+}
+
+// Transport wraps an inner transport for one participant.
+func (n *Network) Transport(owner string, inner Inner) *Transport {
+	return &Transport{net: n, owner: owner, inner: inner}
+}
+
+// Transport is one participant's view of the faulty network. It
+// implements the same method set as the inner transport, so it satisfies
+// node.Transport.
+type Transport struct {
+	net   *Network
+	owner string
+	inner Inner
+}
+
+// GetJSON implements the transport interface with fault injection.
+func (t *Transport) GetJSON(ctx context.Context, url string, out any) error {
+	if err := t.net.inject(ctx, t.owner, url); err != nil {
+		return err
+	}
+	return t.inner.GetJSON(ctx, url, out)
+}
+
+// PostJSON implements the transport interface with fault injection.
+func (t *Transport) PostJSON(ctx context.Context, url string, in, out any) error {
+	if err := t.net.inject(ctx, t.owner, url); err != nil {
+		return err
+	}
+	return t.inner.PostJSON(ctx, url, in, out)
+}
+
+// inject decides the fate of one call. It returns nil to let the call
+// through (possibly after a delay) or the injected fault.
+func (n *Network) inject(ctx context.Context, owner, rawurl string) error {
+	target := ""
+	if u, err := url.Parse(rawurl); err == nil {
+		target = u.Host
+	}
+
+	n.mu.Lock()
+	n.calls++
+	targetName := n.hosts[target]
+	if n.dead[owner] {
+		n.faults++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q is partitioned", ErrInjected, owner)
+	}
+	if targetName != "" && n.dead[targetName] {
+		n.faults++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: connection to %q refused", ErrInjected, targetName)
+	}
+	if n.cfg.ErrorEvery > 0 && n.calls%int64(n.cfg.ErrorEvery) == 0 {
+		n.faults++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: scheduled error", ErrInjected)
+	}
+	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+		n.faults++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: dropped", ErrInjected)
+	}
+	var delay time.Duration
+	if n.cfg.MaxDelay > 0 {
+		delay = time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay) + 1))
+	}
+	n.mu.Unlock()
+
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// DeadNodes returns the currently partitioned node names, for test
+// diagnostics.
+func (n *Network) DeadNodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.dead))
+	for name := range n.dead {
+		out = append(out, name)
+	}
+	return out
+}
+
+// String summarises the network state.
+func (n *Network) String() string {
+	calls, faults := n.Stats()
+	dead := n.DeadNodes()
+	return fmt.Sprintf("chaos.Network{calls=%d faults=%d dead=[%s]}", calls, faults, strings.Join(dead, ","))
+}

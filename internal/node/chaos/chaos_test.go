@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// okInner is an Inner that always succeeds and counts calls.
+type okInner struct{ calls int }
+
+func (i *okInner) GetJSON(ctx context.Context, url string, out any) error {
+	i.calls++
+	return nil
+}
+
+func (i *okInner) PostJSON(ctx context.Context, url string, in, out any) error {
+	i.calls++
+	return nil
+}
+
+func TestPartitionBlocksBothDirections(t *testing.T) {
+	net := NewNetwork(Config{Seed: 7})
+	net.Bind("a", "http://127.0.0.1:1001")
+	net.Bind("b", "http://127.0.0.1:1002")
+	inner := &okInner{}
+	fromA := net.Transport("a", inner)
+	fromB := net.Transport("b", inner)
+
+	net.Kill("b")
+	if err := fromA.GetJSON(context.Background(), "http://127.0.0.1:1002/x", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call into partitioned node: err = %v, want ErrInjected", err)
+	}
+	if err := fromB.GetJSON(context.Background(), "http://127.0.0.1:1001/x", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call out of partitioned node: err = %v, want ErrInjected", err)
+	}
+	if err := fromA.PostJSON(context.Background(), "http://127.0.0.1:1001/x", nil, nil); err != nil {
+		t.Fatalf("a->a unaffected by partition of b: %v", err)
+	}
+
+	net.Heal("b")
+	if err := fromA.GetJSON(context.Background(), "http://127.0.0.1:1002/x", nil); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	if inner.calls != 2 {
+		t.Fatalf("inner calls = %d, want 2 (faults short-circuit)", inner.calls)
+	}
+}
+
+func TestDropScheduleIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		net := NewNetwork(Config{Seed: 99, DropProb: 0.5})
+		tp := net.Transport("a", &okInner{})
+		outcomes := make([]bool, 40)
+		for i := range outcomes {
+			outcomes[i] = tp.GetJSON(context.Background(), "http://127.0.0.1:1/x", nil) == nil
+		}
+		return outcomes
+	}
+	first, second := run(), run()
+	drops := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("outcome %d differs between identical seeded runs", i)
+		}
+		if !first[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(first) {
+		t.Fatalf("drops = %d of %d, want a mix at p=0.5", drops, len(first))
+	}
+}
+
+func TestErrorEvery(t *testing.T) {
+	net := NewNetwork(Config{Seed: 1, ErrorEvery: 3})
+	tp := net.Transport("a", &okInner{})
+	var failed []int
+	for i := 1; i <= 9; i++ {
+		if err := tp.GetJSON(context.Background(), "http://127.0.0.1:1/x", nil); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(failed) != len(want) {
+		t.Fatalf("failed calls = %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed calls = %v, want %v", failed, want)
+		}
+	}
+	calls, faults := net.Stats()
+	if calls != 9 || faults != 3 {
+		t.Fatalf("stats = (%d, %d), want (9, 3)", calls, faults)
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	net := NewNetwork(Config{Seed: 5, MaxDelay: time.Hour})
+	tp := net.Transport("a", &okInner{})
+	// Delays are uniform in [0, MaxDelay]; within a few draws one will
+	// exceed the context budget and must be cut short by it.
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		start := time.Now()
+		err := tp.GetJSON(ctx, "http://127.0.0.1:1/x", nil)
+		elapsed := time.Since(start)
+		cancel()
+		if elapsed > 2*time.Second {
+			t.Fatal("delay did not honor context cancellation")
+		}
+		if err != nil {
+			return // a long delay was correctly aborted by the context
+		}
+	}
+	t.Fatal("no delay ever exceeded the 10ms context budget at MaxDelay=1h")
+}

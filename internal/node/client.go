@@ -1,9 +1,9 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -14,8 +14,9 @@ import (
 // other nodes when that node is unreachable, mirroring how an edge
 // network's request router pins users to their closest cache.
 type Client struct {
-	cfg  ClusterConfig
-	http *http.Client
+	cfg     ClusterConfig
+	tp      Transport
+	timeout time.Duration // overall per-request budget across failovers
 
 	mu        sync.Mutex
 	preferred string
@@ -31,6 +32,13 @@ var ErrNoNodesReachable = errors.New("node: no cache nodes reachable")
 // receives this client's traffic first; it must exist in the cluster
 // configuration.
 func NewClient(cfg ClusterConfig, preferred string) (*Client, error) {
+	return NewClientWithTransport(cfg, preferred, nil)
+}
+
+// NewClientWithTransport builds a client whose calls go through the given
+// transport (tests inject the chaos transport here). A nil transport
+// selects the production default.
+func NewClientWithTransport(cfg ClusterConfig, preferred string, tp Transport) (*Client, error) {
 	if _, ok := cfg.Addrs[preferred]; !ok {
 		return nil, fmt.Errorf("node: preferred node %q not in cluster", preferred)
 	}
@@ -42,18 +50,35 @@ func NewClient(cfg ClusterConfig, preferred string) (*Client, error) {
 	}
 	sort.Strings(order)
 	order = append([]string{preferred}, order...)
+	if tp == nil {
+		tp = NewHTTPTransport(TransportOptions{RequestTimeout: 5 * time.Second})
+	}
 	return &Client{
 		cfg:       cfg,
-		http:      &http.Client{Timeout: 5 * time.Second},
+		tp:        tp,
+		timeout:   15 * time.Second,
 		preferred: preferred,
 		order:     order,
 	}, nil
 }
 
-// Get requests a document through the cluster: the preferred node first,
-// then the remaining nodes in stable order. It returns the node that
-// served the request alongside the response.
+// Get requests a document through the cluster under the client's default
+// overall deadline. See GetContext.
 func (c *Client) Get(url string) (DocResponse, string, error) {
+	return c.GetContext(context.Background(), url)
+}
+
+// GetContext requests a document through the cluster: the preferred node
+// first, then the remaining nodes in stable order. The context bounds the
+// whole request including failovers; when it carries no deadline the
+// client's default budget applies. It returns the node that served the
+// request alongside the response.
+func (c *Client) GetContext(ctx context.Context, url string) (DocResponse, string, error) {
+	if _, has := ctx.Deadline(); !has && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	c.mu.Lock()
 	order := make([]string, len(c.order))
 	copy(order, c.order)
@@ -64,7 +89,7 @@ func (c *Client) Get(url string) (DocResponse, string, error) {
 	for i, name := range order {
 		base := c.cfg.Addrs[name]
 		var dr DocResponse
-		err := getJSON(c.http, base+"/doc?url="+queryEscape(url), &dr)
+		err := c.tp.GetJSON(ctx, base+"/doc?url="+queryEscape(url), &dr)
 		if err == nil {
 			if i > 0 {
 				c.mu.Lock()
@@ -78,6 +103,9 @@ func (c *Client) Get(url string) (DocResponse, string, error) {
 			return DocResponse{}, name, err
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	if lastErr == nil {
 		lastErr = ErrNoNodesReachable

@@ -19,9 +19,21 @@ type LocalCluster struct {
 	byName  map[string]*httptest.Server
 }
 
+// TransportFactory builds the outbound transport for a named cluster
+// participant; the origin node asks for "origin". Returning nil selects
+// the production default for that participant.
+type TransportFactory func(name string) Transport
+
 // StartLocalCluster creates nodeNames cache nodes arranged into rings of
 // ringSize beacon points plus one origin node, all listening on loopback.
 func StartLocalCluster(nodeNames []string, ringSize int, docs []document.Document, opts ClusterConfig) (*LocalCluster, error) {
+	return StartLocalClusterWith(nodeNames, ringSize, docs, opts, nil)
+}
+
+// StartLocalClusterWith is StartLocalCluster with per-node transport
+// injection (the chaos tests wire every node through one seeded fault
+// plane this way).
+func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Document, opts ClusterConfig, mk TransportFactory) (*LocalCluster, error) {
 	if ringSize < 1 {
 		ringSize = 2
 	}
@@ -71,7 +83,11 @@ func StartLocalCluster(nodeNames []string, ringSize int, docs []document.Documen
 	lc.servers = append(lc.servers, originSrv)
 
 	for _, p := range pendings {
-		cn, err := NewCacheNode(p.name, cfg)
+		var tp Transport
+		if mk != nil {
+			tp = mk(p.name)
+		}
+		cn, err := NewCacheNodeWithTransport(p.name, cfg, tp)
 		if err != nil {
 			lc.Close()
 			return nil, err
@@ -80,7 +96,11 @@ func StartLocalCluster(nodeNames []string, ringSize int, docs []document.Documen
 		p.srv.Config.Handler = cn.Handler()
 		p.srv.Start()
 	}
-	on, err := NewOriginNode(cfg, docs)
+	var originTP Transport
+	if mk != nil {
+		originTP = mk("origin")
+	}
+	on, err := NewOriginNodeWithTransport(cfg, docs, originTP)
 	if err != nil {
 		lc.Close()
 		return nil, err

@@ -54,6 +54,10 @@ func (n *CacheNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds":     float64(n.now()),
 		"ring_count":         float64(len(n.assign.Rings)),
 		"owned_subrange_len": float64(n.ownedSubrangeLenLocked()),
+		"failed_over_total":  float64(n.failedOver),
+		"degraded_total":     float64(n.degraded),
+		"down_peers":         float64(len(n.down)),
+		"heartbeats_sent":    float64(n.hbSeq),
 	}
 	name := n.name
 	n.mu.Unlock()
@@ -85,16 +89,20 @@ func (o *OriginNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	vals := map[string]float64{
-		"documents":         float64(len(o.docs)),
-		"fetches_total":     float64(o.fetches),
-		"updates_total":     float64(o.updates),
-		"bytes_sent_total":  float64(o.bytesOut),
-		"rebalances_total":  float64(o.rebalances),
-		"repairs_total":     float64(o.repairs),
-		"nodes_down":        float64(down),
-		"nodes_configured":  float64(len(o.cfg.Addrs)),
-		"ring_count":        float64(len(o.assign.Rings)),
-		"intra_ring_hash_n": float64(o.cfg.IntraGen),
+		"documents":               float64(len(o.docs)),
+		"fetches_total":           float64(o.fetches),
+		"updates_total":           float64(o.updates),
+		"bytes_sent_total":        float64(o.bytesOut),
+		"rebalances_total":        float64(o.rebalances),
+		"repairs_total":           float64(o.repairs),
+		"nodes_down":              float64(down),
+		"nodes_configured":        float64(len(o.cfg.Addrs)),
+		"ring_count":              float64(len(o.assign.Rings)),
+		"intra_ring_hash_n":       float64(o.cfg.IntraGen),
+		"heartbeats_total":        float64(o.heartbeats),
+		"records_lost_total":      float64(o.recordsLost),
+		"records_recovered_total": float64(o.recordsRec),
+		"rejoins_total":           float64(o.rejoins),
 	}
 	o.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")

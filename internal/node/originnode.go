@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -25,18 +26,24 @@ func queryEscape(s string) string { return url.QueryEscape(s) }
 // beacon point and that the origin server is informed of the results; a
 // single deterministic coordinator keeps the live protocol simple).
 type OriginNode struct {
-	cfg    ClusterConfig
-	client *http.Client
+	cfg ClusterConfig
+	tp  Transport
 
-	mu         sync.Mutex
-	docs       map[string]document.Document
-	assign     Assignments
-	down       map[string]bool // nodes removed after failed health checks
-	fetches    int64
-	updates    int64
-	bytesOut   int64
-	rebalances int64
-	repairs    int64
+	mu          sync.Mutex
+	docs        map[string]document.Document
+	assign      Assignments
+	down        map[string]bool      // nodes declared dead (probe or heartbeat)
+	lastSeen    map[string]time.Time // last heartbeat arrival per node
+	recordsHeld map[string]int       // records reported in each node's last beat
+	heartbeats  int64
+	recordsLost int64
+	recordsRec  int64
+	rejoins     int64
+	fetches     int64
+	updates     int64
+	bytesOut    int64
+	rebalances  int64
+	repairs     int64
 }
 
 // NewOriginNode constructs the origin with its document catalog.
@@ -48,17 +55,32 @@ func NewOriginNode(cfg ClusterConfig, docs []document.Document) (*OriginNode, er
 		return nil, errors.New("node: cluster has no rings")
 	}
 	o := &OriginNode{
-		cfg:    cfg,
-		client: &http.Client{Timeout: 10 * time.Second},
-		docs:   make(map[string]document.Document, len(docs)),
-		assign: equalSplit(cfg),
-		down:   make(map[string]bool),
+		cfg:         cfg,
+		tp:          NewHTTPTransport(TransportOptions{}),
+		docs:        make(map[string]document.Document, len(docs)),
+		assign:      equalSplit(cfg),
+		down:        make(map[string]bool),
+		lastSeen:    make(map[string]time.Time),
+		recordsHeld: make(map[string]int),
 	}
 	for _, d := range docs {
 		if d.Version == 0 {
 			d.Version = 1
 		}
 		o.docs[d.URL] = d
+	}
+	return o, nil
+}
+
+// NewOriginNodeWithTransport constructs an origin whose outbound calls go
+// through the given transport (tests inject the chaos transport here).
+func NewOriginNodeWithTransport(cfg ClusterConfig, docs []document.Document, tp Transport) (*OriginNode, error) {
+	o, err := NewOriginNode(cfg, docs)
+	if err != nil {
+		return nil, err
+	}
+	if tp != nil {
+		o.tp = tp
 	}
 	return o, nil
 }
@@ -71,6 +93,7 @@ func (o *OriginNode) Handler() http.Handler {
 	mux.HandleFunc("POST /rebalance", o.handleRebalance)
 	mux.HandleFunc("POST /replicate", o.handleReplicate)
 	mux.HandleFunc("POST /repair", o.handleRepair)
+	mux.HandleFunc("POST /heartbeat", o.handleHeartbeat)
 	mux.HandleFunc("GET /stats", o.handleStats)
 	mux.HandleFunc("GET /metrics", o.handleMetrics)
 	return mux
@@ -121,11 +144,49 @@ func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var ur UpdateResponse
-	if err := postJSON(o.client, base+"/update", UpdateRequest{Doc: d}, &ur); err != nil {
-		writeErr(w, http.StatusBadGateway, err)
+	pushErr := o.tp.PostJSON(r.Context(), base+"/update", UpdateRequest{Doc: d}, &ur)
+	if pushErr != nil {
+		// Beacon unreachable: push through its ring sibling, which holds
+		// the lazy replica of the record, so the update is not lost.
+		if sibBase, ok := o.siblingAddr(beacon); ok {
+			pushErr = o.tp.PostJSON(r.Context(), sibBase+"/update", UpdateRequest{Doc: d}, &ur)
+		}
+	}
+	if pushErr != nil {
+		writeErr(w, http.StatusBadGateway, pushErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, PublishResponse{Version: d.Version, Notified: ur.Notified})
+}
+
+// siblingAddr returns the address of another live member of the beacon's
+// ring, preferring the current assignment and falling back to the
+// configured ring layout.
+func (o *OriginNode) siblingAddr(beacon string) (string, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ringIdx := o.assign.ringOf(beacon)
+	if ringIdx < 0 {
+		for r, members := range o.cfg.Rings {
+			for _, m := range members {
+				if m == beacon {
+					ringIdx = r
+				}
+			}
+		}
+	}
+	if ringIdx < 0 || ringIdx >= len(o.assign.Rings) {
+		return "", false
+	}
+	for _, sub := range o.assign.Rings[ringIdx] {
+		if sub.Node == beacon || o.down[sub.Node] {
+			continue
+		}
+		if base, ok := o.cfg.Addrs[sub.Node]; ok {
+			return base, true
+		}
+	}
+	return "", false
 }
 
 // handleRebalance runs one sub-range determination cycle across all rings.
@@ -147,10 +208,11 @@ func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
 	o.mu.Unlock()
 
 	// Collect per-IrH loads from every live node.
+	ctx := context.Background()
 	reports := make(map[string]LoadReport)
 	for name, base := range o.liveAddrs() {
 		var rep LoadReport
-		if err := postJSON(o.client, base+"/loads/collect", struct{}{}, &rep); err != nil {
+		if err := o.tp.PostJSON(ctx, base+"/loads/collect", struct{}{}, &rep); err != nil {
 			return RebalanceResponse{}, fmt.Errorf("collect loads from %s: %w", name, err)
 		}
 		reports[name] = rep
@@ -206,12 +268,44 @@ func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
 	o.mu.Unlock()
 
 	// Install everywhere; nodes hand off records among themselves.
-	for name, base := range o.liveAddrs() {
-		if err := postJSON(o.client, base+"/subranges", next, nil); err != nil {
-			return RebalanceResponse{}, fmt.Errorf("install assignment on %s: %w", name, err)
-		}
+	if _, err := o.installAssignments(ctx, next); err != nil {
+		return RebalanceResponse{}, err
 	}
 	return RebalanceResponse{Moves: totalMoves, RecordsSent: totalMoves}, nil
+}
+
+// installAssignments posts the layout to every live node and sums the
+// replica promotions they report. Unreachable nodes do not abort the
+// install (they may be mid-crash); the first error is returned after all
+// nodes were attempted.
+func (o *OriginNode) installAssignments(ctx context.Context, next Assignments) (promoted int, err error) {
+	for name, base := range o.liveAddrs() {
+		var sr SubrangesResponse
+		if e := o.tp.PostJSON(ctx, base+"/subranges", next, &sr); e != nil {
+			if err == nil {
+				err = fmt.Errorf("install assignment on %s: %w", name, e)
+			}
+			continue
+		}
+		promoted += sr.Promoted
+	}
+	return promoted, err
+}
+
+// broadcastMembership tells every live node which peers are down.
+func (o *OriginNode) broadcastMembership(ctx context.Context) {
+	o.mu.Lock()
+	downList := make([]string, 0, len(o.down))
+	for name, d := range o.down {
+		if d {
+			downList = append(downList, name)
+		}
+	}
+	o.mu.Unlock()
+	sort.Strings(downList)
+	for _, base := range o.liveAddrs() {
+		_ = o.tp.PostJSON(ctx, base+"/membership", MembershipUpdate{Down: downList}, nil)
+	}
 }
 
 // liveAddrs returns the addresses of nodes not marked down.
@@ -231,9 +325,10 @@ func (o *OriginNode) liveAddrs() map[string]string {
 // records to its ring sibling (the lazy replication pass). Returns the
 // number of nodes that replicated.
 func (o *OriginNode) TriggerReplication() (int, error) {
+	ctx := context.Background()
 	done := 0
 	for name, base := range o.liveAddrs() {
-		if err := postJSON(o.client, base+"/replicate", struct{}{}, nil); err != nil {
+		if err := o.tp.PostJSON(ctx, base+"/replicate", struct{}{}, nil); err != nil {
 			return done, fmt.Errorf("replicate on %s: %w", name, err)
 		}
 		done++
@@ -244,13 +339,14 @@ func (o *OriginNode) TriggerReplication() (int, error) {
 // CheckNodes probes every live node's /healthz and returns the ones that
 // did not answer.
 func (o *OriginNode) CheckNodes() []string {
-	probe := &http.Client{Timeout: 2 * time.Second}
 	var dead []string
 	for name, base := range o.liveAddrs() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		var reply map[string]string
-		if err := getJSON(probe, base+"/healthz", &reply); err != nil {
+		if err := o.tp.GetJSON(ctx, base+"/healthz", &reply); err != nil {
 			dead = append(dead, name)
 		}
+		cancel()
 	}
 	sort.Strings(dead)
 	return dead
@@ -266,25 +362,183 @@ type RepairResponse struct {
 // ring neighbour), and install the repaired assignment on the survivors —
 // which promote their replicas for the ranges they now own.
 func (o *OriginNode) Repair() (RepairResponse, error) {
-	dead := o.CheckNodes()
+	return o.declareDead(context.Background(), o.CheckNodes())
+}
+
+// declareDead runs the recovery path for a set of crashed nodes: merge
+// their sub-ranges into ring neighbours, account the lookup records they
+// took down (RecordsLost, from their last heartbeat), install the repaired
+// layout on the survivors — whose replica promotions are summed into
+// RecordsRecovered — and broadcast the membership change.
+func (o *OriginNode) declareDead(ctx context.Context, dead []string) (RepairResponse, error) {
 	if len(dead) == 0 {
 		return RepairResponse{}, nil
 	}
+	var lost int64
+	var removed []string
 	for _, name := range dead {
+		o.mu.Lock()
+		already := o.down[name]
+		held := int64(o.recordsHeld[name])
+		o.mu.Unlock()
+		if already {
+			continue
+		}
 		if err := o.removeNode(name); err != nil {
 			return RepairResponse{}, err
 		}
+		lost += held
+		removed = append(removed, name)
+	}
+	if len(removed) == 0 {
+		return RepairResponse{}, nil
 	}
 	o.mu.Lock()
 	next := o.assign
 	o.repairs++
+	o.recordsLost += lost
 	o.mu.Unlock()
-	for name, base := range o.liveAddrs() {
-		if err := postJSON(o.client, base+"/subranges", next, nil); err != nil {
-			return RepairResponse{}, fmt.Errorf("install repaired assignment on %s: %w", name, err)
+	promoted, err := o.installAssignments(ctx, next)
+	o.mu.Lock()
+	o.recordsRec += int64(promoted)
+	o.mu.Unlock()
+	if err != nil {
+		return RepairResponse{Removed: removed}, err
+	}
+	o.broadcastMembership(ctx)
+	return RepairResponse{Removed: removed}, nil
+}
+
+// handleHeartbeat receives a cache node's liveness beat. A beat from a
+// node previously declared dead triggers re-admission: it gets a sub-range
+// back and the membership change is re-broadcast.
+func (o *OriginNode) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, known := o.cfg.Addrs[req.Node]; !known {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown node %q", req.Node))
+		return
+	}
+	o.mu.Lock()
+	o.heartbeats++
+	o.lastSeen[req.Node] = time.Now()
+	o.recordsHeld[req.Node] = req.RecordsHeld
+	wasDown := o.down[req.Node]
+	o.mu.Unlock()
+	rejoined := false
+	if wasDown {
+		if err := o.Readmit(r.Context(), req.Node); err == nil {
+			rejoined = true
 		}
 	}
-	return RepairResponse{Removed: dead}, nil
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Rejoined: rejoined})
+}
+
+// Readmit re-admits a previously dead node: the widest sub-range in its
+// configured ring is split and the upper half handed to the rejoiner, the
+// new layout is installed everywhere (migrating the records it now owns
+// back to it), and membership is re-broadcast.
+func (o *OriginNode) Readmit(ctx context.Context, name string) error {
+	o.mu.Lock()
+	if !o.down[name] {
+		o.mu.Unlock()
+		return nil
+	}
+	ringIdx := -1
+	for r, members := range o.cfg.Rings {
+		for _, m := range members {
+			if m == name {
+				ringIdx = r
+			}
+		}
+	}
+	if ringIdx < 0 || ringIdx >= len(o.assign.Rings) {
+		o.mu.Unlock()
+		return fmt.Errorf("node: %q is not in any configured ring", name)
+	}
+	subs := o.assign.Rings[ringIdx]
+	wi := -1
+	for i, s := range subs {
+		if s.Hi-s.Lo < 1 {
+			continue // a single-value range cannot be split
+		}
+		if wi == -1 || s.Hi-s.Lo > subs[wi].Hi-subs[wi].Lo {
+			wi = i
+		}
+	}
+	if wi == -1 {
+		o.mu.Unlock()
+		return fmt.Errorf("node: ring %d has no splittable sub-range for %q", ringIdx, name)
+	}
+	donor := subs[wi]
+	mid := (donor.Lo + donor.Hi) / 2
+	newSubs := make([]Subrange, 0, len(subs)+1)
+	newSubs = append(newSubs, subs[:wi]...)
+	newSubs = append(newSubs, Subrange{Node: donor.Node, Lo: donor.Lo, Hi: mid})
+	newSubs = append(newSubs, Subrange{Node: name, Lo: mid + 1, Hi: donor.Hi})
+	newSubs = append(newSubs, subs[wi+1:]...)
+	next := Assignments{Rings: make([][]Subrange, len(o.assign.Rings))}
+	copy(next.Rings, o.assign.Rings)
+	next.Rings[ringIdx] = newSubs
+	o.assign = next
+	delete(o.down, name)
+	o.rejoins++
+	o.mu.Unlock()
+	if _, err := o.installAssignments(ctx, next); err != nil {
+		return err
+	}
+	o.broadcastMembership(ctx)
+	return nil
+}
+
+// SweepFailures declares dead every node whose last heartbeat is older
+// than maxAge and runs the recovery path on them. Nodes that have never
+// heartbeated are left alone (heartbeats may be disabled or still
+// starting), as are nodes already down.
+func (o *OriginNode) SweepFailures(maxAge time.Duration) (RepairResponse, error) {
+	now := time.Now()
+	o.mu.Lock()
+	var dead []string
+	for name := range o.cfg.Addrs {
+		if o.down[name] {
+			continue
+		}
+		if seen, ok := o.lastSeen[name]; ok && now.Sub(seen) > maxAge {
+			dead = append(dead, name)
+		}
+	}
+	o.mu.Unlock()
+	sort.Strings(dead)
+	return o.declareDead(context.Background(), dead)
+}
+
+// StartFailureDetector sweeps heartbeat freshness every interval; a node
+// whose last beat is older than k intervals (K missed beats) is declared
+// dead and the recovery path runs. The returned stop function is
+// idempotent and safe to call concurrently.
+func (o *OriginNode) StartFailureDetector(interval time.Duration, k int) (stop func()) {
+	if k < 1 {
+		k = 1
+	}
+	maxAge := time.Duration(k) * interval
+	stopCh := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = o.SweepFailures(maxAge)
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stopCh) }) }
 }
 
 // removeNode merges the dead node's sub-ranges into a ring neighbour and
@@ -347,13 +601,51 @@ func (o *OriginNode) handleRepair(w http.ResponseWriter, r *http.Request) {
 func (o *OriginNode) handleStats(w http.ResponseWriter, r *http.Request) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	nodesDown := 0
+	for _, d := range o.down {
+		if d {
+			nodesDown++
+		}
+	}
 	writeJSON(w, http.StatusOK, OriginStats{
-		Documents:   len(o.docs),
-		Fetches:     o.fetches,
-		Updates:     o.updates,
-		BytesServed: o.bytesOut,
-		Rebalances:  o.rebalances,
+		Documents:        len(o.docs),
+		Fetches:          o.fetches,
+		Updates:          o.updates,
+		BytesServed:      o.bytesOut,
+		Rebalances:       o.rebalances,
+		Repairs:          o.repairs,
+		Heartbeats:       o.heartbeats,
+		NodesDown:        nodesDown,
+		RecordsLost:      o.recordsLost,
+		RecordsRecovered: o.recordsRec,
+		Rejoins:          o.rejoins,
 	})
+}
+
+// Stats returns a snapshot of the origin's counters (test and tooling
+// convenience mirroring GET /stats).
+func (o *OriginNode) Stats() OriginStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	nodesDown := 0
+	for _, d := range o.down {
+		if d {
+			nodesDown++
+		}
+	}
+	return OriginStats{
+		Documents:        len(o.docs),
+		Fetches:          o.fetches,
+		Updates:          o.updates,
+		BytesServed:      o.bytesOut,
+		Rebalances:       o.rebalances,
+		Repairs:          o.repairs,
+		Heartbeats:       o.heartbeats,
+		NodesDown:        nodesDown,
+		RecordsLost:      o.recordsLost,
+		RecordsRecovered: o.recordsRec,
+		Rejoins:          o.rejoins,
+	}
 }
 
 // Assignments returns the origin's current view of the sub-range layout.

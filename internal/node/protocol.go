@@ -29,7 +29,7 @@
 package node
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -158,6 +158,12 @@ type DocResponse struct {
 	Source string `json:"source"`
 	// Stored reports whether the node kept a copy.
 	Stored bool `json:"stored"`
+	// FailedOver reports that the document's beacon was unreachable and
+	// the lookup was answered by its ring sibling's lazy replica.
+	FailedOver bool `json:"failedOver,omitempty"`
+	// Degraded reports that no beacon was reachable and the request fell
+	// through to a direct origin fetch.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // WireRecord is one lookup record in transit during migration.
@@ -208,6 +214,14 @@ type CacheStats struct {
 	BeaconOps   int64   `json:"beaconOps"`
 	HitRate     float64 `json:"hitRate"`
 	RecordsHeld int     `json:"recordsHeld"`
+	// FailedOver counts lookups answered by a ring sibling's lazy replica
+	// after the owning beacon was unreachable.
+	FailedOver int64 `json:"failedOver"`
+	// Degraded counts requests that fell through to a direct origin fetch
+	// because no beacon was reachable.
+	Degraded int64 `json:"degraded"`
+	// DownPeers is the number of peers currently marked dead by the origin.
+	DownPeers int `json:"downPeers"`
 }
 
 // OriginStats answers the origin node's GET /stats.
@@ -217,6 +231,53 @@ type OriginStats struct {
 	Updates     int64 `json:"updates"`
 	BytesServed int64 `json:"bytesServed"`
 	Rebalances  int64 `json:"rebalances"`
+	// Repairs counts failure-recovery passes that removed at least one node.
+	Repairs int64 `json:"repairs"`
+	// Heartbeats counts beats received from cache nodes.
+	Heartbeats int64 `json:"heartbeats"`
+	// NodesDown is the number of nodes currently declared dead.
+	NodesDown int `json:"nodesDown"`
+	// RecordsLost sums the lookup records reported held by nodes at their
+	// last heartbeat before being declared dead.
+	RecordsLost int64 `json:"recordsLost"`
+	// RecordsRecovered sums the sibling-replica promotions survivors
+	// reported while installing repaired assignments.
+	RecordsRecovered int64 `json:"recordsRecovered"`
+	// Rejoins counts nodes re-admitted after being declared dead.
+	Rejoins int64 `json:"rejoins"`
+}
+
+// HeartbeatRequest is the body of the origin's POST /heartbeat: a cache
+// node reporting it is alive, together with the cluster-view summary the
+// origin uses for failure accounting (RecordsHeld is what would be lost
+// if this node crashed right now).
+type HeartbeatRequest struct {
+	Node        string `json:"node"`
+	Seq         int64  `json:"seq"`
+	RecordsHeld int    `json:"recordsHeld"`
+	StoredDocs  int    `json:"storedDocs"`
+}
+
+// HeartbeatResponse answers POST /heartbeat. Rejoined is set when the
+// heartbeat came from a node previously declared dead and the origin has
+// re-admitted it (new sub-range assignments follow on /subranges).
+type HeartbeatResponse struct {
+	Rejoined bool `json:"rejoined"`
+}
+
+// MembershipUpdate is the body of the cache-node POST /membership: the
+// origin broadcasting which peers are currently considered dead, so nodes
+// stop routing lookups and fetches at them during the detection window.
+type MembershipUpdate struct {
+	Down []string `json:"down"`
+}
+
+// SubrangesResponse answers POST /subranges: how many records the node
+// handed off to new owners and how many it promoted from sibling replicas
+// for ranges it now owns (the crash-recovery count).
+type SubrangesResponse struct {
+	MigratedOut int `json:"migratedOut"`
+	Promoted    int `json:"promoted"`
 }
 
 // --- small HTTP helpers shared by both node kinds ---
@@ -240,43 +301,20 @@ func readJSON(r *http.Request, v any) error {
 }
 
 // postJSON sends a JSON request and decodes the JSON reply into out (out
-// may be nil).
+// may be nil). The client's Timeout, if any, doubles as the per-request
+// deadline; the body is always drained and closed so connections are
+// reused. New code should use a Transport instead.
 func postJSON(client *http.Client, url string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("node: marshal %s: %w", url, err)
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("node: post %s: %w", url, err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode/100 != 2 {
-		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("node: post %s: status %d: %s", url, resp.StatusCode, b)
-	}
-	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return doJSON(context.Background(), client, http.MethodPost, url, body, out, client.Timeout)
 }
 
 // getJSON performs a GET and decodes the JSON reply. A 404 returns
-// errNotFound so callers can distinguish absence from failure.
+// errNotFound so callers can distinguish absence from failure. The body
+// is always drained and closed so connections are reused.
 func getJSON(client *http.Client, url string, out any) error {
-	resp, err := client.Get(url)
-	if err != nil {
-		return fmt.Errorf("node: get %s: %w", url, err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode == http.StatusNotFound {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return errNotFound
-	}
-	if resp.StatusCode/100 != 2 {
-		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("node: get %s: status %d: %s", url, resp.StatusCode, b)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return doJSON(context.Background(), client, http.MethodGet, url, nil, out, client.Timeout)
 }

@@ -1,0 +1,317 @@
+package node
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Transport is the pluggable wire layer every node-to-node call goes
+// through. The production implementation is HTTPTransport (per-request
+// deadlines, bounded retries with backoff, per-peer circuit breaking);
+// tests inject the deterministic fault-injecting transport from
+// internal/node/chaos. A 404 reply surfaces as ErrNotFound so callers can
+// distinguish absence from failure.
+type Transport interface {
+	GetJSON(ctx context.Context, url string, out any) error
+	PostJSON(ctx context.Context, url string, in, out any) error
+}
+
+// ErrNotFound is returned by a Transport when the remote answered 404:
+// the peer is healthy but the resource does not exist. It is never
+// retried and never trips the circuit breaker.
+var ErrNotFound = errNotFound
+
+// ErrPeerDown is returned by HTTPTransport when a peer's circuit breaker
+// is open: recent calls to it failed consecutively and the cooldown has
+// not elapsed, so the call is refused without touching the network.
+var ErrPeerDown = errors.New("node: peer circuit open")
+
+// TransportOptions tunes HTTPTransport. The zero value selects the
+// defaults noted on each field.
+type TransportOptions struct {
+	// RequestTimeout bounds each attempt (default 5s). Callers can impose
+	// a tighter overall budget through the context.
+	RequestTimeout time.Duration
+	// MaxRetries is the number of re-attempts after the first failure
+	// (default 2; 0 keeps the default, use NoRetries to disable).
+	MaxRetries int
+	// NoRetries disables retries entirely (single attempt per call).
+	NoRetries bool
+	// BackoffBase is the first retry delay (default 25ms); each further
+	// retry doubles it up to BackoffMax (default 500ms), with ±50% jitter.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the number of consecutive failures to one peer
+	// that opens its circuit (default 4; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses calls before
+	// letting a probe through (default 1s).
+	BreakerCooldown time.Duration
+	// JitterSeed seeds the backoff jitter source; 0 derives a seed from
+	// the wall clock. Fix it for reproducible retry schedules in tests.
+	JitterSeed int64
+	// Client overrides the underlying *http.Client. It should have no
+	// global Timeout: deadlines are per-request via context.
+	Client *http.Client
+}
+
+// breaker is the per-peer circuit state.
+type breaker struct {
+	fails    int       // consecutive failures
+	openedAt time.Time // when the circuit opened (zero = closed)
+	probing  bool      // a half-open probe is in flight
+}
+
+// HTTPTransport is the production Transport: JSON over HTTP with
+// per-request context deadlines, bounded retries with exponential backoff
+// and jitter, and a per-peer circuit breaker keyed by URL host.
+type HTTPTransport struct {
+	opts   TransportOptions
+	client *http.Client
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	breakers map[string]*breaker
+}
+
+// NewHTTPTransport builds the production transport.
+func NewHTTPTransport(opts TransportOptions) *HTTPTransport {
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.NoRetries {
+		opts.MaxRetries = 0
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 25 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 500 * time.Millisecond
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 4
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = time.Second
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HTTPTransport{
+		opts:     opts,
+		client:   client,
+		rng:      rand.New(rand.NewSource(seed)),
+		breakers: make(map[string]*breaker),
+	}
+}
+
+// GetJSON implements Transport.
+func (t *HTTPTransport) GetJSON(ctx context.Context, url string, out any) error {
+	return t.do(ctx, http.MethodGet, url, nil, out)
+}
+
+// PostJSON implements Transport.
+func (t *HTTPTransport) PostJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("node: marshal %s: %w", url, err)
+	}
+	return t.do(ctx, http.MethodPost, url, body, out)
+}
+
+// do runs the retry loop around one logical call.
+func (t *HTTPTransport) do(ctx context.Context, method, rawurl string, body []byte, out any) error {
+	host := hostOf(rawurl)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := t.admit(host); err != nil {
+			// An open circuit fails fast; it still counts as this
+			// attempt's outcome so callers see a stable error.
+			lastErr = fmt.Errorf("%w: %s", ErrPeerDown, host)
+		} else {
+			err := doJSON(ctx, t.client, method, rawurl, body, out, t.opts.RequestTimeout)
+			if err == nil || !retryable(err) {
+				t.observe(host, err == nil || errors.Is(err, errNotFound))
+				return err
+			}
+			t.observe(host, false)
+			lastErr = err
+		}
+		if attempt >= t.opts.MaxRetries || ctx.Err() != nil {
+			return lastErr
+		}
+		if err := t.sleep(ctx, attempt); err != nil {
+			return lastErr
+		}
+	}
+}
+
+// admit consults the peer's circuit breaker; nil means the call may
+// proceed.
+func (t *HTTPTransport) admit(host string) error {
+	if t.opts.BreakerThreshold < 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[host]
+	if b == nil || b.openedAt.IsZero() {
+		return nil
+	}
+	if time.Since(b.openedAt) >= t.opts.BreakerCooldown && !b.probing {
+		b.probing = true // half-open: let exactly one probe through
+		return nil
+	}
+	return ErrPeerDown
+}
+
+// observe records a call outcome against the peer's breaker.
+func (t *HTTPTransport) observe(host string, ok bool) {
+	if t.opts.BreakerThreshold < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[host]
+	if b == nil {
+		b = &breaker{}
+		t.breakers[host] = b
+	}
+	if ok {
+		b.fails = 0
+		b.openedAt = time.Time{}
+		b.probing = false
+		return
+	}
+	b.fails++
+	b.probing = false
+	if b.fails >= t.opts.BreakerThreshold {
+		b.openedAt = time.Now()
+	}
+}
+
+// PeerDown reports whether the peer's circuit is currently open.
+func (t *HTTPTransport) PeerDown(baseURL string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[hostOf(baseURL)]
+	return b != nil && !b.openedAt.IsZero() && time.Since(b.openedAt) < t.opts.BreakerCooldown
+}
+
+// sleep waits for the attempt's backoff (exponential with ±50% jitter),
+// aborting early when the context is cancelled.
+func (t *HTTPTransport) sleep(ctx context.Context, attempt int) error {
+	d := t.opts.BackoffBase << uint(attempt)
+	if d > t.opts.BackoffMax {
+		d = t.opts.BackoffMax
+	}
+	t.mu.Lock()
+	jitter := 0.5 + t.rng.Float64() // [0.5, 1.5)
+	t.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable reports whether an error is worth another attempt: transport
+// failures and 5xx replies are; 404 (absence) and other 4xx (the peer
+// answered and rejected the request) are not.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, errNotFound) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status >= 500
+	}
+	return true // connection refused, timeout, reset, ...
+}
+
+// statusError is a non-2xx reply.
+type statusError struct {
+	method, url string
+	status      int
+	body        string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("node: %s %s: status %d: %s", e.method, e.url, e.status, e.body)
+}
+
+// hostOf extracts the host:port a URL targets (breaker key).
+func hostOf(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil || u.Host == "" {
+		return rawurl
+	}
+	return u.Host
+}
+
+// doJSON performs one HTTP attempt with a per-request deadline, decoding
+// the JSON reply into out (out may be nil). The response body is always
+// drained and closed so the underlying connection returns to the pool.
+func doJSON(ctx context.Context, client *http.Client, method, rawurl string, body []byte, out any, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rawurl, rd)
+	if err != nil {
+		return fmt.Errorf("node: %s %s: %w", method, rawurl, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("node: %s %s: %w", method, rawurl, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return errNotFound
+	}
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &statusError{method: method, url: rawurl, status: resp.StatusCode, body: string(b)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// drainClose consumes any unread bytes before closing, so keep-alive
+// connections are reusable. The drain is capped: a huge unread body is
+// cheaper to close than to read.
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	_ = rc.Close()
+}
