@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json figures figures-fast examples clean
+.PHONY: all build vet test race bench bench-json figures figures-fast examples golden fuzz clean
 
 all: build vet test
 
@@ -34,6 +34,18 @@ figures:
 # Fast pass over every figure (reduced workload scale).
 figures-fast:
 	$(GO) run ./cmd/cloudsim -all -scale 0.2
+
+# Regenerate the byte-identical determinism golden for the figure suite
+# (TestGoldenAllJSON). Run after an intentional result change and commit
+# the new file.
+golden:
+	$(GO) run ./cmd/cloudsim -all -json -scale 0.02 -seed 1 > cmd/cloudsim/testdata/golden_all.json
+
+# Short randomized fuzzing of the trace parser and the node wire protocol
+# (the committed seed corpora run on every plain `go test`).
+fuzz:
+	$(GO) test -fuzz=FuzzTraceParse -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzProtocolDecode -fuzztime=30s ./internal/node
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -20,6 +20,7 @@ import (
 	"cachecloud/internal/experiments"
 	"cachecloud/internal/hashing"
 	"cachecloud/internal/loadstats"
+	"cachecloud/internal/obs"
 	"cachecloud/internal/placement"
 	"cachecloud/internal/ring"
 	"cachecloud/internal/sim"
@@ -336,6 +337,49 @@ func BenchmarkCloudLookup(b *testing.B) {
 			}
 		}
 	})
+	b.Run("hash-traced", func(b *testing.B) {
+		tracer := obs.NewTracer(256)
+		cloud.SetTracer(tracer)
+		defer cloud.SetTracer(nil)
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(urls)), "docs/op")
+		for i := 0; i < b.N; i++ {
+			j := i % len(urls)
+			if _, err := cloud.LookupHash(urls[j], hashes[j], int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestCloudLookupHashZeroAlloc pins the hot-path guarantee the tracer
+// hook must not erode: with no tracer attached, LookupHash performs zero
+// heap allocations per call. The tracer integration is a nil check on
+// this path; if instrumenting it ever starts allocating (event structs,
+// interface boxing), this fails before the benchmarks get slower.
+func TestCloudLookupHashZeroAlloc(t *testing.T) {
+	cloud, err := core.New(core.Config{NumRings: 5, IntraGen: 1000, FineGrained: true},
+		trace.CacheNames(10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://site.example.com/docs/dynamic/page-0000.html"
+	for _, id := range trace.CacheNames(10)[:3] {
+		if err := cloud.RegisterHolder(url, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := document.HashURL(url)
+	var now int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		if _, err := cloud.LookupHash(url, h, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupHash allocates %.1f per op with tracing disabled, want 0", allocs)
+	}
 }
 
 func BenchmarkCacheGetPut(b *testing.B) {

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -49,6 +50,7 @@ func run(args []string) error {
 		heartbeat = fs.Duration("heartbeat", 2*time.Second, "heartbeat period to the origin (0 disables)")
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-request deadline for outbound calls")
 		retries   = fs.Int("retries", 2, "outbound retries after a failed attempt (-1 disables)")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,8 +81,26 @@ func run(args []string) error {
 		stop := n.StartHeartbeat(*heartbeat)
 		defer stop()
 	}
+	h := n.Handler()
+	if *pprofOn {
+		h = withPprof(h)
+	}
 	fmt.Fprintf(os.Stderr, "cachenode %s listening on %s\n", *name, *listen)
-	return http.ListenAndServe(*listen, n.Handler())
+	return http.ListenAndServe(*listen, h)
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of the node's own routes. Gated behind -pprof: the profiling
+// endpoints should not be exposed by default.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func loadConfig(path string) (node.ClusterConfig, error) {

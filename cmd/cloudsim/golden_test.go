@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachecloud/internal/experiments"
+	"cachecloud/internal/sim"
+)
+
+// goldenScale and goldenSeed pin the workload of the committed golden
+// report. Regenerate testdata/golden_all.json with `make golden` after
+// an intentional result change.
+const (
+	goldenScale = 0.02
+	goldenSeed  = 1
+)
+
+// TestGoldenAllJSON is the determinism gate for the whole figure suite:
+// `cloudsim -json -all` must serialize byte-identically to the committed
+// golden file at every worker count. Any drift — from parallelism, map
+// iteration, or an accidental result change — fails here.
+func TestGoldenAllJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite; skipped with -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_all.json"))
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with `make golden`): %v", err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var buf bytes.Buffer
+		if err := writeJSONTo(&buf, experiments.NewRunner(workers), figureNames(), goldenScale, goldenSeed, false); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("workers=%d: report differs from testdata/golden_all.json (regenerate with `make golden` if the change is intentional)", workers)
+		}
+	}
+}
+
+// TestCustomRunTraceAndMetricsOut drives the -trace-out and
+// -metrics-every flags end to end and sanity-checks both JSONL streams.
+func TestCustomRunTraceAndMetricsOut(t *testing.T) {
+	path := writeTestTrace(t)
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "events.jsonl")
+	metOut := filepath.Join(dir, "metrics.jsonl")
+	err := run([]string{
+		"-trace", path, "-cycle", "5",
+		"-trace-out", traceOut,
+		"-metrics-every", "1", "-metrics-out", metOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := os.Open(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = events.Close() }()
+	type evLine struct {
+		Cycle int64  `json:"cycle"`
+		T     int64  `json:"t"`
+		Kind  string `json:"kind"`
+	}
+	var n int
+	prevCycle := int64(-1)
+	sc := bufio.NewScanner(events)
+	for sc.Scan() {
+		var l evLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if l.Kind == "" {
+			t.Fatalf("event without kind: %q", sc.Text())
+		}
+		if l.Cycle < prevCycle {
+			t.Fatalf("cycle went backwards at %q", sc.Text())
+		}
+		prevCycle = l.Cycle
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("trace output is empty")
+	}
+
+	metrics, err := os.Open(metOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = metrics.Close() }()
+	var snaps int
+	sc = bufio.NewScanner(metrics)
+	for sc.Scan() {
+		var m sim.MetricsSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad metrics line %q: %v", sc.Text(), err)
+		}
+		if m.Cycle <= 0 || m.Requests <= 0 {
+			t.Fatalf("implausible snapshot: %+v", m)
+		}
+		snaps++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if snaps == 0 {
+		t.Fatal("metrics output is empty")
+	}
+}

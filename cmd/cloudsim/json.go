@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 
@@ -17,11 +18,13 @@ import (
 // report is the -json output shape. Figures maps experiment names to the
 // result structs of internal/experiments (whose exported fields carry the
 // plotted series); Benchmarks carries hot-path micro-benchmark timings.
+// The report deliberately excludes run-environment knobs like the worker
+// count: the same inputs must serialize byte-identically at any
+// parallelism (the golden test pins this).
 type report struct {
 	Schema     string                 `json:"schema"`
 	Scale      float64                `json:"scale"`
 	Seed       int64                  `json:"seed"`
-	Workers    int                    `json:"workers"`
 	Figures    map[string]any         `json:"figures"`
 	Benchmarks map[string]benchResult `json:"benchmarks,omitempty"`
 }
@@ -38,11 +41,16 @@ const reportSchema = "cachecloud-bench/v1"
 // writeJSON runs the named experiments on the runner and writes the JSON
 // report to stdout.
 func writeJSON(r *experiments.Runner, names []string, scale float64, seed int64, microbench bool) error {
+	return writeJSONTo(os.Stdout, r, names, scale, seed, microbench)
+}
+
+// writeJSONTo is writeJSON with an explicit destination (tests capture
+// the report in memory).
+func writeJSONTo(w io.Writer, r *experiments.Runner, names []string, scale float64, seed int64, microbench bool) error {
 	rep := report{
 		Schema:  reportSchema,
 		Scale:   scale,
 		Seed:    seed,
-		Workers: r.Workers(),
 		Figures: make(map[string]any, len(names)),
 	}
 	for _, name := range names {
@@ -55,7 +63,7 @@ func writeJSON(r *experiments.Runner, names []string, scale float64, seed int64,
 	if microbench {
 		rep.Benchmarks = microBenchmarks(seed)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }

@@ -17,6 +17,12 @@
 // Run a custom simulation over a generated trace file:
 //
 //	cloudsim -trace sydney.trace -arch dynamic -rings 5 -policy utility
+//
+// Custom runs can stream observability data: -trace-out writes every
+// protocol event (local hits, peer hits, beacon lookups, update fan-out,
+// record migrations, node deaths) as cycle-ordered JSONL, and
+// -metrics-every N emits a cumulative metrics snapshot at every Nth
+// rebalance cycle (-metrics-out names the destination, default stdout).
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os"
 
 	"cachecloud/internal/experiments"
+	"cachecloud/internal/obs"
 	"cachecloud/internal/placement"
 	"cachecloud/internal/sim"
 	"cachecloud/internal/trace"
@@ -53,6 +60,9 @@ func run(args []string) error {
 		ttl       = fs.Int64("ttl", 0, "custom run: TTL consistency in units (0 = server-driven push)")
 		lease     = fs.Int64("lease", 0, "custom run: cooperative-lease duration in units")
 		series    = fs.Bool("series", false, "custom run: print per-unit convergence series")
+		traceOut  = fs.String("trace-out", "", "custom run: write protocol events as JSONL to this file")
+		metEvery  = fs.Int64("metrics-every", 0, "custom run: emit a metrics snapshot every N rebalance cycles (0 disables)")
+		metOut    = fs.String("metrics-out", "", "custom run: metrics JSONL destination (default stdout)")
 		workers   = fs.Int("workers", 0, "parallel runs per experiment (0 = CACHECLOUD_WORKERS or one per CPU)")
 		jsonOut   = fs.Bool("json", false, "emit figure results as JSON instead of text")
 		microb    = fs.Bool("microbench", false, "with -json: include hot-path micro-benchmark timings")
@@ -85,6 +95,7 @@ func run(args []string) error {
 			traceFile: *traceFile, arch: *arch, policy: *policy, rings: *rings,
 			diskFrac: *diskFrac, cycle: *cycle, seed: *seed,
 			ttl: *ttl, lease: *lease, series: *series,
+			traceOut: *traceOut, metricsEvery: *metEvery, metricsOut: *metOut,
 		})
 	default:
 		return fmt.Errorf("nothing to do: pass -fig, -all or -trace (experiments: %v)", experiments.Names())
@@ -111,6 +122,8 @@ type customOpts struct {
 	diskFrac                float64
 	cycle, seed, ttl, lease int64
 	series                  bool
+	traceOut, metricsOut    string
+	metricsEvery            int64
 }
 
 func customRun(o customOpts) error {
@@ -128,6 +141,28 @@ func customRun(o customOpts) error {
 		NumRings: o.rings, CycleLength: o.cycle, Seed: o.seed,
 		CapacityFraction: o.diskFrac, TTL: o.ttl, LeaseDuration: o.lease,
 		CollectSeries: o.series,
+	}
+	if o.traceOut != "" {
+		tf, err := os.Create(o.traceOut)
+		if err != nil {
+			return fmt.Errorf("create trace output: %w", err)
+		}
+		defer func() { _ = tf.Close() }()
+		tracer := obs.NewTracer(1024)
+		tracer.SetSink(tf)
+		cfg.Tracer = tracer
+	}
+	if o.metricsEvery > 0 {
+		cfg.MetricsEvery = o.metricsEvery
+		cfg.MetricsSink = os.Stdout
+		if o.metricsOut != "" && o.metricsOut != "-" {
+			mf, err := os.Create(o.metricsOut)
+			if err != nil {
+				return fmt.Errorf("create metrics output: %w", err)
+			}
+			defer func() { _ = mf.Close() }()
+			cfg.MetricsSink = mf
+		}
 	}
 	arch, policyName, diskFrac := o.arch, o.policy, o.diskFrac
 	switch arch {

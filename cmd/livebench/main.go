@@ -83,6 +83,9 @@ func run(args []string) error {
 		float64(res.Requests)/elapsed.Seconds())
 	fmt.Printf("hit rate: %.1f%% (local %d, peer %d, origin %d), %d errors\n",
 		100*res.HitRate(), res.LocalHits, res.PeerHits, res.OriginMiss, res.Errors)
+	fmt.Printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  mean %.2f  max %.2f\n",
+		res.Latency.Quantile(0.50), res.Latency.Quantile(0.95), res.Latency.Quantile(0.99),
+		res.Latency.Mean(), res.Latency.Max)
 	fmt.Printf("rebalance cycles: %d\n\n", res.Rebalances)
 
 	client := &http.Client{Timeout: 5 * time.Second}

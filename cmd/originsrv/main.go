@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -48,6 +49,7 @@ func run(args []string) error {
 		replicate = fs.Duration("replicate", 0, "record-replication period (0 = only on POST /replicate)")
 		hbSweep   = fs.Duration("heartbeat-interval", 2*time.Second, "failure-detector sweep period over heartbeats (0 disables)")
 		missK     = fs.Int("miss-k", 3, "missed heartbeats before a node is declared dead")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +111,24 @@ func run(args []string) error {
 		defer stopFD()
 	}
 
+	h := o.Handler()
+	if *pprofOn {
+		h = withPprof(h)
+	}
 	fmt.Fprintf(os.Stderr, "originsrv listening on %s with %d documents\n", *listen, len(tr.Docs))
-	return http.ListenAndServe(*listen, o.Handler())
+	return http.ListenAndServe(*listen, h)
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of the origin's own routes. Gated behind -pprof: the profiling
+// endpoints should not be exposed by default.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }

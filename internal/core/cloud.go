@@ -20,6 +20,7 @@ import (
 	"cachecloud/internal/cache"
 	"cachecloud/internal/document"
 	"cachecloud/internal/loadstats"
+	"cachecloud/internal/obs"
 	"cachecloud/internal/ring"
 )
 
@@ -149,6 +150,13 @@ type Cloud struct {
 	recordsMigrated int64
 	recordsLost     int64
 	recordsRecov    int64
+
+	// tracer receives protocol events (nil = disabled; the hot paths
+	// guard on the field so a disabled tracer costs zero allocations).
+	tracer *obs.Tracer
+	// lastNow is the most recent logical time seen by a lookup or
+	// update — migrations at cycle boundaries are stamped with it.
+	lastNow int64
 }
 
 // New builds a cloud over the given cache IDs with the given per-cache
@@ -207,6 +215,14 @@ func New(cfg Config, cacheIDs []string, capabilities map[string]float64) (*Cloud
 		c.rings = append(c.rings, rg)
 	}
 	return c, nil
+}
+
+// SetTracer attaches a protocol-event tracer (nil detaches). The cloud
+// emits EvBeaconLookup, EvUpdateFanout, and EvRecordMigrated.
+func (c *Cloud) SetTracer(t *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
 }
 
 // Cache returns the cache with the given ID, or nil when absent.
@@ -302,6 +318,10 @@ func (c *Cloud) lookupHashLocked(url string, h document.Hash, now int64) (Lookup
 		c.records[beacon][url] = rec
 	}
 	rec.lookupRate.Observe(now, 1)
+	c.lastNow = now
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{Time: now, Kind: obs.EvBeaconLookup, Node: beacon, URL: url})
+	}
 	return LookupResult{Beacon: beacon, Holders: rec.holders, Version: rec.version}, nil
 }
 
@@ -436,6 +456,10 @@ func (c *Cloud) UpdateHash(doc document.Document, h document.Hash, now int64) (U
 		}
 	}
 	rec.holders = keep
+	c.lastNow = now
+	if c.tracer != nil && len(res.Notified) > 0 {
+		c.tracer.Emit(obs.Event{Time: now, Kind: obs.EvUpdateFanout, Node: beacon, URL: doc.URL, Count: int64(len(res.Notified))})
+	}
 	return res, nil
 }
 
@@ -471,7 +495,11 @@ func (c *Cloud) Rebalance() int {
 	for ringIdx, rg := range c.rings {
 		moves := rg.Rebalance()
 		for _, mv := range moves {
-			migrated += c.migrateLocked(ringIdx, rg, mv)
+			n := c.migrateLocked(ringIdx, rg, mv)
+			migrated += n
+			if c.tracer != nil && n > 0 {
+				c.tracer.Emit(obs.Event{Time: c.lastNow, Kind: obs.EvRecordMigrated, Node: mv.To, Count: int64(n)})
+			}
 		}
 	}
 	c.recordsMigrated += int64(migrated)
@@ -550,9 +578,14 @@ func (c *Cloud) RemoveCache(id string, graceful bool) error {
 
 	switch {
 	case graceful:
+		moved := int64(0)
 		for url, rec := range c.records[id] {
 			c.records[mv.To][url] = rec
 			c.recordsMigrated++
+			moved++
+		}
+		if c.tracer != nil && moved > 0 {
+			c.tracer.Emit(obs.Event{Time: c.lastNow, Kind: obs.EvRecordMigrated, Node: mv.To, Count: moved})
 		}
 	case c.cfg.ReplicateRecords:
 		// Crash: recover records from the replicas held by the dead
@@ -624,7 +657,11 @@ func (c *Cloud) AddCache(id string, capability float64, capacity int64) error {
 	c.records[id] = make(map[string]*record)
 	c.ringOf[id] = best
 	c.beaconLoad[id] = 0
-	c.recordsMigrated += int64(c.migrateLocked(best, c.rings[best], mv))
+	n := c.migrateLocked(best, c.rings[best], mv)
+	c.recordsMigrated += int64(n)
+	if c.tracer != nil && n > 0 {
+		c.tracer.Emit(obs.Event{Time: c.lastNow, Kind: obs.EvRecordMigrated, Node: id, Count: int64(n)})
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"cachecloud/internal/cache"
 	"cachecloud/internal/document"
 	"cachecloud/internal/loadstats"
+	"cachecloud/internal/obs"
 	"cachecloud/internal/placement"
 )
 
@@ -51,14 +52,24 @@ type CacheNode struct {
 	// loads[ring] is a dense per-IrH-value load counter for ranges this
 	// node owns in that ring (it only ever has entries for its own ring,
 	// but indexing by ring keeps the wire format uniform).
-	loads      map[int][]int64
-	localHits  int64
-	peerHits   int64
-	originMZ   int64
-	beaconOps  int64
-	failedOver int64 // lookups answered by the ring sibling after a beacon failure
-	degraded   int64 // requests that fell through to the origin with no beacon
-	hbSeq      int64
+	loads  map[int][]int64
+	hbSeq  int64
+	tracer *obs.Tracer
+
+	// Operational metrics live in the obs registry: counters are atomic
+	// (no n.mu needed to bump them) and /metrics renders the registry
+	// without holding n.mu across the response write.
+	reg         *obs.Registry
+	localHits   *obs.Counter
+	peerHits    *obs.Counter
+	originMZ    *obs.Counter
+	beaconOps   *obs.Counter
+	failedOver  *obs.Counter // lookups answered by the ring sibling after a beacon failure
+	degraded    *obs.Counter // requests that fell through to the origin with no beacon
+	circuitOpen *obs.Counter
+	reqMs       *obs.Histogram // client /doc handling latency
+	lookupMs    *obs.Histogram // beacon lookup round trip
+	fetchMs     *obs.Histogram // peer/origin document retrieval
 }
 
 // NewCacheNode constructs a live cache node. The node starts with the equal
@@ -84,7 +95,6 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		cfg:      cfg,
 		store:    cache.New(name, cfg.CapacityBytes),
 		policy:   pol,
-		tp:       NewHTTPTransport(TransportOptions{}),
 		start:    time.Now(),
 		assign:   equalSplit(cfg),
 		records:  make(map[string]*nodeRecord),
@@ -92,7 +102,88 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		down:     make(map[string]bool),
 		loads:    make(map[int][]int64),
 	}
+	n.initMetrics()
+	n.tp = NewHTTPTransport(TransportOptions{OnBreakerOpen: n.noteCircuitOpen})
 	return n, nil
+}
+
+// initMetrics builds the node's metrics registry: counters for the
+// protocol outcomes, gauge callbacks over live state, and latency
+// histograms with quantile-ready buckets.
+func (n *CacheNode) initMetrics() {
+	reg := obs.NewRegistry("cachecloud_node", map[string]string{"node": n.name})
+	n.reg = reg
+	n.localHits = reg.Counter("local_hits_total")
+	n.peerHits = reg.Counter("peer_hits_total")
+	n.originMZ = reg.Counter("origin_miss_total")
+	n.beaconOps = reg.Counter("beacon_ops_total")
+	n.failedOver = reg.Counter("failed_over_total")
+	n.degraded = reg.Counter("degraded_total")
+	n.circuitOpen = reg.Counter("circuit_open_total")
+	bounds := obs.DefaultLatencyBounds()
+	n.reqMs = reg.Histogram("request_ms", bounds)
+	n.lookupMs = reg.Histogram("lookup_ms", bounds)
+	n.fetchMs = reg.Histogram("fetch_ms", bounds)
+	reg.GaugeFunc("stored_documents", func() float64 { return float64(n.store.Len()) })
+	reg.GaugeFunc("stored_bytes", func() float64 { return float64(n.store.Used()) })
+	reg.GaugeFunc("capacity_bytes", func() float64 { return float64(n.store.Capacity()) })
+	reg.GaugeFunc("uptime_seconds", func() float64 { return float64(n.now()) })
+	reg.GaugeFunc("lookup_records", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.records))
+	})
+	reg.GaugeFunc("replica_records", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.replicas))
+	})
+	reg.GaugeFunc("ring_count", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.assign.Rings))
+	})
+	reg.GaugeFunc("owned_subrange_len", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(n.ownedSubrangeLenLocked())
+	})
+	reg.GaugeFunc("down_peers", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.down))
+	})
+	reg.GaugeFunc("heartbeats_sent", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(n.hbSeq)
+	})
+}
+
+// Metrics exposes the node's metrics registry.
+func (n *CacheNode) Metrics() *obs.Registry { return n.reg }
+
+// SetTracer attaches a protocol-event tracer; the node emits
+// EvFailedOver and EvCircuitOpen.
+func (n *CacheNode) SetTracer(t *obs.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = t
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (n *CacheNode) Tracer() *obs.Tracer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tracer
+}
+
+// noteCircuitOpen is the transport's breaker-open callback.
+func (n *CacheNode) noteCircuitOpen(host string) {
+	n.circuitOpen.Inc()
+	if tr := n.Tracer(); tr != nil {
+		tr.Emit(obs.Event{Time: n.now(), Kind: obs.EvCircuitOpen, Node: host})
+	}
 }
 
 // NewCacheNodeWithTransport constructs a cache node whose outbound calls
@@ -198,7 +289,7 @@ func (n *CacheNode) chargeBeaconLoad(url string) {
 	h := document.HashURL(url)
 	ringIdx := h.RingIndex(len(n.assign.Rings))
 	irh := h.IrH(n.cfg.IntraGen)
-	n.beaconOps++
+	n.beaconOps.Inc()
 	dense := n.loads[ringIdx]
 	if dense == nil {
 		dense = make([]int64, n.cfg.IntraGen)
@@ -216,11 +307,11 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
 		return
 	}
+	t0 := time.Now()
+	defer func() { n.reqMs.Observe(msSince(t0)) }()
 	now := n.now()
 	if cp, ok := n.store.Get(url, now); ok {
-		n.mu.Lock()
-		n.localHits++
-		n.mu.Unlock()
+		n.localHits.Inc()
 		writeJSON(w, http.StatusOK, DocResponse{Doc: cp.Doc, Source: "local", Stored: true})
 		return
 	}
@@ -234,6 +325,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	var lr LookupResponse
 	lookupOK := false
+	tLookup := time.Now()
 	if beaconName == n.name {
 		lr = n.localLookup(url)
 		lookupOK = true
@@ -246,6 +338,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	// Beacon unreachable: its ring sibling holds the lazy replica of the
 	// lookup records, so retry there before giving up on cooperation.
 	failedOver := false
+	deadBeacon := beaconName
 	if !lookupOK {
 		if sibName, sibBase, ok := n.siblingOf(beaconName); ok {
 			if sibName == n.name {
@@ -260,6 +353,9 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if lookupOK {
+		n.lookupMs.Observe(msSince(tLookup))
+	}
 
 	// No beacon at all: degrade to a direct origin fetch so the client
 	// request still completes.
@@ -269,28 +365,32 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadGateway, err)
 			return
 		}
-		n.mu.Lock()
-		n.originMZ++
-		n.degraded++
-		n.mu.Unlock()
+		n.originMZ.Inc()
+		n.degraded.Inc()
 		stored := n.place(ctx, fr.Doc, "", "", LookupResponse{}, now)
 		writeJSON(w, http.StatusOK, DocResponse{Doc: fr.Doc, Source: "origin", Stored: stored, Degraded: true})
 		return
 	}
 	if failedOver {
-		n.mu.Lock()
-		n.failedOver++
-		n.mu.Unlock()
+		n.failedOver.Inc()
+		if tr := n.Tracer(); tr != nil {
+			tr.Emit(obs.Event{Time: now, Kind: obs.EvFailedOver, Node: deadBeacon, URL: url})
+		}
 	}
 
+	tFetch := time.Now()
 	doc, source, err := n.retrieve(ctx, url, lr)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return
 	}
+	n.fetchMs.Observe(msSince(tFetch))
 	stored := n.place(ctx, doc, beaconName, beaconBase, lr, now)
 	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored, FailedOver: failedOver})
 }
+
+// msSince returns the elapsed wall time since t0 in milliseconds.
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
 
 // retrieve fetches the document from a holder, falling back to the origin.
 // Holders the origin has declared dead are skipped without a network call.
@@ -306,9 +406,7 @@ func (n *CacheNode) retrieve(ctx context.Context, url string, lr LookupResponse)
 		var fr FetchResponse
 		err := n.tp.GetJSON(ctx, base+"/fetch?url="+queryEscape(url), &fr)
 		if err == nil {
-			n.mu.Lock()
-			n.peerHits++
-			n.mu.Unlock()
+			n.peerHits.Inc()
 			return fr.Doc, "peer", nil
 		}
 		if !errors.Is(err, errNotFound) {
@@ -319,9 +417,7 @@ func (n *CacheNode) retrieve(ctx context.Context, url string, lr LookupResponse)
 	if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
 		return document.Document{}, "", fmt.Errorf("origin fetch: %w", err)
 	}
-	n.mu.Lock()
-	n.originMZ++
-	n.mu.Unlock()
+	n.originMZ.Inc()
 	return fr.Doc, "origin", nil
 }
 
@@ -777,26 +873,28 @@ func (n *CacheNode) handleLoadsCollect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	total := n.localHits + n.peerHits + n.originMZ
+	local, peer, origin := n.localHits.Value(), n.peerHits.Value(), n.originMZ.Value()
+	total := local + peer + origin
 	hitRate := 0.0
 	if total > 0 {
-		hitRate = float64(n.localHits+n.peerHits) / float64(total)
+		hitRate = float64(local+peer) / float64(total)
 	}
+	n.mu.Lock()
+	records, downPeers := len(n.records), len(n.down)
+	n.mu.Unlock()
 	writeJSON(w, http.StatusOK, CacheStats{
 		Node:        n.name,
 		StoredDocs:  n.store.Len(),
 		UsedBytes:   n.store.Used(),
-		LocalHits:   n.localHits,
-		PeerHits:    n.peerHits,
-		OriginMiss:  n.originMZ,
-		BeaconOps:   n.beaconOps,
+		LocalHits:   local,
+		PeerHits:    peer,
+		OriginMiss:  origin,
+		BeaconOps:   n.beaconOps.Value(),
 		HitRate:     hitRate,
-		RecordsHeld: len(n.records),
-		FailedOver:  n.failedOver,
-		Degraded:    n.degraded,
-		DownPeers:   len(n.down),
+		RecordsHeld: records,
+		FailedOver:  n.failedOver.Value(),
+		Degraded:    n.degraded.Value(),
+		DownPeers:   downPeers,
 	})
 }
 

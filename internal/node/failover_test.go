@@ -181,10 +181,8 @@ func TestChaosBeaconFailoverEndToEnd(t *testing.T) {
 	// sibling or degraded to the origin while the partition lasted.
 	totalFailedOver, totalDegraded := int64(0), int64(0)
 	for _, n := range lc.Caches {
-		n.mu.Lock()
-		totalFailedOver += n.failedOver
-		totalDegraded += n.degraded
-		n.mu.Unlock()
+		totalFailedOver += n.failedOver.Value()
+		totalDegraded += n.degraded.Value()
 	}
 	if totalFailedOver+totalDegraded == 0 {
 		t.Fatal("no request used the failover or degraded path during the partition")

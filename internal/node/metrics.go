@@ -1,68 +1,15 @@
 package node
 
-import (
-	"fmt"
-	"net/http"
-	"sort"
-	"strings"
-)
-
-// metricsText renders a metric set in the Prometheus text exposition
-// format (hand-rolled; the repository is stdlib-only). Gauges only — every
-// value is a point-in-time read of node state.
-func metricsText(prefix string, values map[string]float64, labels map[string]string) string {
-	var label string
-	if len(labels) > 0 {
-		keys := make([]string, 0, len(labels))
-		for k := range labels {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		parts := make([]string, 0, len(keys))
-		for _, k := range keys {
-			parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
-		}
-		label = "{" + strings.Join(parts, ",") + "}"
-	}
-	names := make([]string, 0, len(values))
-	for name := range values {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for _, name := range names {
-		fmt.Fprintf(&b, "# TYPE %s_%s gauge\n", prefix, name)
-		fmt.Fprintf(&b, "%s_%s%s %g\n", prefix, name, label, values[name])
-	}
-	return b.String()
-}
+import "net/http"
 
 // handleMetrics exposes cache-node operational metrics at GET /metrics in
-// the Prometheus text format.
+// the Prometheus text format. The registry snapshots every series under
+// its own lock and renders outside it, so a slow client never stalls the
+// request path.
 func (n *CacheNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	n.mu.Lock()
-	vals := map[string]float64{
-		"local_hits_total":   float64(n.localHits),
-		"peer_hits_total":    float64(n.peerHits),
-		"origin_miss_total":  float64(n.originMZ),
-		"beacon_ops_total":   float64(n.beaconOps),
-		"lookup_records":     float64(len(n.records)),
-		"replica_records":    float64(len(n.replicas)),
-		"stored_documents":   float64(n.store.Len()),
-		"stored_bytes":       float64(n.store.Used()),
-		"capacity_bytes":     float64(n.store.Capacity()),
-		"uptime_seconds":     float64(n.now()),
-		"ring_count":         float64(len(n.assign.Rings)),
-		"owned_subrange_len": float64(n.ownedSubrangeLenLocked()),
-		"failed_over_total":  float64(n.failedOver),
-		"degraded_total":     float64(n.degraded),
-		"down_peers":         float64(len(n.down)),
-		"heartbeats_sent":    float64(n.hbSeq),
-	}
-	name := n.name
-	n.mu.Unlock()
+	body := n.reg.Render()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(metricsText("cachecloud_node", vals, map[string]string{"node": name})))
+	_, _ = w.Write([]byte(body))
 }
 
 // ownedSubrangeLenLocked sums the IrH values this node currently owns.
@@ -81,30 +28,7 @@ func (n *CacheNode) ownedSubrangeLenLocked() int {
 
 // handleMetrics exposes origin metrics at GET /metrics.
 func (o *OriginNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	o.mu.Lock()
-	down := 0
-	for _, d := range o.down {
-		if d {
-			down++
-		}
-	}
-	vals := map[string]float64{
-		"documents":               float64(len(o.docs)),
-		"fetches_total":           float64(o.fetches),
-		"updates_total":           float64(o.updates),
-		"bytes_sent_total":        float64(o.bytesOut),
-		"rebalances_total":        float64(o.rebalances),
-		"repairs_total":           float64(o.repairs),
-		"nodes_down":              float64(down),
-		"nodes_configured":        float64(len(o.cfg.Addrs)),
-		"ring_count":              float64(len(o.assign.Rings)),
-		"intra_ring_hash_n":       float64(o.cfg.IntraGen),
-		"heartbeats_total":        float64(o.heartbeats),
-		"records_lost_total":      float64(o.recordsLost),
-		"records_recovered_total": float64(o.recordsRec),
-		"rejoins_total":           float64(o.rejoins),
-	}
-	o.mu.Unlock()
+	body := o.reg.Render()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(metricsText("cachecloud_origin", vals, nil)))
+	_, _ = w.Write([]byte(body))
 }

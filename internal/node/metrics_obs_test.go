@@ -1,0 +1,149 @@
+package node
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMetricsHistogramExposition checks /metrics renders the latency
+// histograms in full Prometheus form: typed series, cumulative buckets
+// ending at le="+Inf", and matching _sum/_count lines.
+func TestMetricsHistogramExposition(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 5; i++ {
+		getDoc(t, client, lc.Cfg.Addrs["live-00"], fmt.Sprintf("http://live/doc/%d", i))
+	}
+
+	resp, err := client.Get(lc.Cfg.Addrs["live-00"] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE cachecloud_node_request_ms histogram",
+		`cachecloud_node_request_ms_bucket{node="live-00",le="+Inf"} 5`,
+		`cachecloud_node_request_ms_count{node="live-00"} 5`,
+		`cachecloud_node_request_ms_sum{node="live-00"}`,
+		"# TYPE cachecloud_node_lookup_ms histogram",
+		"# TYPE cachecloud_node_fetch_ms histogram",
+		"# TYPE cachecloud_node_local_hits_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+
+	// Bucket counts must be cumulative: each le line >= the previous.
+	prev := int64(-1)
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "cachecloud_node_request_ms_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = n
+	}
+	if prev != 5 {
+		t.Fatalf("+Inf bucket = %d, want 5", prev)
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers /metrics from several goroutines
+// while other goroutines drive document requests and publishes through
+// the same nodes. Run under -race (CI does) this is the regression test
+// for the scrape path racing the request path; in any mode it checks
+// every scrape returns a complete, parseable exposition.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	lc := startCluster(t, 3, 3, ClusterConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapeErrs, loadErrs atomic.Int64
+
+	// Load: requests spread over the catalog plus publishes.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := lc.Cfg.Addrs[fmt.Sprintf("live-%02d", w)]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := fmt.Sprintf("http://live/doc/%d", i%50)
+				var dr DocResponse
+				if err := getJSON(client, base+"/doc?url="+queryEscape(url), &dr); err != nil {
+					loadErrs.Add(1)
+				}
+				if i%7 == 0 {
+					if err := postJSON(client, lc.Cfg.OriginAddr+"/publish", PublishRequest{URL: url}, nil); err != nil {
+						loadErrs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Scrapers: every node's /metrics plus the origin's, continuously.
+	targets := []string{lc.Cfg.OriginAddr}
+	for _, base := range lc.Cfg.Addrs {
+		targets = append(targets, base)
+	}
+	for _, base := range targets {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(base + "/metrics")
+				if err != nil {
+					scrapeErrs.Add(1)
+					continue
+				}
+				raw, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if err != nil || !strings.Contains(string(raw), "# TYPE") {
+					scrapeErrs.Add(1)
+				}
+			}
+		}(base)
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := scrapeErrs.Load(); n != 0 {
+		t.Fatalf("%d scrapes failed", n)
+	}
+	if n := loadErrs.Load(); n != 0 {
+		t.Fatalf("%d load requests failed", n)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"cachecloud/internal/document"
 	"cachecloud/internal/loadstats"
+	"cachecloud/internal/obs"
 	"cachecloud/internal/ring"
 )
 
@@ -35,15 +36,21 @@ type OriginNode struct {
 	down        map[string]bool      // nodes declared dead (probe or heartbeat)
 	lastSeen    map[string]time.Time // last heartbeat arrival per node
 	recordsHeld map[string]int       // records reported in each node's last beat
-	heartbeats  int64
-	recordsLost int64
-	recordsRec  int64
-	rejoins     int64
-	fetches     int64
-	updates     int64
-	bytesOut    int64
-	rebalances  int64
-	repairs     int64
+	tracer      *obs.Tracer
+	started     time.Time
+
+	reg         *obs.Registry
+	heartbeats  *obs.Counter
+	recordsLost *obs.Counter
+	recordsRec  *obs.Counter
+	rejoins     *obs.Counter
+	fetches     *obs.Counter
+	updates     *obs.Counter
+	bytesOut    *obs.Counter
+	rebalances  *obs.Counter
+	repairs     *obs.Counter
+	rebalanceMs *obs.Histogram
+	publishMs   *obs.Histogram
 }
 
 // NewOriginNode constructs the origin with its document catalog.
@@ -62,7 +69,9 @@ func NewOriginNode(cfg ClusterConfig, docs []document.Document) (*OriginNode, er
 		down:        make(map[string]bool),
 		lastSeen:    make(map[string]time.Time),
 		recordsHeld: make(map[string]int),
+		started:     time.Now(),
 	}
+	o.initMetrics()
 	for _, d := range docs {
 		if d.Version == 0 {
 			d.Version = 1
@@ -70,6 +79,69 @@ func NewOriginNode(cfg ClusterConfig, docs []document.Document) (*OriginNode, er
 		o.docs[d.URL] = d
 	}
 	return o, nil
+}
+
+// initMetrics builds the origin's metrics registry: counters for served
+// traffic and recovery actions, gauge callbacks over the membership view,
+// and latency histograms for the coordination paths.
+func (o *OriginNode) initMetrics() {
+	reg := obs.NewRegistry("cachecloud_origin", nil)
+	o.reg = reg
+	o.fetches = reg.Counter("fetches_total")
+	o.updates = reg.Counter("updates_total")
+	o.bytesOut = reg.Counter("bytes_sent_total")
+	o.rebalances = reg.Counter("rebalances_total")
+	o.repairs = reg.Counter("repairs_total")
+	o.heartbeats = reg.Counter("heartbeats_total")
+	o.recordsLost = reg.Counter("records_lost_total")
+	o.recordsRec = reg.Counter("records_recovered_total")
+	o.rejoins = reg.Counter("rejoins_total")
+	bounds := obs.DefaultLatencyBounds()
+	o.rebalanceMs = reg.Histogram("rebalance_ms", bounds)
+	o.publishMs = reg.Histogram("publish_ms", bounds)
+	reg.GaugeFunc("documents", func() float64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return float64(len(o.docs))
+	})
+	reg.GaugeFunc("nodes_down", func() float64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		down := 0
+		for _, d := range o.down {
+			if d {
+				down++
+			}
+		}
+		return float64(down)
+	})
+	reg.GaugeFunc("nodes_configured", func() float64 { return float64(len(o.cfg.Addrs)) })
+	reg.GaugeFunc("ring_count", func() float64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return float64(len(o.assign.Rings))
+	})
+	reg.GaugeFunc("intra_ring_hash_n", func() float64 { return float64(o.cfg.IntraGen) })
+	reg.GaugeFunc("uptime_seconds", func() float64 { return time.Since(o.started).Seconds() })
+}
+
+// Metrics exposes the origin's metrics registry.
+func (o *OriginNode) Metrics() *obs.Registry { return o.reg }
+
+// SetTracer attaches a protocol-event tracer; the origin emits
+// EvNodeDead when a node is declared dead and EvNodeRejoin on
+// re-admission.
+func (o *OriginNode) SetTracer(t *obs.Tracer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tracer = t
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (o *OriginNode) Tracer() *obs.Tracer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tracer
 }
 
 // NewOriginNodeWithTransport constructs an origin whose outbound calls go
@@ -103,11 +175,11 @@ func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 	u := r.URL.Query().Get("url")
 	o.mu.Lock()
 	d, ok := o.docs[u]
-	if ok {
-		o.fetches++
-		o.bytesOut += d.Size
-	}
 	o.mu.Unlock()
+	if ok {
+		o.fetches.Inc()
+		o.bytesOut.Add(d.Size)
+	}
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown document %q", u))
 		return
@@ -116,6 +188,8 @@ func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { o.publishMs.Observe(msSince(t0)) }()
 	var req PublishRequest
 	if err := readJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -131,9 +205,9 @@ func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
 	d.Version++
 	o.docs[req.URL] = d
 	beacon, err := o.assign.ownerOf(req.URL, o.cfg.IntraGen)
-	o.updates++
-	o.bytesOut += d.Size
 	o.mu.Unlock()
+	o.updates.Inc()
+	o.bytesOut.Add(d.Size)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -203,6 +277,8 @@ func (o *OriginNode) handleRebalance(w http.ResponseWriter, r *http.Request) {
 // sub-ranges with the intra-ring algorithm, and installs the new layout on
 // all nodes (triggering record handoffs between them).
 func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
+	t0 := time.Now()
+	defer func() { o.rebalanceMs.Observe(msSince(t0)) }()
 	o.mu.Lock()
 	current := o.assign
 	o.mu.Unlock()
@@ -264,8 +340,8 @@ func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
 
 	o.mu.Lock()
 	o.assign = next
-	o.rebalances++
 	o.mu.Unlock()
+	o.rebalances.Inc()
 
 	// Install everywhere; nodes hand off records among themselves.
 	if _, err := o.installAssignments(ctx, next); err != nil {
@@ -395,13 +471,17 @@ func (o *OriginNode) declareDead(ctx context.Context, dead []string) (RepairResp
 	}
 	o.mu.Lock()
 	next := o.assign
-	o.repairs++
-	o.recordsLost += lost
 	o.mu.Unlock()
+	o.repairs.Inc()
+	o.recordsLost.Add(lost)
+	if tr := o.Tracer(); tr != nil {
+		now := o.uptime()
+		for _, name := range removed {
+			tr.Emit(obs.Event{Time: now, Kind: obs.EvNodeDead, Node: name})
+		}
+	}
 	promoted, err := o.installAssignments(ctx, next)
-	o.mu.Lock()
-	o.recordsRec += int64(promoted)
-	o.mu.Unlock()
+	o.recordsRec.Add(int64(promoted))
 	if err != nil {
 		return RepairResponse{Removed: removed}, err
 	}
@@ -422,8 +502,8 @@ func (o *OriginNode) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown node %q", req.Node))
 		return
 	}
+	o.heartbeats.Inc()
 	o.mu.Lock()
-	o.heartbeats++
 	o.lastSeen[req.Node] = time.Now()
 	o.recordsHeld[req.Node] = req.RecordsHeld
 	wasDown := o.down[req.Node]
@@ -485,8 +565,11 @@ func (o *OriginNode) Readmit(ctx context.Context, name string) error {
 	next.Rings[ringIdx] = newSubs
 	o.assign = next
 	delete(o.down, name)
-	o.rejoins++
 	o.mu.Unlock()
+	o.rejoins.Inc()
+	if tr := o.Tracer(); tr != nil {
+		tr.Emit(obs.Event{Time: o.uptime(), Kind: obs.EvNodeRejoin, Node: name})
+	}
 	if _, err := o.installAssignments(ctx, next); err != nil {
 		return err
 	}
@@ -599,53 +682,40 @@ func (o *OriginNode) handleRepair(w http.ResponseWriter, r *http.Request) {
 }
 
 func (o *OriginNode) handleStats(w http.ResponseWriter, r *http.Request) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	nodesDown := 0
-	for _, d := range o.down {
-		if d {
-			nodesDown++
-		}
-	}
-	writeJSON(w, http.StatusOK, OriginStats{
-		Documents:        len(o.docs),
-		Fetches:          o.fetches,
-		Updates:          o.updates,
-		BytesServed:      o.bytesOut,
-		Rebalances:       o.rebalances,
-		Repairs:          o.repairs,
-		Heartbeats:       o.heartbeats,
-		NodesDown:        nodesDown,
-		RecordsLost:      o.recordsLost,
-		RecordsRecovered: o.recordsRec,
-		Rejoins:          o.rejoins,
-	})
+	writeJSON(w, http.StatusOK, o.Stats())
 }
 
 // Stats returns a snapshot of the origin's counters (test and tooling
 // convenience mirroring GET /stats).
 func (o *OriginNode) Stats() OriginStats {
 	o.mu.Lock()
-	defer o.mu.Unlock()
+	docs := len(o.docs)
 	nodesDown := 0
 	for _, d := range o.down {
 		if d {
 			nodesDown++
 		}
 	}
+	o.mu.Unlock()
 	return OriginStats{
-		Documents:        len(o.docs),
-		Fetches:          o.fetches,
-		Updates:          o.updates,
-		BytesServed:      o.bytesOut,
-		Rebalances:       o.rebalances,
-		Repairs:          o.repairs,
-		Heartbeats:       o.heartbeats,
+		Documents:        docs,
+		Fetches:          o.fetches.Value(),
+		Updates:          o.updates.Value(),
+		BytesServed:      o.bytesOut.Value(),
+		Rebalances:       o.rebalances.Value(),
+		Repairs:          o.repairs.Value(),
+		Heartbeats:       o.heartbeats.Value(),
 		NodesDown:        nodesDown,
-		RecordsLost:      o.recordsLost,
-		RecordsRecovered: o.recordsRec,
-		Rejoins:          o.rejoins,
+		RecordsLost:      o.recordsLost.Value(),
+		RecordsRecovered: o.recordsRec.Value(),
+		Rejoins:          o.rejoins.Value(),
 	}
+}
+
+// uptime is the origin's logical clock for trace events: whole seconds
+// since construction.
+func (o *OriginNode) uptime() int64 {
+	return int64(time.Since(o.started).Seconds())
 }
 
 // Assignments returns the origin's current view of the sub-range layout.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"cachecloud/internal/obs"
 	"cachecloud/internal/trace"
 )
 
@@ -17,6 +18,9 @@ type ReplayResult struct {
 	Updates    int64
 	Rebalances int64
 	Errors     int64
+	// Latency holds the client-side round-trip time of every document
+	// request, in milliseconds.
+	Latency obs.HistSnapshot
 }
 
 // HitRate returns the in-network hit rate of the replay.
@@ -51,6 +55,7 @@ func Replay(cfg ClusterConfig, tr *trace.Trace, opts ReplayOptions) (*ReplayResu
 	}
 	client := &http.Client{Timeout: 10 * time.Second}
 	res := &ReplayResult{}
+	lat := obs.NewHistogram(obs.DefaultLatencyBounds())
 	var nextCycle int64
 	if opts.RebalanceEvery > 0 {
 		nextCycle = opts.RebalanceEvery
@@ -77,7 +82,10 @@ func Replay(cfg ClusterConfig, tr *trace.Trace, opts ReplayOptions) (*ReplayResu
 			}
 			res.Requests++
 			var dr DocResponse
-			if err := getJSON(client, base+"/doc?url="+queryEscape(ev.URL), &dr); err != nil {
+			t0 := time.Now()
+			err := getJSON(client, base+"/doc?url="+queryEscape(ev.URL), &dr)
+			lat.Observe(msSince(t0))
+			if err != nil {
 				res.Errors++
 				continue
 			}
@@ -96,5 +104,6 @@ func Replay(cfg ClusterConfig, tr *trace.Trace, opts ReplayOptions) (*ReplayResu
 			}
 		}
 	}
+	res.Latency = lat.Snapshot()
 	return res, nil
 }

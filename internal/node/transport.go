@@ -59,6 +59,10 @@ type TransportOptions struct {
 	// JitterSeed seeds the backoff jitter source; 0 derives a seed from
 	// the wall clock. Fix it for reproducible retry schedules in tests.
 	JitterSeed int64
+	// OnBreakerOpen, when non-nil, is called each time a peer's circuit
+	// transitions from closed to open (observability hook). It is invoked
+	// outside the transport's lock and must be safe for concurrent use.
+	OnBreakerOpen func(host string)
 	// Client overrides the underlying *http.Client. It should have no
 	// global Timeout: deadlines are per-request via context.
 	Client *http.Client
@@ -188,22 +192,27 @@ func (t *HTTPTransport) observe(host string, ok bool) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	b := t.breakers[host]
 	if b == nil {
 		b = &breaker{}
 		t.breakers[host] = b
 	}
+	opened := false
 	if ok {
 		b.fails = 0
 		b.openedAt = time.Time{}
 		b.probing = false
-		return
+	} else {
+		b.fails++
+		b.probing = false
+		if b.fails >= t.opts.BreakerThreshold {
+			opened = b.openedAt.IsZero()
+			b.openedAt = time.Now()
+		}
 	}
-	b.fails++
-	b.probing = false
-	if b.fails >= t.opts.BreakerThreshold {
-		b.openedAt = time.Now()
+	t.mu.Unlock()
+	if opened && t.opts.OnBreakerOpen != nil {
+		t.opts.OnBreakerOpen(host)
 	}
 }
 

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// EventKind identifies a protocol event.
+type EventKind uint8
+
+// Protocol events emitted by the core protocol, the simulator, and the
+// live node layer.
+const (
+	EvNone           EventKind = iota
+	EvLocalHit                 // request served from the edge cache it arrived at
+	EvPeerHit                  // request served from a sibling holder via the beacon
+	EvBeaconLookup             // beacon resolved a lookup record (miss path)
+	EvUpdateFanout             // beacon pushed an update to its holders (Count = holders)
+	EvFailedOver               // live node routed around a dead beacon
+	EvCircuitOpen              // transport opened the circuit breaker for a peer
+	EvNodeDead                 // failure detector (or simulator) declared a cache dead
+	EvNodeRejoin               // a dead cache was readmitted
+	EvRecordMigrated           // lookup records moved between beacons (Count = records)
+	numEventKinds
+)
+
+var kindNames = [numEventKinds]string{
+	EvNone:           "none",
+	EvLocalHit:       "local_hit",
+	EvPeerHit:        "peer_hit",
+	EvBeaconLookup:   "beacon_lookup",
+	EvUpdateFanout:   "update_fanout",
+	EvFailedOver:     "failed_over",
+	EvCircuitOpen:    "circuit_open",
+	EvNodeDead:       "node_dead",
+	EvNodeRejoin:     "node_rejoin",
+	EvRecordMigrated: "record_migrated",
+}
+
+// String returns the JSONL wire name of the kind.
+func (k EventKind) String() string {
+	if k < numEventKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// EventKinds lists every real event kind (excluding EvNone), in declared
+// order — handy for reconciliation loops.
+func EventKinds() []EventKind {
+	out := make([]EventKind, 0, numEventKinds-1)
+	for k := EvLocalHit; k < numEventKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Event is one protocol event. Time is logical (simulated time units or
+// node-relative seconds), never wall clock, so traces are deterministic
+// and reproducible under the parallel experiment runner. Cycle is the
+// rebalance-cycle index the event fell into, stamped by the tracer.
+type Event struct {
+	Cycle int64
+	Time  int64
+	Kind  EventKind
+	Node  string // cache or beacon involved, "" when not applicable
+	URL   string // document, "" when not applicable
+	Count int64  // kind-specific magnitude (fanout size, records moved); 0 means 1
+}
+
+// Tracer collects protocol events into a fixed-size ring buffer and,
+// optionally, streams them to a JSONL sink. A nil *Tracer is a valid
+// no-op: every method checks the receiver, so callers hold a plain field
+// and emit unconditionally. Hot paths should still guard event
+// construction with Enabled() so a disabled tracer costs zero
+// allocations.
+//
+// Ordering: events are written in emission order. All emitters run
+// single-threaded within one simulation run (the PR-1 parallel runner
+// parallelises across runs, each with its own tracer), so the JSONL
+// stream is ordered by logical cycle and time by construction.
+type Tracer struct {
+	mu     sync.Mutex
+	cycle  int64
+	ring   []Event
+	next   int
+	total  int64
+	counts [numEventKinds]int64
+	sums   [numEventKinds]int64
+	sink   *bufio.Writer
+	sinkW  io.Writer
+	errSnk error
+	buf    []byte // reusable JSONL encoding buffer
+}
+
+// NewTracer creates a tracer keeping the last ringSize events in memory
+// (minimum 1).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	return &Tracer{ring: make([]Event, 0, ringSize)}
+}
+
+// Enabled reports whether events will be recorded. It is the hot-path
+// guard: `if t.Enabled() { t.Emit(...) }` constructs nothing when t is
+// nil.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetSink streams every subsequent event to w as one JSON object per
+// line. Call Flush before reading what was written.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sinkW = w
+	t.sink = bufio.NewWriter(w)
+	t.mu.Unlock()
+}
+
+// SetCycle sets the rebalance-cycle index stamped onto subsequent
+// events.
+func (t *Tracer) SetCycle(c int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cycle = c
+	t.mu.Unlock()
+}
+
+// Emit records one event. Safe on a nil tracer.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev.Cycle = t.cycle
+	if ev.Kind < numEventKinds {
+		t.counts[ev.Kind]++
+		if ev.Count == 0 {
+			t.sums[ev.Kind]++
+		} else {
+			t.sums[ev.Kind] += ev.Count
+		}
+	}
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	if t.sink != nil && t.errSnk == nil {
+		t.buf = appendEventJSON(t.buf[:0], ev)
+		if _, err := t.sink.Write(t.buf); err != nil {
+			t.errSnk = err
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Count returns how many events of kind k were emitted. Safe on a nil
+// tracer (always 0).
+func (t *Tracer) Count(k EventKind) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k < numEventKinds {
+		return t.counts[k]
+	}
+	return 0
+}
+
+// CountSum returns the sum of Event.Count over events of kind k, where
+// an event with Count==0 contributes 1. Tracked by an accumulator at
+// emit time, so it stays exact even after the ring buffer wraps.
+func (t *Tracer) CountSum(k EventKind) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k < numEventKinds {
+		return t.sums[k]
+	}
+	return 0
+}
+
+// Total returns the number of events emitted since creation.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Flush drains the sink buffer and reports the first sink write error,
+// if any. Safe on a nil tracer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink != nil {
+		if err := t.sink.Flush(); err != nil && t.errSnk == nil {
+			t.errSnk = err
+		}
+	}
+	return t.errSnk
+}
+
+// appendEventJSON renders one event as a JSON object plus newline. Hand
+// rolled so the per-event cost is a buffer append, not an
+// encoding/json round trip.
+func appendEventJSON(b []byte, ev Event) []byte {
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendInt(b, ev.Cycle, 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendInt(b, ev.Time, 10)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, ev.Kind.String())
+	if ev.Node != "" {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendQuote(b, ev.Node)
+	}
+	if ev.URL != "" {
+		b = append(b, `,"url":`...)
+		b = strconv.AppendQuote(b, ev.URL)
+	}
+	if ev.Count != 0 {
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, ev.Count, 10)
+	}
+	b = append(b, '}', '\n')
+	return b
+}

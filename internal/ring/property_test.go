@@ -1,0 +1,152 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cachecloud/internal/loadstats"
+)
+
+// checkExactPartition asserts the ring's core invariant: the sub-ranges
+// exactly partition [0, IntraGen) — contiguous, non-overlapping, in
+// order, with every beacon point appearing exactly once — and that
+// BeaconFor agrees with the assignment table on every IrH value.
+func checkExactPartition(t *testing.T, r *Ring, ctx string) {
+	t.Helper()
+	as := r.Assignments()
+	if len(as) == 0 {
+		t.Fatalf("%s: no assignments", ctx)
+	}
+	seen := make(map[string]bool, len(as))
+	next := 0
+	for i, a := range as {
+		if seen[a.ID] {
+			t.Fatalf("%s: beacon %q assigned twice", ctx, a.ID)
+		}
+		seen[a.ID] = true
+		if a.Sub.Lo != next {
+			t.Fatalf("%s: assignment %d (%s) starts at %d, want %d", ctx, i, a.ID, a.Sub.Lo, next)
+		}
+		if a.Sub.Hi < a.Sub.Lo {
+			t.Fatalf("%s: assignment %d (%s) is empty: %v", ctx, i, a.ID, a.Sub)
+		}
+		next = a.Sub.Hi + 1
+	}
+	if next != r.IntraGen() {
+		t.Fatalf("%s: partition ends at %d, want %d", ctx, next, r.IntraGen())
+	}
+	for irh := 0; irh < r.IntraGen(); irh++ {
+		owner, err := r.BeaconFor(irh)
+		if err != nil {
+			t.Fatalf("%s: BeaconFor(%d): %v", ctx, irh, err)
+		}
+		var want string
+		for _, a := range as {
+			if a.Sub.Contains(irh) {
+				want = a.ID
+			}
+		}
+		if owner != want {
+			t.Fatalf("%s: BeaconFor(%d) = %q, assignment table says %q", ctx, irh, owner, want)
+		}
+	}
+}
+
+// TestPropertyPartitionInvariant drives rings of random size, random
+// capabilities, and random skewed load through repeated record/rebalance
+// cycles in both load-information modes (the paper's CIrHLd and
+// CAvgLoad), checking the partition invariant after every step.
+func TestPropertyPartitionInvariant(t *testing.T) {
+	for _, fine := range []bool{true, false} {
+		fine := fine
+		t.Run(fmt.Sprintf("fineGrained=%v", fine), func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000*trial) + 7))
+				nPoints := 2 + rng.Intn(7)
+				intraGen := nPoints + rng.Intn(2000)
+				members := make([]Member, nPoints)
+				for i := range members {
+					members[i] = Member{
+						ID:         fmt.Sprintf("bp-%d", i),
+						Capability: 0.25 + 4*rng.Float64(),
+					}
+				}
+				r, err := New(Config{IntraGen: intraGen, FineGrained: fine}, members)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				ctx := fmt.Sprintf("trial %d (points=%d intraGen=%d)", trial, nPoints, intraGen)
+				checkExactPartition(t, r, ctx+" initial")
+
+				cycles := 1 + rng.Intn(5)
+				for c := 0; c < cycles; c++ {
+					// Skewed load: a few hot IrH values plus background noise.
+					for ev := 0; ev < 200; ev++ {
+						var irh int
+						if rng.Intn(4) == 0 {
+							irh = rng.Intn(intraGen)
+						} else {
+							irh = (trial*31 + c*7 + rng.Intn(1+intraGen/10)) % intraGen
+						}
+						if err := r.Record(irh, loadstats.Lookup, 1+int64(rng.Intn(5))); err != nil {
+							t.Fatalf("%s: Record: %v", ctx, err)
+						}
+					}
+					r.Rebalance()
+					checkExactPartition(t, r, fmt.Sprintf("%s after rebalance %d", ctx, c))
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyPartitionUnderChurn interleaves random membership changes
+// (Add/Remove) with load and rebalances, holding the partition invariant
+// throughout — the live cluster exercises exactly this sequence when
+// nodes crash and rejoin.
+func TestPropertyPartitionUnderChurn(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(31*trial) + 3))
+		intraGen := 100 + rng.Intn(1500)
+		r, err := New(Config{IntraGen: intraGen, FineGrained: true}, []Member{
+			{ID: "bp-0", Capability: 1},
+			{ID: "bp-1", Capability: 2},
+			{ID: "bp-2", Capability: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextID := 3
+		live := 3
+		ctx := fmt.Sprintf("trial %d (intraGen=%d)", trial, intraGen)
+		for step := 0; step < 30; step++ {
+			sctx := fmt.Sprintf("%s step %d", ctx, step)
+			switch op := rng.Intn(4); {
+			case op == 0 && live < 8:
+				id := fmt.Sprintf("bp-%d", nextID)
+				nextID++
+				if _, err := r.Add(Member{ID: id, Capability: 0.5 + 2*rng.Float64()}); err != nil {
+					t.Fatalf("%s: Add: %v", sctx, err)
+				}
+				live++
+			case op == 1 && live > 1:
+				victims := r.Members()
+				id := victims[rng.Intn(len(victims))]
+				if _, err := r.Remove(id); err != nil {
+					t.Fatalf("%s: Remove(%s): %v", sctx, id, err)
+				}
+				live--
+			case op == 2:
+				for ev := 0; ev < 50; ev++ {
+					if err := r.Record(rng.Intn(intraGen), loadstats.Lookup, 1); err != nil {
+						t.Fatalf("%s: Record: %v", sctx, err)
+					}
+				}
+			default:
+				r.Rebalance()
+			}
+			checkExactPartition(t, r, sctx)
+		}
+	}
+}

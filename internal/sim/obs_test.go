@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"cachecloud/internal/obs"
+	"cachecloud/internal/trace"
+)
+
+func obsTestTrace() *trace.Trace {
+	return trace.GenerateZipf(trace.ZipfConfig{
+		Seed: 7, NumDocs: 2000, Alpha: 0.9, Caches: 10,
+		Duration: 120, ReqPerCache: 20, UpdatesPerUnit: 30,
+	})
+}
+
+// TestTracerReconcilesWithStats is the acceptance check for the tracer:
+// every protocol-event count must reconcile exactly with the run's
+// aggregate counters, and the JSONL stream must be ordered by logical
+// cycle and time.
+func TestTracerReconcilesWithStats(t *testing.T) {
+	tr := obsTestTrace()
+	tracer := obs.NewTracer(64)
+	var sink bytes.Buffer
+	tracer.SetSink(&sink)
+	res, err := Run(Config{Arch: DynamicHashing, NumRings: 5, CycleLength: 30, Seed: 1, Tracer: tracer}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tracer.Count(obs.EvLocalHit); got != res.LocalHits {
+		t.Errorf("local_hit events = %d, Result.LocalHits = %d", got, res.LocalHits)
+	}
+	if got := tracer.Count(obs.EvPeerHit); got != res.CloudHits {
+		t.Errorf("peer_hit events = %d, Result.CloudHits = %d", got, res.CloudHits)
+	}
+	if got, want := tracer.Count(obs.EvBeaconLookup), res.Requests-res.LocalHits; got != want {
+		t.Errorf("beacon_lookup events = %d, want misses = %d", got, want)
+	}
+	if got := tracer.CountSum(obs.EvUpdateFanout); got != res.HoldersNotified {
+		t.Errorf("update_fanout sum = %d, Result.HoldersNotified = %d", got, res.HoldersNotified)
+	}
+	if got := tracer.CountSum(obs.EvRecordMigrated); got != res.RecordsMigrated {
+		t.Errorf("record_migrated sum = %d, Result.RecordsMigrated = %d", got, res.RecordsMigrated)
+	}
+	if res.LocalHits == 0 || res.CloudHits == 0 || res.HoldersNotified == 0 || res.RecordsMigrated == 0 {
+		t.Fatalf("degenerate run, reconciliation vacuous: %+v", res)
+	}
+
+	// The JSONL stream must contain every event, ordered by cycle and
+	// logical time.
+	type line struct {
+		Cycle int64  `json:"cycle"`
+		T     int64  `json:"t"`
+		Kind  string `json:"kind"`
+	}
+	var n int64
+	prev := line{Cycle: -1, T: -1}
+	sc := bufio.NewScanner(&sink)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if l.Cycle < prev.Cycle {
+			t.Fatalf("cycle went backwards: %+v after %+v", l, prev)
+		}
+		if l.T < prev.T {
+			t.Fatalf("time went backwards: %+v after %+v", l, prev)
+		}
+		prev = l
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != tracer.Total() {
+		t.Fatalf("sink has %d lines, tracer emitted %d", n, tracer.Total())
+	}
+}
+
+// TestTracerNodeDeadOnInjectedFailure checks crash injection emits
+// node_dead events matching CachesFailed.
+func TestTracerNodeDeadOnInjectedFailure(t *testing.T) {
+	tr := obsTestTrace()
+	tracer := obs.NewTracer(64)
+	res, err := Run(Config{
+		Arch: DynamicHashing, NumRings: 5, CycleLength: 30, Seed: 1,
+		ReplicateRecords: true,
+		FailAt:           map[int64][]string{60: {"cache-00", "cache-03"}},
+		Tracer:           tracer,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachesFailed != 2 {
+		t.Fatalf("CachesFailed = %d, want 2", res.CachesFailed)
+	}
+	if got := tracer.Count(obs.EvNodeDead); got != res.CachesFailed {
+		t.Errorf("node_dead events = %d, CachesFailed = %d", got, res.CachesFailed)
+	}
+}
+
+// TestTracerDeterministicAcrossConcurrentRuns runs the same traced
+// configuration from several goroutines at once (the parallel runner's
+// shape) and requires byte-identical JSONL from each — events are ordered
+// by logical time, never wall clock.
+func TestTracerDeterministicAcrossConcurrentRuns(t *testing.T) {
+	tr := obsTestTrace()
+	const runs = 3
+	outs := make([][]byte, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tracer := obs.NewTracer(8)
+			var sink bytes.Buffer
+			tracer.SetSink(&sink)
+			if _, err := Run(Config{Arch: DynamicHashing, NumRings: 5, CycleLength: 30, Seed: 1, Tracer: tracer}, tr); err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = sink.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	if len(outs[0]) == 0 {
+		t.Fatal("empty trace output")
+	}
+	for i := 1; i < runs; i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("run %d produced different JSONL than run 0", i)
+		}
+	}
+}
+
+// TestMetricsEveryStream checks the per-cycle metrics JSONL: snapshot
+// cadence, monotonic counters, and agreement with the final result.
+func TestMetricsEveryStream(t *testing.T) {
+	tr := obsTestTrace()
+	var sink bytes.Buffer
+	res, err := Run(Config{
+		Arch: DynamicHashing, NumRings: 5, CycleLength: 30, Seed: 1,
+		MetricsEvery: 1, MetricsSink: &sink,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []MetricsSnapshot
+	sc := bufio.NewScanner(&sink)
+	for sc.Scan() {
+		var m MetricsSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad metrics line %q: %v", sc.Text(), err)
+		}
+		snaps = append(snaps, m)
+	}
+	// Duration 120, cycle 30 => boundaries inside the run at 30, 60, 90.
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, m := range snaps {
+		if m.Cycle != int64(i+1) || m.Unit != int64(30*(i+1)) {
+			t.Errorf("snapshot %d has cycle=%d unit=%d", i, m.Cycle, m.Unit)
+		}
+		if m.LoadCoV < 0 || m.LoadMean <= 0 {
+			t.Errorf("snapshot %d has implausible load stats: %+v", i, m)
+		}
+		if i > 0 && (m.Requests < snaps[i-1].Requests || m.NetworkBytes < snaps[i-1].NetworkBytes) {
+			t.Errorf("snapshot %d went backwards: %+v", i, m)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Requests > res.Requests || last.LocalHits > res.LocalHits || last.Updates > res.Updates {
+		t.Errorf("last snapshot exceeds final result: %+v vs %+v", last, res)
+	}
+}
+
+// TestMetricsEveryCadence checks MetricsEvery > 1 skips intermediate
+// cycles.
+func TestMetricsEveryCadence(t *testing.T) {
+	tr := obsTestTrace()
+	var sink bytes.Buffer
+	if _, err := Run(Config{
+		Arch: DynamicHashing, NumRings: 5, CycleLength: 30, Seed: 1,
+		MetricsEvery: 2, MetricsSink: &sink,
+	}, tr); err != nil {
+		t.Fatal(err)
+	}
+	var cycles []int64
+	sc := bufio.NewScanner(&sink)
+	for sc.Scan() {
+		var m MetricsSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, m.Cycle)
+	}
+	want := []int64{1, 3}
+	if len(cycles) != len(want) {
+		t.Fatalf("cycles = %v, want %v", cycles, want)
+	}
+	for i := range want {
+		if cycles[i] != want[i] {
+			t.Fatalf("cycles = %v, want %v", cycles, want)
+		}
+	}
+}

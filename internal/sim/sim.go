@@ -14,8 +14,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
@@ -24,6 +26,7 @@ import (
 	"cachecloud/internal/core"
 	"cachecloud/internal/document"
 	"cachecloud/internal/loadstats"
+	"cachecloud/internal/obs"
 	"cachecloud/internal/origin"
 	"cachecloud/internal/placement"
 	"cachecloud/internal/trace"
@@ -156,6 +159,40 @@ type Config struct {
 	AdaptPeriod int64
 	// Seed drives holder selection.
 	Seed int64
+	// Tracer, when non-nil, receives the run's protocol events
+	// (LocalHit, PeerHit, BeaconLookup, UpdateFanout, NodeDead,
+	// RecordMigrated). Events carry logical trace time and the
+	// rebalance-cycle index, never wall clock, so traces stay
+	// deterministic under the parallel experiment runner. The tracer's
+	// sink is flushed before Run returns.
+	Tracer *obs.Tracer
+	// MetricsEvery, when > 0 and MetricsSink is set, emits one JSON
+	// metrics snapshot line to MetricsSink every MetricsEvery rebalance
+	// cycles (cooperative architectures only — NoCooperation has no
+	// cycles).
+	MetricsEvery int64
+	// MetricsSink receives the per-cycle metrics JSONL stream.
+	MetricsSink io.Writer
+}
+
+// MetricsSnapshot is one line of the per-cycle metrics stream: the run's
+// cumulative counters plus the beacon-load balance at a cycle boundary.
+// Together with the final Result it reproduces the paper's load-balance
+// evolution (Figures 3-6) from a single run.
+type MetricsSnapshot struct {
+	Unit            int64   `json:"unit"`
+	Cycle           int64   `json:"cycle"`
+	Requests        int64   `json:"requests"`
+	LocalHits       int64   `json:"local_hits"`
+	CloudHits       int64   `json:"cloud_hits"`
+	GroupMisses     int64   `json:"group_misses"`
+	Updates         int64   `json:"updates"`
+	HoldersNotified int64   `json:"holders_notified"`
+	RecordsMigrated int64   `json:"records_migrated"`
+	NetworkBytes    int64   `json:"network_bytes"`
+	LoadMean        float64 `json:"load_mean"`
+	LoadCoV         float64 `json:"load_cov"`
+	LoadMaxToMean   float64 `json:"load_max_to_mean"`
 }
 
 // Result carries the metrics of one run.
@@ -375,6 +412,7 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			return nil, fmt.Errorf("sim: build cloud: %w", err)
 		}
 		s.cloud = cloud
+		cloud.SetTracer(cfg.Tracer)
 		if cfg.TTL <= 0 && cfg.LeaseDuration <= 0 {
 			srv.AttachCloud(cloud) // server-driven push (the paper's model)
 		}
@@ -386,6 +424,9 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		return nil, err
 	}
 	s.finish()
+	if err := cfg.Tracer.Flush(); err != nil {
+		return nil, fmt.Errorf("sim: trace sink: %w", err)
+	}
 	return s.res, nil
 }
 
@@ -411,6 +452,8 @@ type state struct {
 	seriesUnit int64
 
 	leases map[string]int64 // lease-mode expiry per URL
+
+	cycle int64 // completed rebalance cycles
 
 	// holderScratch is reused across requests to filter the aliased holder
 	// list LookupHash returns without allocating per miss.
@@ -459,6 +502,11 @@ func (s *state) run(tr *trace.Trace) error {
 			if s.cfg.ReplicateRecords {
 				s.cloud.ReplicateRecords()
 			}
+			s.cycle++
+			s.cfg.Tracer.SetCycle(s.cycle)
+			if err := s.emitMetrics(nextCycle); err != nil {
+				return err
+			}
 			nextCycle += s.cfg.CycleLength
 		}
 		var err error
@@ -502,6 +550,9 @@ func (s *state) handleRequest(ev trace.Event) error {
 	s.res.Requests++
 	if cp, hit := ch.Get(ev.URL, ev.Time); hit {
 		s.res.LocalHits++
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.Event{Time: ev.Time, Kind: obs.EvLocalHit, Node: ev.Cache, URL: ev.URL})
+		}
 		return s.serveHit(ev, ch, cp)
 	}
 	if s.cloud == nil {
@@ -665,6 +716,9 @@ func (s *state) handleMissCloud(ev trace.Event, h document.Hash, ch *cache.Cache
 			s.res.IntraCloudBytes += doc.Size
 			s.res.ControlBytes += msgOverhead // fetch request
 			s.res.Latency.Observe(s.cfg.Latency.LocalMs + s.cfg.Latency.LookupMs + s.cfg.Latency.PeerFetchMs)
+			if s.cfg.Tracer != nil {
+				s.cfg.Tracer.Emit(obs.Event{Time: ev.Time, Kind: obs.EvPeerHit, Node: src, URL: ev.URL})
+			}
 		} else {
 			// Directory was stale; repair and fall through to the origin.
 			if derr := s.cloud.DeregisterHolderHash(ev.URL, h, src); derr != nil {
@@ -830,12 +884,51 @@ func (s *state) injectFailures(now int64) error {
 				return fmt.Errorf("sim: inject failure of %q: %w", id, err)
 			}
 			s.res.CachesFailed++
+			if s.cfg.Tracer != nil {
+				s.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.EvNodeDead, Node: id})
+			}
 		}
 		delete(s.cfg.FailAt, t)
 	}
 	st := s.cloud.Stats()
 	s.res.RecordsLost = st.RecordsLost
 	s.res.RecordsRecovered = st.RecordsRecovered
+	return nil
+}
+
+// emitMetrics writes one per-cycle metrics snapshot to the configured
+// sink. Called at rebalance-cycle boundaries; unit is the boundary time.
+func (s *state) emitMetrics(unit int64) error {
+	if s.cfg.MetricsEvery <= 0 || s.cfg.MetricsSink == nil {
+		return nil
+	}
+	if (s.cycle-1)%s.cfg.MetricsEvery != 0 {
+		return nil // s.cycle is 1-based at the first boundary
+	}
+	dist := s.cloud.LoadDistribution()
+	snap := MetricsSnapshot{
+		Unit:            unit,
+		Cycle:           s.cycle,
+		Requests:        s.res.Requests,
+		LocalHits:       s.res.LocalHits,
+		CloudHits:       s.res.CloudHits,
+		GroupMisses:     s.res.GroupMisses,
+		Updates:         s.res.Updates,
+		HoldersNotified: s.res.HoldersNotified,
+		RecordsMigrated: s.res.RecordsMigrated,
+		NetworkBytes:    s.res.IntraCloudBytes + s.res.ServerBytes + s.res.ControlBytes,
+		LoadMean:        dist.Mean(),
+		LoadCoV:         dist.CoV(),
+		LoadMaxToMean:   dist.MaxToMean(),
+	}
+	line, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("sim: metrics snapshot: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.cfg.MetricsSink.Write(line); err != nil {
+		return fmt.Errorf("sim: metrics sink: %w", err)
+	}
 	return nil
 }
 

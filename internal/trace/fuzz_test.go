@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceParse throws arbitrary bytes at the trace parser. Read must
+// never panic; when it accepts an input, the parsed trace must survive a
+// Write/Read round trip and re-serialize to the identical canonical
+// bytes (Write∘Read is a fixed point).
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte("# cachecloud trace\nT 10\nD http://a/1 100\nR 0 c0 http://a/1\nU 5 http://a/1\n"))
+	f.Add([]byte("T 3\nD u 0\nR 1 cache-00 u\nR 1 cache-01 u\nU 2 u\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("#only a comment\n\n  \n"))
+	f.Add([]byte("T x\n"))
+	f.Add([]byte("R 5 c u\nR 4 c u\n"))
+	f.Add([]byte("D u -3\n"))
+	f.Add([]byte("Z what\n"))
+	f.Add([]byte("T 9999999999999999999999\n"))
+	f.Add([]byte("U\nT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only panics count as failures
+		}
+		var first bytes.Buffer
+		if err := tr.Write(&first); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of written trace: %v\ninput: %q\nwritten: %q", err, data, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := tr2.Write(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Write/Read round trip is not a fixed point:\nfirst:  %q\nsecond: %q", first.Bytes(), second.Bytes())
+		}
+		if tr2.Duration != tr.Duration || len(tr2.Docs) != len(tr.Docs) || len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed shape: %d/%d/%d -> %d/%d/%d",
+				tr.Duration, len(tr.Docs), len(tr.Events), tr2.Duration, len(tr2.Docs), len(tr2.Events))
+		}
+	})
+}
