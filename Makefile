@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json figures figures-fast examples golden fuzz clean
+.PHONY: all build vet test race bench bench-json figures figures-fast examples golden fuzz simsweep clean
 
 all: build vet test
 
@@ -46,6 +46,15 @@ golden:
 fuzz:
 	$(GO) test -fuzz=FuzzTraceParse -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzProtocolDecode -fuzztime=30s ./internal/node
+	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=30s ./internal/simnet
+
+# Deterministic simulation sweep: run SEEDS generated fault schedules
+# against the production node code on a virtual clock, checking every
+# protocol invariant between events. Prints the first failing seed and a
+# minimized reproducing schedule on failure.
+SEEDS ?= 200
+simsweep:
+	$(GO) run ./cmd/simnet -seeds $(SEEDS)
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -41,14 +41,16 @@ type CacheNode struct {
 	store        *cache.Cache
 	policy       placement.Policy
 	tp           Transport
+	clock        Clock
 	start        time.Time
 	snapshotPath string
 
-	mu       sync.Mutex
-	assign   Assignments
-	records  map[string]*nodeRecord
-	replicas map[string]WireRecord // sibling's records, lazily replicated
-	down     map[string]bool       // peers the origin declared dead
+	mu          sync.Mutex
+	assign      Assignments
+	records     map[string]*nodeRecord
+	replicas    map[string]WireRecord // sibling's records, lazily replicated
+	replicaFrom map[string]string     // url → sibling that pushed the replica
+	down        map[string]bool       // peers the origin declared dead
 	// loads[ring] is a dense per-IrH-value load counter for ranges this
 	// node owns in that ring (it only ever has entries for its own ring,
 	// but indexing by ring keeps the wire format uniform).
@@ -90,17 +92,20 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		}
 		pol = u
 	}
+	clock := clockOrReal(cfg.Clock)
 	n := &CacheNode{
-		name:     name,
-		cfg:      cfg,
-		store:    cache.New(name, cfg.CapacityBytes),
-		policy:   pol,
-		start:    time.Now(),
-		assign:   equalSplit(cfg),
-		records:  make(map[string]*nodeRecord),
-		replicas: make(map[string]WireRecord),
-		down:     make(map[string]bool),
-		loads:    make(map[int][]int64),
+		name:        name,
+		cfg:         cfg,
+		store:       cache.New(name, cfg.CapacityBytes),
+		policy:      pol,
+		clock:       clock,
+		start:       clock.Now(),
+		assign:      equalSplit(cfg),
+		records:     make(map[string]*nodeRecord),
+		replicas:    make(map[string]WireRecord),
+		replicaFrom: make(map[string]string),
+		down:        make(map[string]bool),
+		loads:       make(map[int][]int64),
 	}
 	n.initMetrics()
 	n.tp = NewHTTPTransport(TransportOptions{OnBreakerOpen: n.noteCircuitOpen})
@@ -204,7 +209,13 @@ func (n *CacheNode) Name() string { return n.name }
 
 // now returns elapsed seconds since node start — the live clock for rate
 // monitors (1 live time unit = 1 second).
-func (n *CacheNode) now() int64 { return int64(time.Since(n.start) / time.Second) }
+func (n *CacheNode) now() int64 { return int64(n.clock.Since(n.start) / time.Second) }
+
+// msSince returns the elapsed time since t0 on the node's clock in
+// milliseconds (histogram observations).
+func (n *CacheNode) msSince(t0 time.Time) float64 {
+	return float64(n.clock.Since(t0)) / float64(time.Millisecond)
+}
 
 // Handler returns the node's HTTP handler.
 func (n *CacheNode) Handler() http.Handler {
@@ -220,6 +231,7 @@ func (n *CacheNode) Handler() http.Handler {
 	mux.HandleFunc("POST /records/import", n.handleRecordsImport)
 	mux.HandleFunc("POST /records/replica", n.handleRecordsReplica)
 	mux.HandleFunc("POST /replicate", n.handleReplicate)
+	mux.HandleFunc("POST /reconcile", n.handleReconcile)
 	mux.HandleFunc("GET /healthz", n.handleHealthz)
 	mux.HandleFunc("GET /subranges", n.handleGetSubranges)
 	mux.HandleFunc("POST /loads/collect", n.handleLoadsCollect)
@@ -307,8 +319,8 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
 		return
 	}
-	t0 := time.Now()
-	defer func() { n.reqMs.Observe(msSince(t0)) }()
+	t0 := n.clock.Now()
+	defer func() { n.reqMs.Observe(n.msSince(t0)) }()
 	now := n.now()
 	if cp, ok := n.store.Get(url, now); ok {
 		n.localHits.Inc()
@@ -325,7 +337,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	var lr LookupResponse
 	lookupOK := false
-	tLookup := time.Now()
+	tLookup := n.clock.Now()
 	if beaconName == n.name {
 		lr = n.localLookup(url)
 		lookupOK = true
@@ -354,7 +366,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if lookupOK {
-		n.lookupMs.Observe(msSince(tLookup))
+		n.lookupMs.Observe(n.msSince(tLookup))
 	}
 
 	// No beacon at all: degrade to a direct origin fetch so the client
@@ -378,13 +390,13 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	tFetch := time.Now()
+	tFetch := n.clock.Now()
 	doc, source, err := n.retrieve(ctx, url, lr)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return
 	}
-	n.fetchMs.Observe(msSince(tFetch))
+	n.fetchMs.Observe(n.msSince(tFetch))
 	stored := n.place(ctx, doc, beaconName, beaconBase, lr, now)
 	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored, FailedOver: failedOver})
 }
@@ -529,6 +541,26 @@ func (n *CacheNode) handleLookup(w http.ResponseWriter, r *http.Request) {
 func (n *CacheNode) localRegister(url, holder string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if owner, err := n.assign.ownerOf(url, n.cfg.IntraGen); err == nil && owner != n.name {
+		// Beacon duty fell here via failover: track the holder on the lazy
+		// replica instead of minting an owned record for a range this node
+		// does not cover. A spurious owned record would be replicated back
+		// to the true owner and later mis-counted as a crash recovery when
+		// an install promotes it. The replica is attributed to the real
+		// owner so its next full snapshot push supersedes this entry.
+		wr := n.replicas[url]
+		wr.URL = url
+		for _, h := range wr.Holders {
+			if h == holder {
+				n.replicas[url] = wr
+				return
+			}
+		}
+		wr.Holders = append(wr.Holders, holder)
+		n.replicas[url] = wr
+		n.replicaFrom[url] = owner
+		return
+	}
 	rec, ok := n.records[url]
 	if !ok {
 		rec = newNodeRecord()
@@ -540,6 +572,19 @@ func (n *CacheNode) localRegister(url, holder string) {
 func (n *CacheNode) localDeregister(url, holder string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if owner, err := n.assign.ownerOf(url, n.cfg.IntraGen); err == nil && owner != n.name {
+		if wr, ok := n.replicas[url]; ok {
+			kept := wr.Holders[:0]
+			for _, h := range wr.Holders {
+				if h != holder {
+					kept = append(kept, h)
+				}
+			}
+			wr.Holders = kept
+			n.replicas[url] = wr
+		}
+		return
+	}
 	if rec, ok := n.records[url]; ok {
 		delete(rec.holders, holder)
 	}
@@ -600,6 +645,7 @@ func (n *CacheNode) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for h := range rec.holders {
 		holders = append(holders, h)
 	}
+	sort.Strings(holders) // deterministic fan-out order
 	n.mu.Unlock()
 
 	push := UpdateRequest{
@@ -635,6 +681,12 @@ func (n *CacheNode) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			if !ar.Held {
 				stale = append(stale, h)
 			}
+		} else {
+			// The push never reached the holder: its copy is now stale.
+			// Drop it from the record so lookups stop steering requesters
+			// at an outdated copy; the holder re-registers on its next
+			// reconcile pass (or re-fetch) once reachable again.
+			stale = append(stale, h)
 		}
 	}
 	n.mu.Lock()
@@ -729,6 +781,7 @@ func (n *CacheNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		delete(n.replicas, url)
+		delete(n.replicaFrom, url)
 		promoted++
 	}
 	// Find records whose owner is no longer this node.
@@ -742,12 +795,20 @@ func (n *CacheNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
 		for h := range rec.holders {
 			wr.Holders = append(wr.Holders, h)
 		}
+		sort.Strings(wr.Holders)
 		outbound[owner] = append(outbound[owner], wr)
 		delete(n.records, url)
 	}
 	n.mu.Unlock()
 
-	for owner, recs := range outbound {
+	owners := make([]string, 0, len(outbound))
+	for owner := range outbound {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners) // deterministic hand-off order
+	for _, owner := range owners {
+		recs := outbound[owner]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].URL < recs[j].URL })
 		base, ok := n.cfg.Addrs[owner]
 		if !ok {
 			continue
@@ -766,8 +827,20 @@ func (n *CacheNode) handleRecordsReplica(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	n.mu.Lock()
+	if req.Reset {
+		// The push is a full snapshot of the sender's records: drop stale
+		// replicas previously pushed by the same sender so they cannot be
+		// promoted later. Replicas from other ring siblings are kept.
+		for url, from := range n.replicaFrom {
+			if req.From == "" || from == req.From {
+				delete(n.replicas, url)
+				delete(n.replicaFrom, url)
+			}
+		}
+	}
 	for _, wr := range req.Records {
 		n.replicas[wr.URL] = wr
+		n.replicaFrom[wr.URL] = req.From
 	}
 	n.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]int{"replicated": len(req.Records)})
@@ -794,9 +867,11 @@ func (n *CacheNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		for h := range rec.holders {
 			wr.Holders = append(wr.Holders, h)
 		}
+		sort.Strings(wr.Holders)
 		recs = append(recs, wr)
 	}
 	n.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].URL < recs[j].URL })
 
 	if sibling == "" || len(recs) == 0 {
 		writeJSON(w, http.StatusOK, map[string]int{"sent": 0})
@@ -807,7 +882,10 @@ func (n *CacheNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("no address for sibling %q", sibling))
 		return
 	}
-	if err := n.tp.PostJSON(r.Context(), base+"/records/replica", RecordsImport{Records: recs}, nil); err != nil {
+	// Reset: this payload is a full snapshot of the node's records, so the
+	// sibling must not keep (and later promote) replicas of records this
+	// node no longer holds.
+	if err := n.tp.PostJSON(r.Context(), base+"/records/replica", RecordsImport{Records: recs, Reset: true, From: n.name}, nil); err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return
 	}
@@ -933,25 +1011,203 @@ func (n *CacheNode) handleMembership(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-// StartHeartbeat begins reporting liveness to the origin every interval.
-// The returned stop function is idempotent and safe to call concurrently.
-func (n *CacheNode) StartHeartbeat(interval time.Duration) (stop func()) {
-	stopCh := make(chan struct{})
-	var once sync.Once
-	go func() {
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		n.sendHeartbeat() // announce immediately so detection starts fresh
-		for {
-			select {
-			case <-ticker.C:
-				n.sendHeartbeat()
-			case <-stopCh:
-				return
+// handleReconcile is the beacon side of the anti-entropy pass: a holder
+// reports the copies it stores whose beacon duty falls on this node. The
+// beacon re-registers each current copy — healing lookup records lost to
+// crashes, capacity churn, or stores made while the beacon was
+// unreachable — and advances its record version to the newest copy seen.
+// A copy staler than the version the beacon already fanned out gets
+// Keep=false: the holder drops it, bounding staleness to one reconcile
+// interval.
+func (n *CacheNode) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReconcileResponse{Results: n.reconcileEntries(req.Node, req.Entries)})
+}
+
+// reconcileEntries folds one holder's reconcile report into this beacon's
+// records and produces the per-copy verdicts.
+func (n *CacheNode) reconcileEntries(holder string, entries []ReconcileEntry) []ReconcileResult {
+	out := make([]ReconcileResult, 0, len(entries))
+	n.mu.Lock()
+	for _, e := range entries {
+		owner, err := n.assign.ownerOf(e.URL, n.cfg.IntraGen)
+		owned := err == nil && owner == n.name
+		res := ReconcileResult{URL: e.URL, Version: e.Version, Owned: owned, Keep: true}
+		if owned {
+			rec, ok := n.records[e.URL]
+			if !ok {
+				rec = newNodeRecord()
+				n.records[e.URL] = rec
+			}
+			if e.Version < rec.version {
+				delete(rec.holders, holder)
+				res.Keep = false
+			} else {
+				rec.holders[holder] = struct{}{}
+				rec.version = e.Version
+			}
+			res.Version = rec.version
+		}
+		out = append(out, res)
+	}
+	n.mu.Unlock()
+	return out
+}
+
+// Reconcile runs one holder-side anti-entropy pass: every stored copy is
+// reported to its current beacon point, grouped into one /reconcile call
+// per beacon. Copies the beacon rules stale (Keep=false) are dropped from
+// the store. Beacons that are down or unreachable are skipped — their
+// copies are retried on the next pass. Returns how many copies were
+// reported and how many were dropped as stale.
+func (n *CacheNode) Reconcile(ctx context.Context) (reported, dropped int) {
+	urls := n.store.Documents()
+	sort.Strings(urls) // deterministic report order
+	type group struct {
+		base    string
+		entries []ReconcileEntry
+	}
+	groups := make(map[string]*group)
+	var beacons []string
+	var local []ReconcileEntry
+	for _, url := range urls {
+		cp, ok := n.store.Peek(url)
+		if !ok {
+			continue
+		}
+		e := ReconcileEntry{URL: url, Version: cp.Doc.Version}
+		beaconName, beaconBase, err := n.beaconURL(url)
+		if err != nil {
+			continue
+		}
+		if beaconName == n.name {
+			local = append(local, e)
+			continue
+		}
+		if n.isDown(beaconName) {
+			continue
+		}
+		g := groups[beaconName]
+		if g == nil {
+			g = &group{base: beaconBase}
+			groups[beaconName] = g
+			beacons = append(beacons, beaconName)
+		}
+		g.entries = append(g.entries, e)
+	}
+
+	apply := func(results []ReconcileResult) {
+		for _, res := range results {
+			reported++
+			if res.Owned && !res.Keep {
+				if n.store.Remove(res.URL) {
+					dropped++
+				}
 			}
 		}
-	}()
-	return func() { once.Do(func() { close(stopCh) }) }
+	}
+	if len(local) > 0 {
+		apply(n.reconcileEntries(n.name, local))
+	}
+	for _, name := range beacons {
+		g := groups[name]
+		var resp ReconcileResponse
+		req := ReconcileRequest{Node: n.name, Entries: g.entries}
+		if err := n.tp.PostJSON(ctx, g.base+"/reconcile", req, &resp); err != nil {
+			continue
+		}
+		apply(resp.Results)
+	}
+	return reported, dropped
+}
+
+// StartReconcile begins the periodic holder-side anti-entropy pass. The
+// returned stop function is idempotent and safe to call concurrently.
+func (n *CacheNode) StartReconcile(interval time.Duration) (stop func()) {
+	return every(n.clock, interval, false, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		n.Reconcile(ctx)
+	})
+}
+
+// --- white-box inspection accessors (deterministic simulation harness) ---
+
+// Records returns a sorted snapshot of the lookup records this node owns
+// as beacon, with holder lists sorted.
+func (n *CacheNode) Records() []WireRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]WireRecord, 0, len(n.records))
+	for url, rec := range n.records {
+		wr := WireRecord{URL: url, Version: rec.version}
+		for h := range rec.holders {
+			wr.Holders = append(wr.Holders, h)
+		}
+		sort.Strings(wr.Holders)
+		out = append(out, wr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// ReplicaSnapshot returns a sorted snapshot of the sibling replicas this
+// node holds (not owned; promotion candidates after a crash).
+func (n *CacheNode) ReplicaSnapshot() []WireRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]WireRecord, 0, len(n.replicas))
+	for _, wr := range n.replicas {
+		cp := WireRecord{URL: wr.URL, Version: wr.Version, Holders: append([]string(nil), wr.Holders...)}
+		sort.Strings(cp.Holders)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// StoredVersions returns the URL → version map of the documents in this
+// node's store.
+func (n *CacheNode) StoredVersions() map[string]document.Version {
+	out := make(map[string]document.Version)
+	for _, url := range n.store.Documents() {
+		if cp, ok := n.store.Peek(url); ok {
+			out[url] = cp.Doc.Version
+		}
+	}
+	return out
+}
+
+// AssignmentsView returns this node's current view of the sub-range
+// layout.
+func (n *CacheNode) AssignmentsView() Assignments {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.assign
+}
+
+// DownView returns the sorted list of peers this node currently considers
+// dead (per the origin's last membership broadcast).
+func (n *CacheNode) DownView() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.down))
+	for d := range n.down {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StartHeartbeat begins reporting liveness to the origin every interval.
+// The first beat is sent immediately so detection starts fresh. The
+// returned stop function is idempotent and safe to call concurrently.
+func (n *CacheNode) StartHeartbeat(interval time.Duration) (stop func()) {
+	return every(n.clock, interval, true, n.sendHeartbeat)
 }
 
 // sendHeartbeat posts one beat. RecordsHeld rides along so the origin

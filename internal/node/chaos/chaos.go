@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -104,6 +105,15 @@ func (n *Network) Kill(name string) {
 func (n *Network) Heal(name string) {
 	n.mu.Lock()
 	delete(n.dead, name)
+	n.mu.Unlock()
+}
+
+// SetDropProb changes the drop probability at runtime — the simulation
+// harness opens and closes degradation windows with it. Safe for
+// concurrent use.
+func (n *Network) SetDropProb(p float64) {
+	n.mu.Lock()
+	n.cfg.DropProb = p
 	n.mu.Unlock()
 }
 
@@ -193,8 +203,8 @@ func (n *Network) inject(ctx context.Context, owner, rawurl string) error {
 	return nil
 }
 
-// DeadNodes returns the currently partitioned node names, for test
-// diagnostics.
+// DeadNodes returns the currently partitioned node names, sorted, for
+// test diagnostics and deterministic logs.
 func (n *Network) DeadNodes() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -202,6 +212,7 @@ func (n *Network) DeadNodes() []string {
 	for name := range n.dead {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

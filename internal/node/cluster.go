@@ -44,6 +44,7 @@ func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Doc
 		IntraGen:         opts.IntraGen,
 		CapacityBytes:    opts.CapacityBytes,
 		UtilityPlacement: opts.UtilityPlacement,
+		Clock:            opts.Clock,
 		Addrs:            make(map[string]string, len(nodeNames)),
 	}
 	if cfg.IntraGen == 0 {

@@ -166,8 +166,17 @@ func TestChaosBeaconFailoverEndToEnd(t *testing.T) {
 		return st.RecordsLost > 0 && st.RecordsRecovered == st.RecordsLost
 	})
 
-	// Let some failed-over traffic through, then stop the load.
-	time.Sleep(3 * hbInterval)
+	// Let failed-over traffic through: wait until at least one request has
+	// actually taken the failover or degraded path (the condition asserted
+	// below), then stop the load — no fixed sleep.
+	waitFor(t, 5*time.Second, "failover traffic", func() bool {
+		var fo, dg int64
+		for _, n := range lc.Caches {
+			fo += n.failedOver.Value()
+			dg += n.degraded.Value()
+		}
+		return fo+dg > 0
+	})
 	close(stopLoad)
 	wg.Wait()
 	if n := loadErrs.Load(); n != 0 {

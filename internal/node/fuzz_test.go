@@ -40,6 +40,7 @@ var fuzzEndpoints = []struct {
 	{"POST", "/records/import", false},
 	{"POST", "/records/replica", false},
 	{"POST", "/replicate", false},
+	{"POST", "/reconcile", false},
 	{"POST", "/loads/collect", false},
 	{"POST", "/membership", false},
 	{"GET", "/stats", false},

@@ -78,7 +78,13 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 	lc := startCluster(t, 3, 3, ClusterConfig{})
 	client := &http.Client{Timeout: 5 * time.Second}
 
-	stop := make(chan struct{})
+	// Fixed request counts instead of a wall-clock window: the workers all
+	// start together so scrapes and loads overlap for the whole run, and
+	// the test finishes as soon as the work does — no time.Sleep.
+	const (
+		loadReqs   = 200
+		scrapeReqs = 150
+	)
 	var wg sync.WaitGroup
 	var scrapeErrs, loadErrs atomic.Int64
 
@@ -88,12 +94,7 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			base := lc.Cfg.Addrs[fmt.Sprintf("live-%02d", w)]
-			for i := 0; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for i := 0; i < loadReqs; i++ {
 				url := fmt.Sprintf("http://live/doc/%d", i%50)
 				var dr DocResponse
 				if err := getJSON(client, base+"/doc?url="+queryEscape(url), &dr); err != nil {
@@ -117,12 +118,7 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func(base string) {
 			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for i := 0; i < scrapeReqs; i++ {
 				resp, err := client.Get(base + "/metrics")
 				if err != nil {
 					scrapeErrs.Add(1)
@@ -137,8 +133,6 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 		}(base)
 	}
 
-	time.Sleep(500 * time.Millisecond)
-	close(stop)
 	wg.Wait()
 	if n := scrapeErrs.Load(); n != 0 {
 		t.Fatalf("%d scrapes failed", n)

@@ -27,8 +27,9 @@ func queryEscape(s string) string { return url.QueryEscape(s) }
 // beacon point and that the origin server is informed of the results; a
 // single deterministic coordinator keeps the live protocol simple).
 type OriginNode struct {
-	cfg ClusterConfig
-	tp  Transport
+	cfg   ClusterConfig
+	tp    Transport
+	clock Clock
 
 	mu          sync.Mutex
 	docs        map[string]document.Document
@@ -61,15 +62,17 @@ func NewOriginNode(cfg ClusterConfig, docs []document.Document) (*OriginNode, er
 	if len(cfg.Rings) == 0 {
 		return nil, errors.New("node: cluster has no rings")
 	}
+	clock := clockOrReal(cfg.Clock)
 	o := &OriginNode{
 		cfg:         cfg,
 		tp:          NewHTTPTransport(TransportOptions{}),
+		clock:       clock,
 		docs:        make(map[string]document.Document, len(docs)),
 		assign:      equalSplit(cfg),
 		down:        make(map[string]bool),
 		lastSeen:    make(map[string]time.Time),
 		recordsHeld: make(map[string]int),
-		started:     time.Now(),
+		started:     clock.Now(),
 	}
 	o.initMetrics()
 	for _, d := range docs {
@@ -122,7 +125,7 @@ func (o *OriginNode) initMetrics() {
 		return float64(len(o.assign.Rings))
 	})
 	reg.GaugeFunc("intra_ring_hash_n", func() float64 { return float64(o.cfg.IntraGen) })
-	reg.GaugeFunc("uptime_seconds", func() float64 { return time.Since(o.started).Seconds() })
+	reg.GaugeFunc("uptime_seconds", func() float64 { return o.clock.Since(o.started).Seconds() })
 }
 
 // Metrics exposes the origin's metrics registry.
@@ -188,8 +191,8 @@ func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	defer func() { o.publishMs.Observe(msSince(t0)) }()
+	t0 := o.clock.Now()
+	defer func() { o.publishMs.Observe(float64(o.clock.Since(t0)) / float64(time.Millisecond)) }()
 	var req PublishRequest
 	if err := readJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -277,8 +280,8 @@ func (o *OriginNode) handleRebalance(w http.ResponseWriter, r *http.Request) {
 // sub-ranges with the intra-ring algorithm, and installs the new layout on
 // all nodes (triggering record handoffs between them).
 func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
-	t0 := time.Now()
-	defer func() { o.rebalanceMs.Observe(msSince(t0)) }()
+	t0 := o.clock.Now()
+	defer func() { o.rebalanceMs.Observe(float64(o.clock.Since(t0)) / float64(time.Millisecond)) }()
 	o.mu.Lock()
 	current := o.assign
 	o.mu.Unlock()
@@ -286,12 +289,12 @@ func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
 	// Collect per-IrH loads from every live node.
 	ctx := context.Background()
 	reports := make(map[string]LoadReport)
-	for name, base := range o.liveAddrs() {
+	for _, p := range o.liveAddrs() {
 		var rep LoadReport
-		if err := o.tp.PostJSON(ctx, base+"/loads/collect", struct{}{}, &rep); err != nil {
-			return RebalanceResponse{}, fmt.Errorf("collect loads from %s: %w", name, err)
+		if err := o.tp.PostJSON(ctx, p.base+"/loads/collect", struct{}{}, &rep); err != nil {
+			return RebalanceResponse{}, fmt.Errorf("collect loads from %s: %w", p.name, err)
 		}
-		reports[name] = rep
+		reports[p.name] = rep
 	}
 
 	// Re-run the intra-ring algorithm per ring by reconstructing a ring
@@ -355,11 +358,11 @@ func (o *OriginNode) Rebalance() (RebalanceResponse, error) {
 // install (they may be mid-crash); the first error is returned after all
 // nodes were attempted.
 func (o *OriginNode) installAssignments(ctx context.Context, next Assignments) (promoted int, err error) {
-	for name, base := range o.liveAddrs() {
+	for _, p := range o.liveAddrs() {
 		var sr SubrangesResponse
-		if e := o.tp.PostJSON(ctx, base+"/subranges", next, &sr); e != nil {
+		if e := o.tp.PostJSON(ctx, p.base+"/subranges", next, &sr); e != nil {
 			if err == nil {
-				err = fmt.Errorf("install assignment on %s: %w", name, e)
+				err = fmt.Errorf("install assignment on %s: %w", p.name, e)
 			}
 			continue
 		}
@@ -379,21 +382,28 @@ func (o *OriginNode) broadcastMembership(ctx context.Context) {
 	}
 	o.mu.Unlock()
 	sort.Strings(downList)
-	for _, base := range o.liveAddrs() {
-		_ = o.tp.PostJSON(ctx, base+"/membership", MembershipUpdate{Down: downList}, nil)
+	for _, p := range o.liveAddrs() {
+		_ = o.tp.PostJSON(ctx, p.base+"/membership", MembershipUpdate{Down: downList}, nil)
 	}
 }
 
-// liveAddrs returns the addresses of nodes not marked down.
-func (o *OriginNode) liveAddrs() map[string]string {
+// peerAddr is one live node the origin can reach.
+type peerAddr struct{ name, base string }
+
+// liveAddrs returns the nodes not marked down, sorted by name. The fixed
+// order keeps every multi-node pass (installs, broadcasts, probes)
+// deterministic, which the simulation harness relies on for
+// byte-identical replays.
+func (o *OriginNode) liveAddrs() []peerAddr {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make(map[string]string, len(o.cfg.Addrs))
+	out := make([]peerAddr, 0, len(o.cfg.Addrs))
 	for name, base := range o.cfg.Addrs {
 		if !o.down[name] {
-			out[name] = base
+			out = append(out, peerAddr{name: name, base: base})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
@@ -403,9 +413,9 @@ func (o *OriginNode) liveAddrs() map[string]string {
 func (o *OriginNode) TriggerReplication() (int, error) {
 	ctx := context.Background()
 	done := 0
-	for name, base := range o.liveAddrs() {
-		if err := o.tp.PostJSON(ctx, base+"/replicate", struct{}{}, nil); err != nil {
-			return done, fmt.Errorf("replicate on %s: %w", name, err)
+	for _, p := range o.liveAddrs() {
+		if err := o.tp.PostJSON(ctx, p.base+"/replicate", struct{}{}, nil); err != nil {
+			return done, fmt.Errorf("replicate on %s: %w", p.name, err)
 		}
 		done++
 	}
@@ -416,11 +426,11 @@ func (o *OriginNode) TriggerReplication() (int, error) {
 // did not answer.
 func (o *OriginNode) CheckNodes() []string {
 	var dead []string
-	for name, base := range o.liveAddrs() {
+	for _, p := range o.liveAddrs() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		var reply map[string]string
-		if err := o.tp.GetJSON(ctx, base+"/healthz", &reply); err != nil {
-			dead = append(dead, name)
+		if err := o.tp.GetJSON(ctx, p.base+"/healthz", &reply); err != nil {
+			dead = append(dead, p.name)
 		}
 		cancel()
 	}
@@ -504,7 +514,7 @@ func (o *OriginNode) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	o.heartbeats.Inc()
 	o.mu.Lock()
-	o.lastSeen[req.Node] = time.Now()
+	o.lastSeen[req.Node] = o.clock.Now()
 	o.recordsHeld[req.Node] = req.RecordsHeld
 	wasDown := o.down[req.Node]
 	o.mu.Unlock()
@@ -582,7 +592,7 @@ func (o *OriginNode) Readmit(ctx context.Context, name string) error {
 // heartbeated are left alone (heartbeats may be disabled or still
 // starting), as are nodes already down.
 func (o *OriginNode) SweepFailures(maxAge time.Duration) (RepairResponse, error) {
-	now := time.Now()
+	now := o.clock.Now()
 	o.mu.Lock()
 	var dead []string
 	for name := range o.cfg.Addrs {
@@ -607,21 +617,7 @@ func (o *OriginNode) StartFailureDetector(interval time.Duration, k int) (stop f
 		k = 1
 	}
 	maxAge := time.Duration(k) * interval
-	stopCh := make(chan struct{})
-	var once sync.Once
-	go func() {
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				_, _ = o.SweepFailures(maxAge)
-			case <-stopCh:
-				return
-			}
-		}
-	}()
-	return func() { once.Do(func() { close(stopCh) }) }
+	return every(o.clock, interval, false, func() { _, _ = o.SweepFailures(maxAge) })
 }
 
 // removeNode merges the dead node's sub-ranges into a ring neighbour and
@@ -715,7 +711,7 @@ func (o *OriginNode) Stats() OriginStats {
 // uptime is the origin's logical clock for trace events: whole seconds
 // since construction.
 func (o *OriginNode) uptime() int64 {
-	return int64(time.Since(o.started).Seconds())
+	return int64(o.clock.Since(o.started).Seconds())
 }
 
 // Assignments returns the origin's current view of the sub-range layout.
@@ -723,4 +719,30 @@ func (o *OriginNode) Assignments() Assignments {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.assign
+}
+
+// DocVersions returns the current version of every catalog document —
+// the ground truth the simulation harness checks staleness against.
+func (o *OriginNode) DocVersions() map[string]document.Version {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]document.Version, len(o.docs))
+	for url, d := range o.docs {
+		out[url] = d.Version
+	}
+	return out
+}
+
+// DownNodes returns the sorted names of nodes currently declared dead.
+func (o *OriginNode) DownNodes() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.down))
+	for name, d := range o.down {
+		if d {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

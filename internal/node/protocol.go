@@ -61,6 +61,10 @@ type ClusterConfig struct {
 	// UtilityPlacement selects the utility-based placement policy for the
 	// cache nodes (ad hoc placement otherwise).
 	UtilityPlacement bool `json:"utilityPlacement"`
+	// Clock is the time source nodes built from this config run on. Nil
+	// selects the wall clock; the deterministic simulation harness
+	// injects a virtual clock here. Never serialised.
+	Clock Clock `json:"-"`
 }
 
 // Assignments carries the complete sub-range layout of all rings.
@@ -101,6 +105,12 @@ func (a Assignments) ownerOf(url string, intraGen int) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("node: no beacon covers IrH %d in ring %d", irh, ringIdx)
+}
+
+// Owner resolves the beacon node responsible for a URL under this
+// assignment (exported for the simulation harness's invariant checks).
+func (a Assignments) Owner(url string, intraGen int) (string, error) {
+	return a.ownerOf(url, intraGen)
 }
 
 // ringOf returns the index of the ring containing the node, or -1.
@@ -173,9 +183,48 @@ type WireRecord struct {
 	Version document.Version `json:"version"`
 }
 
-// RecordsImport is the body of POST /records/import.
+// RecordsImport is the body of POST /records/import and /records/replica.
+// Reset (replica pushes only) tells the receiver to drop its existing
+// replica set first: the payload is a full snapshot of the sender's
+// records, so anything not in it is stale and must not be promoted later.
 type RecordsImport struct {
 	Records []WireRecord `json:"records"`
+	Reset   bool         `json:"reset,omitempty"`
+	// From names the sending node (replica pushes only); Reset drops the
+	// receiver's existing replicas from that sender before importing.
+	From string `json:"from,omitempty"`
+}
+
+// ReconcileEntry is one held copy a holder reports during the
+// anti-entropy reconcile pass.
+type ReconcileEntry struct {
+	URL     string           `json:"url"`
+	Version document.Version `json:"version"`
+}
+
+// ReconcileRequest is the body of the beacon POST /reconcile: a holder
+// reporting every copy it stores whose beacon duty falls on the target.
+type ReconcileRequest struct {
+	Node    string           `json:"node"`
+	Entries []ReconcileEntry `json:"entries"`
+}
+
+// ReconcileResult is the beacon's verdict on one reported copy. Keep is
+// false when the copy is staler than the version the beacon has already
+// fanned out — the holder must drop it. Version is the beacon's record
+// version after folding the report in. Owned is false when the beacon no
+// longer covers the URL's sub-range (the holder should retry after the
+// next assignment install reaches it).
+type ReconcileResult struct {
+	URL     string           `json:"url"`
+	Version document.Version `json:"version"`
+	Owned   bool             `json:"owned"`
+	Keep    bool             `json:"keep"`
+}
+
+// ReconcileResponse answers POST /reconcile.
+type ReconcileResponse struct {
+	Results []ReconcileResult `json:"results"`
 }
 
 // LoadReport answers POST /loads/collect: per-IrH-value loads for the

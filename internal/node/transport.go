@@ -66,6 +66,10 @@ type TransportOptions struct {
 	// Client overrides the underlying *http.Client. It should have no
 	// global Timeout: deadlines are per-request via context.
 	Client *http.Client
+	// Clock is the time source for breaker cooldowns and retry backoffs
+	// (nil selects the wall clock). Tests inject a manual clock to step
+	// through cooldown windows without sleeping.
+	Clock Clock
 }
 
 // breaker is the per-peer circuit state.
@@ -81,6 +85,7 @@ type breaker struct {
 type HTTPTransport struct {
 	opts   TransportOptions
 	client *http.Client
+	clock  Clock
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -121,6 +126,7 @@ func NewHTTPTransport(opts TransportOptions) *HTTPTransport {
 	return &HTTPTransport{
 		opts:     opts,
 		client:   client,
+		clock:    clockOrReal(opts.Clock),
 		rng:      rand.New(rand.NewSource(seed)),
 		breakers: make(map[string]*breaker),
 	}
@@ -179,7 +185,7 @@ func (t *HTTPTransport) admit(host string) error {
 	if b == nil || b.openedAt.IsZero() {
 		return nil
 	}
-	if time.Since(b.openedAt) >= t.opts.BreakerCooldown && !b.probing {
+	if t.clock.Since(b.openedAt) >= t.opts.BreakerCooldown && !b.probing {
 		b.probing = true // half-open: let exactly one probe through
 		return nil
 	}
@@ -207,7 +213,7 @@ func (t *HTTPTransport) observe(host string, ok bool) {
 		b.probing = false
 		if b.fails >= t.opts.BreakerThreshold {
 			opened = b.openedAt.IsZero()
-			b.openedAt = time.Now()
+			b.openedAt = t.clock.Now()
 		}
 	}
 	t.mu.Unlock()
@@ -221,7 +227,7 @@ func (t *HTTPTransport) PeerDown(baseURL string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	b := t.breakers[hostOf(baseURL)]
-	return b != nil && !b.openedAt.IsZero() && time.Since(b.openedAt) < t.opts.BreakerCooldown
+	return b != nil && !b.openedAt.IsZero() && t.clock.Since(b.openedAt) < t.opts.BreakerCooldown
 }
 
 // sleep waits for the attempt's backoff (exponential with ±50% jitter),
@@ -235,10 +241,11 @@ func (t *HTTPTransport) sleep(ctx context.Context, attempt int) error {
 	jitter := 0.5 + t.rng.Float64() // [0.5, 1.5)
 	t.mu.Unlock()
 	d = time.Duration(float64(d) * jitter)
-	timer := time.NewTimer(d)
+	done := make(chan struct{})
+	timer := t.clock.AfterFunc(d, func() { close(done) })
 	defer timer.Stop()
 	select {
-	case <-timer.C:
+	case <-done:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -6,10 +6,71 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// manualClock is a hand-advanced Clock for deterministic breaker tests:
+// time only moves when the test calls advance, so cooldown expiry needs no
+// real sleeping. AfterFunc callbacks fire synchronously inside advance.
+type manualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+type manualTimer struct {
+	when    time.Time
+	f       func()
+	stopped bool
+}
+
+func (mt *manualTimer) Stop() bool {
+	was := mt.stopped
+	mt.stopped = true
+	return !was
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *manualClock) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mt := &manualTimer{when: c.now.Add(d), f: f}
+	c.timers = append(c.timers, mt)
+	return mt
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	due := c.timers[:0:0]
+	rest := c.timers[:0]
+	for _, mt := range c.timers {
+		if !mt.stopped && !mt.when.After(c.now) {
+			due = append(due, mt)
+		} else if !mt.stopped {
+			rest = append(rest, mt)
+		}
+	}
+	c.timers = rest
+	c.mu.Unlock()
+	for _, mt := range due {
+		mt.f()
+	}
+}
 
 // fastTransport returns a transport with short timings for tests.
 func fastTransport(opts TransportOptions) *HTTPTransport {
@@ -180,10 +241,14 @@ func TestTransportBreakerHalfOpenRecovery(t *testing.T) {
 	}))
 	defer srv.Close()
 
+	// The breaker runs on an injected manual clock, so cooldown expiry is a
+	// deterministic advance instead of a real sleep-and-poll loop.
+	mc := newManualClock()
 	tp := fastTransport(TransportOptions{
 		NoRetries:        true,
 		BreakerThreshold: 2,
 		BreakerCooldown:  10 * time.Millisecond,
+		Clock:            mc,
 	})
 	for i := 0; i < 2; i++ {
 		_ = tp.GetJSON(context.Background(), srv.URL+"/x", nil)
@@ -191,17 +256,13 @@ func TestTransportBreakerHalfOpenRecovery(t *testing.T) {
 	if !tp.PeerDown(srv.URL) {
 		t.Fatal("circuit should be open")
 	}
+	if err := tp.GetJSON(context.Background(), srv.URL+"/x", nil); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("err = %v, want ErrPeerDown before cooldown", err)
+	}
 	healthy.Store(true)
-	time.Sleep(20 * time.Millisecond) // past cooldown: next call is the probe
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if err := tp.GetJSON(context.Background(), srv.URL+"/x", nil); err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("circuit never recovered after peer became healthy")
-		}
-		time.Sleep(5 * time.Millisecond)
+	mc.advance(11 * time.Millisecond) // past cooldown: next call is the probe
+	if err := tp.GetJSON(context.Background(), srv.URL+"/x", nil); err != nil {
+		t.Fatalf("half-open probe after cooldown failed: %v", err)
 	}
 	if tp.PeerDown(srv.URL) {
 		t.Fatal("circuit still open after successful probe")

@@ -23,6 +23,8 @@ const (
 	EvNodeDead                 // failure detector (or simulator) declared a cache dead
 	EvNodeRejoin               // a dead cache was readmitted
 	EvRecordMigrated           // lookup records moved between beacons (Count = records)
+	EvSimFault                 // deterministic simulator injected a fault (crash, drop window)
+	EvInvariant                // deterministic simulator checked an invariant (Count = violations)
 	numEventKinds
 )
 
@@ -37,6 +39,8 @@ var kindNames = [numEventKinds]string{
 	EvNodeDead:       "node_dead",
 	EvNodeRejoin:     "node_rejoin",
 	EvRecordMigrated: "record_migrated",
+	EvSimFault:       "sim_fault",
+	EvInvariant:      "invariant",
 }
 
 // String returns the JSONL wire name of the kind.

@@ -1,0 +1,170 @@
+package placement
+
+import (
+	"math"
+	"testing"
+)
+
+// neutralContext has every utility component at exactly 0.5: lookup and
+// update traffic at parity, a precisely average local access rate, one
+// existing replica, and both sides of the residence comparison unpressured.
+func neutralContext() Context {
+	return Context{
+		CloudLookupRate: 2, CloudUpdateRate: 2,
+		LocalAccessRate: 3, MeanLocalRate: 3,
+		ReplicaCount: 1,
+		Residence:    math.Inf(1), HolderResidence: math.Inf(1),
+	}
+}
+
+// TestUtilityThresholdTies pins the tie-breaking rule: the paper's decision
+// is "store when the utility exceeds the threshold", so a utility exactly
+// at the threshold must NOT store, and the smallest perturbation on either
+// side must flip the decision accordingly.
+func TestUtilityThresholdTies(t *testing.T) {
+	u, err := NewUtility(EqualOn(true, true, true, true), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotter := neutralContext()
+	hotter.LocalAccessRate = 3.1 // AFC just above 0.5
+	colder := neutralContext()
+	colder.LocalAccessRate = 2.9 // AFC just below 0.5
+
+	cases := []struct {
+		name      string
+		ctx       Context
+		wantStore bool
+		wantUtil  float64 // exact only for the tie case (NaN = skip)
+	}{
+		{"exactly-at-threshold", neutralContext(), false, 0.5},
+		{"just-above-threshold", hotter, true, math.NaN()},
+		{"just-below-threshold", colder, false, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := u.ShouldStore(tc.ctx)
+			if d.Store != tc.wantStore {
+				t.Fatalf("Store = %v (utility %v), want %v", d.Store, d.Utility, tc.wantStore)
+			}
+			if !math.IsNaN(tc.wantUtil) && d.Utility != tc.wantUtil {
+				t.Fatalf("Utility = %v, want exactly %v", d.Utility, tc.wantUtil)
+			}
+		})
+	}
+}
+
+// TestZeroCapabilityCache covers the degenerate residence inputs: a cache
+// with no effective capability (zero expected residence under eviction
+// pressure) must see the disk-space contention component collapse to 0 and
+// lose the placement decision it would otherwise win, while a zero-capacity
+// configuration (the repo's "unlimited" convention) maps to +Inf residence.
+func TestZeroCapabilityCache(t *testing.T) {
+	cases := []struct {
+		name     string
+		ctx      Context
+		wantDsCC float64
+	}{
+		{
+			// New copy would be evicted immediately; holders are healthy.
+			name: "zero-residence-vs-finite-holders",
+			ctx: Context{ReplicaCount: 2, Residence: 0,
+				HolderResidence: 50},
+			wantDsCC: 0,
+		},
+		{
+			// Both the new copy and the holders are at zero capability:
+			// holders <= 0 means no surviving competition, so storing
+			// still strictly improves cloud residence.
+			name:     "zero-residence-vs-zero-holders",
+			ctx:      Context{ReplicaCount: 2, Residence: 0, HolderResidence: 0},
+			wantDsCC: 1,
+		},
+		{
+			// Pressured newcomer against unpressured holders.
+			name: "finite-vs-infinite-holders",
+			ctx: Context{ReplicaCount: 1, Residence: 10,
+				HolderResidence: math.Inf(1)},
+			wantDsCC: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Evaluate(tc.ctx).DsCC; got != tc.wantDsCC {
+				t.Fatalf("DsCC = %v, want %v", got, tc.wantDsCC)
+			}
+		})
+	}
+
+	// Capacity 0 is the "unlimited" convention throughout the repo: it must
+	// yield infinite expected residence, not zero capability.
+	if r := ExpectedResidence(0, 100); !math.IsInf(r, 1) {
+		t.Fatalf("ExpectedResidence(0, 100) = %v, want +Inf", r)
+	}
+	// A genuinely pressured cache: budget / eviction rate.
+	if r := ExpectedResidence(1000, 100); r != 10 {
+		t.Fatalf("ExpectedResidence(1000, 100) = %v, want 10", r)
+	}
+
+	// End to end: the zero-capability cache refuses a document an
+	// unpressured cache would accept, all else equal.
+	u, err := NewUtility(EqualOn(true, true, true, true), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := neutralContext()
+	base.LocalAccessRate = 6 // hot document: would store on a healthy cache
+	if d := u.ShouldStore(base); !d.Store {
+		t.Fatalf("healthy cache refused a hot document (utility %v)", d.Utility)
+	}
+	pressured := base
+	pressured.Residence = 0
+	pressured.HolderResidence = 50
+	if d := u.ShouldStore(pressured); d.Store {
+		t.Fatalf("zero-capability cache stored anyway (utility %v)", d.Utility)
+	}
+}
+
+// TestAdaptiveAllSiblingsHold covers adaptive placement when every ring
+// sibling already holds the document: the availability component is at its
+// floor (1/(1+r) for r siblings), so even sustained hit-rate pressure —
+// which boosts the DAC weight toward its clamp ceiling — must not push an
+// otherwise-average document over the threshold; dropping the replica
+// count back to zero must.
+func TestAdaptiveAllSiblingsHold(t *testing.T) {
+	cases := []struct {
+		name      string
+		siblings  int // ring siblings already holding the copy
+		wantStore bool
+	}{
+		{"no-copies-anywhere", 0, true},
+		{"one-sibling-holds", 1, false},
+		{"all-three-siblings-hold", 3, false},
+		{"all-seven-siblings-hold", 7, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewAdaptiveUtility(EqualOn(true, true, true, true), 0.5, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sustained falling hit rate: the controller shifts weight onto
+			// DAC/AFC as far as the clamp allows.
+			a.Feedback(Observation{HitRate: 0.9})
+			for i := 0; i < 20; i++ {
+				a.Feedback(Observation{HitRate: 0.9 - float64(i+1)*0.02})
+			}
+			ctx := neutralContext()
+			ctx.ReplicaCount = tc.siblings
+			if tc.siblings == 0 {
+				// First copy in the cloud: no holders to compete with.
+				ctx.HolderResidence = 0
+			}
+			d := a.ShouldStore(ctx)
+			if d.Store != tc.wantStore {
+				t.Fatalf("siblings=%d: Store = %v (utility %v, weights %+v), want %v",
+					tc.siblings, d.Store, d.Utility, a.Weights(), tc.wantStore)
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package simnet
+
+// Minimize shrinks a failing schedule to a smaller one that still fails,
+// ddmin-style: repeatedly try removing contiguous chunks (halving the
+// chunk size down to single events) and keep any removal under which the
+// run still reports at least one invariant violation. fails must be a
+// deterministic predicate — typically a closure over the failing Config
+// that substitutes its Schedule and calls Run. The result preserves event
+// order and is guaranteed to still satisfy fails.
+func Minimize(schedule []Event, fails func([]Event) bool) []Event {
+	cur := append([]Event(nil), schedule...)
+	if !fails(cur) {
+		return cur // not reproducible; nothing to minimize
+	}
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]Event, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				removed = true
+				// Do not advance start: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed || chunk == 1 {
+			if chunk == 1 {
+				break
+			}
+		}
+		chunk /= 2
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	return cur
+}

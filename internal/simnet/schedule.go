@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one entry of a fault schedule. At is the virtual-time offset
+// from simulation start; events execute in At order (ties in list order).
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Node string // crash/heal target (empty otherwise)
+	N    int    // kind-specific count (loads, publishes, drop permille)
+}
+
+// EventKind enumerates the schedule actions the harness can execute.
+type EventKind string
+
+const (
+	// EvLoad performs N client document requests spread over the live
+	// nodes (seeded choice of entry node and document).
+	EvLoad EventKind = "load"
+	// EvPublish publishes updates for N seeded catalog documents through
+	// the origin and checks the fan-out invariant on each.
+	EvPublish EventKind = "publish"
+	// EvReplicate triggers the origin's lazy-replication pass (every live
+	// beacon pushes its records to its ring sibling).
+	EvReplicate EventKind = "replicate"
+	// EvRebalance runs one origin sub-range determination cycle (load
+	// collection, intra-ring algorithm, install everywhere).
+	EvRebalance EventKind = "rebalance"
+	// EvCrash partitions Node away from everyone and snapshots its record
+	// count for the accounting invariant.
+	EvCrash EventKind = "crash"
+	// EvHeal reconnects Node.
+	EvHeal EventKind = "heal"
+	// EvDrop sets the network drop probability to N permille (N=0 closes
+	// the degradation window).
+	EvDrop EventKind = "drop"
+	// EvReconcile runs one holder-side anti-entropy pass on every live
+	// node in name order.
+	EvReconcile EventKind = "reconcile"
+	// EvCheckAccounting verifies RecordsLost/RecordsRecovered deltas
+	// against the white-box ledger taken at the preceding crash.
+	EvCheckAccounting EventKind = "check-accounting"
+	// EvCheck runs the quiescent invariants: view agreement, reachability,
+	// freshness (the exact-partition invariant runs after every event).
+	EvCheck EventKind = "check"
+)
+
+// GenConfig tunes the schedule generator.
+type GenConfig struct {
+	Nodes     int           // cluster size
+	Rounds    int           // crash/recover rounds
+	Heartbeat time.Duration // node heartbeat interval
+	MissK     int           // missed beats before a node is declared dead
+}
+
+// Generate builds a seeded fault schedule of Rounds crash/recover rounds.
+// Each round follows the discipline that makes the accounting invariant
+// exact: load traffic (optionally under a short drop window), publishes
+// while the cluster is healthy, a quiet gap of at least one heartbeat so
+// the victim's last beat reports its final record count, a replication
+// pass so the sibling replica matches, then the crash, the detection
+// window, the accounting check, the heal, and a reconcile+settle before
+// the full quiescent check. Drop windows are kept shorter than MissK-1
+// heartbeats so degradation alone can never trip the failure detector.
+func Generate(seed int64, cfg GenConfig) []Event {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.MissK <= 0 {
+		cfg.MissK = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hb := cfg.Heartbeat
+	var evs []Event
+	t := 50 * time.Millisecond
+	add := func(kind EventKind, nodeName string, n int) {
+		evs = append(evs, Event{At: t, Kind: kind, Node: nodeName, N: n})
+	}
+
+	// Warm-up: populate caches and beacon records while fully healthy.
+	add(EvLoad, "", 30+rng.Intn(20))
+	t += 100 * time.Millisecond
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Load phase, sometimes under a degradation window.
+		if rng.Intn(2) == 0 {
+			add(EvDrop, "", 100+rng.Intn(150)) // 10–25% drops
+			t += 20 * time.Millisecond
+			add(EvLoad, "", 10+rng.Intn(15))
+			t += hb // shorter than (MissK-1) heartbeats
+			add(EvDrop, "", 0)
+			t += 20 * time.Millisecond
+		}
+		add(EvLoad, "", 15+rng.Intn(15))
+		t += 50 * time.Millisecond
+		add(EvPublish, "", 2+rng.Intn(3))
+		if rng.Intn(3) == 0 {
+			t += 50 * time.Millisecond
+			add(EvRebalance, "", 0)
+		}
+
+		// Quiet gap ≥ one heartbeat, then replicate: the victim's last
+		// beat and its sibling's replica both reflect the final records.
+		t += hb + hb/2
+		add(EvReplicate, "", 0)
+
+		// Crash a seeded victim and wait out the detection window.
+		victim := fmt.Sprintf("n%d", rng.Intn(cfg.Nodes))
+		t += 50 * time.Millisecond
+		add(EvCrash, victim, 0)
+		t += time.Duration(cfg.MissK+2) * hb
+		add(EvCheckAccounting, victim, 0)
+
+		// Recover: heal, let it heartbeat back in, reconcile, settle.
+		t += 50 * time.Millisecond
+		add(EvHeal, victim, 0)
+		t += 2*hb + hb/2
+		add(EvReconcile, "", 0)
+		t += 100 * time.Millisecond
+		add(EvCheck, "", 0)
+		t += 100 * time.Millisecond
+	}
+	return evs
+}
+
+// Encode renders a schedule in the line-based text format, one event per
+// line, suitable for replay files and failure reports.
+func Encode(evs []Event) string {
+	var b strings.Builder
+	b.WriteString("# simnet schedule v1\n")
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "at=%s kind=%s", ev.At, ev.Kind)
+		if ev.Node != "" {
+			fmt.Fprintf(&b, " node=%s", ev.Node)
+		}
+		if ev.N != 0 {
+			fmt.Fprintf(&b, " n=%d", ev.N)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// validKinds guards Decode against arbitrary input.
+var validKinds = map[EventKind]bool{
+	EvLoad: true, EvPublish: true, EvReplicate: true, EvRebalance: true,
+	EvCrash: true, EvHeal: true, EvDrop: true, EvReconcile: true,
+	EvCheckAccounting: true, EvCheck: true,
+}
+
+// Decode parses the text format produced by Encode. Blank lines and
+// #-comments are ignored. Events are returned sorted by At (stable), so
+// a hand-edited file need not be pre-sorted.
+func Decode(text string) ([]Event, error) {
+	var evs []Event
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var ev Event
+		seen := map[string]bool{}
+		for _, field := range strings.Fields(line) {
+			key, val, ok := strings.Cut(field, "=")
+			if !ok || val == "" {
+				return nil, fmt.Errorf("simnet: line %d: malformed field %q", lineNo+1, field)
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("simnet: line %d: duplicate field %q", lineNo+1, key)
+			}
+			seen[key] = true
+			switch key {
+			case "at":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("simnet: line %d: bad at=%q", lineNo+1, val)
+				}
+				ev.At = d
+			case "kind":
+				k := EventKind(val)
+				if !validKinds[k] {
+					return nil, fmt.Errorf("simnet: line %d: unknown kind %q", lineNo+1, val)
+				}
+				ev.Kind = k
+			case "node":
+				ev.Node = val
+			case "n":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("simnet: line %d: bad n=%q", lineNo+1, val)
+				}
+				ev.N = n
+			default:
+				return nil, fmt.Errorf("simnet: line %d: unknown field %q", lineNo+1, key)
+			}
+		}
+		if !seen["at"] || !seen["kind"] {
+			return nil, fmt.Errorf("simnet: line %d: missing at= or kind=", lineNo+1)
+		}
+		evs = append(evs, ev)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs, nil
+}

@@ -1,0 +1,621 @@
+package simnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/node"
+	"cachecloud/internal/node/chaos"
+	"cachecloud/internal/obs"
+)
+
+// Config parameterises one simulation run. The zero value of every field
+// selects the default noted on it.
+type Config struct {
+	// Seed drives the schedule generator, the load/publish choices, and
+	// the chaos network's coin flips. Same seed → byte-identical run.
+	Seed int64
+	// Nodes is the cluster size (default 4; must be a multiple of
+	// RingSize for even rings).
+	Nodes int
+	// RingSize is the number of beacon points per ring (default 2).
+	RingSize int
+	// Docs is the catalog size (default 40).
+	Docs int
+	// IntraGen is the intra-ring hash generator (default 64).
+	IntraGen int
+	// Heartbeat is the node heartbeat interval in virtual time (default
+	// 500ms).
+	Heartbeat time.Duration
+	// MissK is how many missed beats declare a node dead (default 3).
+	MissK int
+	// Rounds is the number of crash/recover rounds the generator emits
+	// (default 3).
+	Rounds int
+	// Schedule overrides the generated schedule when non-nil (replay and
+	// minimization).
+	Schedule []Event
+	// Inject enables a deliberate bug for harness self-tests. Supported:
+	// "heartbeat-undercount" (heartbeats under-report RecordsHeld by one,
+	// which the accounting invariant must catch).
+	Inject string
+	// Tracer, when non-nil, receives EvSimFault for every injected fault
+	// and EvInvariant for every invariant evaluation (Count = violations),
+	// stamped with virtual-time milliseconds so traces stay deterministic.
+	Tracer *obs.Tracer
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 2
+	}
+	if c.Docs <= 0 {
+		c.Docs = 40
+	}
+	if c.IntraGen <= 0 {
+		c.IntraGen = 64
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.MissK <= 0 {
+		c.MissK = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Seed     int64
+	Schedule []Event
+	// Log is the deterministic event log: one line per executed event and
+	// invariant outcome. Identical across runs of the same Config.
+	Log string
+	// Failures lists every invariant violation, in order.
+	Failures []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r Result) Failed() bool { return len(r.Failures) > 0 }
+
+// sim is the mutable state of one run.
+type sim struct {
+	cfg    Config
+	clock  *VirtualClock
+	base   time.Time
+	mem    *memNet
+	net    *chaos.Network
+	rng    *rand.Rand // load/publish choices (separate from chaos coin)
+	origin *node.OriginNode
+	caches map[string]*node.CacheNode
+	names  []string
+	docs   []document.Document
+	client interface {
+		GetJSON(ctx context.Context, url string, out any) error
+		PostJSON(ctx context.Context, url string, in, out any) error
+	}
+	stops []func()
+
+	tracer *obs.Tracer
+
+	partitioned  map[string]bool
+	dropPermille int
+	pendingCrash *crashLedger
+
+	lines    []string
+	failures []string
+}
+
+// crashLedger is the white-box accounting snapshot taken at a crash.
+type crashLedger struct {
+	victim  string
+	expect  int   // records the victim held when partitioned
+	lost0   int64 // origin RecordsLost before the crash
+	rec0    int64 // origin RecordsRecovered before the crash
+	stored0 int   // documents the victim stored (log context)
+}
+
+// Run executes one simulation: build the cluster on a virtual clock and
+// an in-memory transport, execute the (generated or supplied) fault
+// schedule, and check invariants between events.
+func Run(cfg Config) (Result, error) {
+	cfg.defaults()
+	s := &sim{
+		cfg:         cfg,
+		clock:       NewVirtualClock(),
+		mem:         newMemNet(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		caches:      make(map[string]*node.CacheNode),
+		partitioned: make(map[string]bool),
+		tracer:      cfg.Tracer,
+	}
+	s.base = s.clock.Now()
+	if err := s.build(); err != nil {
+		return Result{}, err
+	}
+	defer s.stop()
+
+	schedule := cfg.Schedule
+	if schedule == nil {
+		schedule = Generate(cfg.Seed, GenConfig{
+			Nodes: cfg.Nodes, Rounds: cfg.Rounds,
+			Heartbeat: cfg.Heartbeat, MissK: cfg.MissK,
+		})
+	}
+	for _, ev := range schedule {
+		s.clock.RunUntil(s.base.Add(ev.At))
+		s.checkPartitionInvariant("pre:" + string(ev.Kind))
+		s.exec(ev)
+		s.checkPartitionInvariant("post:" + string(ev.Kind))
+	}
+	return Result{
+		Seed:     cfg.Seed,
+		Schedule: schedule,
+		Log:      strings.Join(s.lines, "\n") + "\n",
+		Failures: s.failures,
+	}, nil
+}
+
+// build wires the cluster: every node's production handler bound on the
+// in-memory network, outbound calls through the shared chaos fault plane,
+// heartbeats and the origin failure detector running on the virtual
+// clock.
+func (s *sim) build() error {
+	cfg := s.cfg
+	s.net = chaos.NewNetwork(chaos.Config{Seed: cfg.Seed})
+	if cfg.Inject != "" {
+		hook, err := injectHook(cfg.Inject)
+		if err != nil {
+			return err
+		}
+		s.mem.setCorrupt(hook)
+	}
+
+	clcfg := node.ClusterConfig{
+		IntraGen: cfg.IntraGen,
+		Addrs:    make(map[string]string, cfg.Nodes),
+		Clock:    s.clock,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("n%d", i)
+		s.names = append(s.names, name)
+		clcfg.Addrs[name] = fmt.Sprintf("http://%s.sim", name)
+	}
+	numRings := cfg.Nodes / cfg.RingSize
+	if numRings < 1 {
+		numRings = 1
+	}
+	clcfg.Rings = make([][]string, numRings)
+	for i, name := range s.names {
+		r := i % numRings
+		clcfg.Rings[r] = append(clcfg.Rings[r], name)
+	}
+	clcfg.OriginAddr = "http://origin.sim"
+
+	s.docs = make([]document.Document, cfg.Docs)
+	for i := range s.docs {
+		s.docs[i] = document.Document{URL: fmt.Sprintf("http://cloud/doc/%03d", i), Size: int64(1000 + i)}
+	}
+
+	for _, name := range s.names {
+		cn, err := node.NewCacheNodeWithTransport(name, clcfg, s.net.Transport(name, s.mem.transport()))
+		if err != nil {
+			return err
+		}
+		if cfg.Tracer != nil {
+			cn.SetTracer(cfg.Tracer)
+		}
+		s.caches[name] = cn
+		s.mem.bindHandler(clcfg.Addrs[name], cn.Handler())
+		s.net.Bind(name, clcfg.Addrs[name])
+	}
+	on, err := node.NewOriginNodeWithTransport(clcfg, s.docs, s.net.Transport("origin", s.mem.transport()))
+	if err != nil {
+		return err
+	}
+	s.origin = on
+	if cfg.Tracer != nil {
+		on.SetTracer(cfg.Tracer)
+	}
+	s.mem.bindHandler(clcfg.OriginAddr, on.Handler())
+	s.net.Bind("origin", clcfg.OriginAddr)
+	s.client = s.net.Transport("client", s.mem.transport())
+
+	// Periodic machinery on the virtual clock, started in fixed order so
+	// the timer queue is identical across runs.
+	for _, name := range s.names {
+		s.stops = append(s.stops, s.caches[name].StartHeartbeat(s.cfg.Heartbeat))
+	}
+	s.stops = append(s.stops, s.origin.StartFailureDetector(s.cfg.Heartbeat, s.cfg.MissK))
+	return nil
+}
+
+func (s *sim) stop() {
+	for _, stop := range s.stops {
+		stop()
+	}
+}
+
+// injectHook resolves a named deliberate bug to its wire-corruption hook.
+func injectHook(name string) (func(method, path string, body []byte) []byte, error) {
+	switch name {
+	case "heartbeat-undercount":
+		return func(method, path string, body []byte) []byte {
+			if method != "POST" || path != "/heartbeat" {
+				return nil
+			}
+			var hb node.HeartbeatRequest
+			if err := json.Unmarshal(body, &hb); err != nil || hb.RecordsHeld == 0 {
+				return nil
+			}
+			hb.RecordsHeld--
+			mutated, err := json.Marshal(hb)
+			if err != nil {
+				return nil
+			}
+			return mutated
+		}, nil
+	default:
+		return nil, fmt.Errorf("simnet: unknown injection %q", name)
+	}
+}
+
+// vt renders the current virtual offset for log lines.
+func (s *sim) vt() string { return s.clock.Now().Sub(s.base).String() }
+
+func (s *sim) logf(format string, args ...any) {
+	s.lines = append(s.lines, fmt.Sprintf("t=%s ", s.vt())+fmt.Sprintf(format, args...))
+}
+
+func (s *sim) failf(format string, args ...any) {
+	msg := fmt.Sprintf("t=%s ", s.vt()) + fmt.Sprintf(format, args...)
+	s.failures = append(s.failures, msg)
+	s.lines = append(s.lines, "FAIL "+msg)
+}
+
+// traceFault emits an EvSimFault protocol event when tracing is on.
+func (s *sim) traceFault(nodeName string, n int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(obs.Event{
+		Time: int64(s.clock.Now().Sub(s.base) / time.Millisecond),
+		Kind: obs.EvSimFault, Node: nodeName, Count: n,
+	})
+}
+
+// traceInvariant emits an EvInvariant event carrying the number of new
+// violations this evaluation produced. Designed for defer:
+// `defer s.traceInvariant("accounting", len(s.failures))`.
+func (s *sim) traceInvariant(name string, before int) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(obs.Event{
+		Time: int64(s.clock.Now().Sub(s.base) / time.Millisecond),
+		Kind: obs.EvInvariant, Node: name, Count: int64(len(s.failures) - before),
+	})
+}
+
+// clean reports whether the network is currently fault-free (no
+// partitions, no drop window) — the condition under which the strict
+// per-publish fan-out check is valid.
+func (s *sim) clean() bool { return len(s.partitioned) == 0 && s.dropPermille == 0 }
+
+// livePeers returns the cache names not currently partitioned, sorted.
+func (s *sim) livePeers() []string {
+	out := make([]string, 0, len(s.names))
+	for _, name := range s.names {
+		if !s.partitioned[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// exec runs one schedule event.
+func (s *sim) exec(ev Event) {
+	switch ev.Kind {
+	case EvLoad:
+		s.execLoad(ev.N)
+	case EvPublish:
+		s.execPublish(ev.N)
+	case EvReplicate:
+		nodes, err := s.origin.TriggerReplication()
+		s.logf("replicate nodes=%d err=%v", nodes, err != nil)
+	case EvRebalance:
+		resp, err := s.origin.Rebalance()
+		s.logf("rebalance moves=%d err=%v", resp.Moves, err != nil)
+	case EvCrash:
+		s.execCrash(ev.Node)
+	case EvHeal:
+		delete(s.partitioned, ev.Node)
+		s.net.Heal(ev.Node)
+		s.traceFault(ev.Node, 0)
+		s.logf("heal node=%s", ev.Node)
+	case EvDrop:
+		s.dropPermille = ev.N
+		s.net.SetDropProb(float64(ev.N) / 1000)
+		s.traceFault("", int64(ev.N))
+		s.logf("drop permille=%d", ev.N)
+	case EvReconcile:
+		s.execReconcile()
+	case EvCheckAccounting:
+		s.checkAccounting(ev.Node)
+	case EvCheck:
+		s.checkQuiescent()
+	default:
+		s.failf("unknown event kind %q", ev.Kind)
+	}
+}
+
+// execLoad performs n client requests against seeded entry nodes.
+func (s *sim) execLoad(n int) {
+	ok, failed, degraded, failedOver := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		entry := s.names[s.rng.Intn(len(s.names))]
+		doc := s.docs[s.rng.Intn(len(s.docs))]
+		target := fmt.Sprintf("http://%s.sim/doc?url=%s", entry, url.QueryEscape(doc.URL))
+		var dr node.DocResponse
+		if err := s.client.GetJSON(context.Background(), target, &dr); err != nil {
+			failed++
+			continue
+		}
+		ok++
+		if dr.Degraded {
+			degraded++
+		}
+		if dr.FailedOver {
+			failedOver++
+		}
+	}
+	s.logf("load n=%d ok=%d failed=%d degraded=%d failedover=%d", n, ok, failed, degraded, failedOver)
+}
+
+// execPublish publishes n seeded updates through the origin. In a clean
+// network the fan-out invariant is checked per publish: every holder the
+// beacon still lists must store exactly the published version.
+func (s *sim) execPublish(n int) {
+	for i := 0; i < n; i++ {
+		doc := s.docs[s.rng.Intn(len(s.docs))]
+		var pr node.PublishResponse
+		err := s.client.PostJSON(context.Background(), "http://origin.sim/publish", node.PublishRequest{URL: doc.URL}, &pr)
+		if err != nil {
+			s.logf("publish url=%s err=true", doc.URL)
+			continue
+		}
+		s.logf("publish url=%s version=%d notified=%d", doc.URL, pr.Version, pr.Notified)
+		if s.clean() {
+			s.checkFanout(doc.URL, pr.Version)
+		}
+	}
+}
+
+// execCrash partitions the victim and snapshots the accounting ledger.
+func (s *sim) execCrash(victim string) {
+	cn, ok := s.caches[victim]
+	if !ok {
+		s.failf("crash: unknown node %q", victim)
+		return
+	}
+	stats := s.origin.Stats()
+	s.pendingCrash = &crashLedger{
+		victim:  victim,
+		expect:  len(cn.Records()),
+		lost0:   stats.RecordsLost,
+		rec0:    stats.RecordsRecovered,
+		stored0: len(cn.StoredVersions()),
+	}
+	s.partitioned[victim] = true
+	s.net.Kill(victim)
+	s.traceFault(victim, int64(s.pendingCrash.expect))
+	s.logf("crash node=%s records=%d stored=%d", victim, s.pendingCrash.expect, s.pendingCrash.stored0)
+}
+
+// execReconcile runs one anti-entropy pass on every live node, in name
+// order.
+func (s *sim) execReconcile() {
+	reported, dropped := 0, 0
+	for _, name := range s.livePeers() {
+		r, d := s.caches[name].Reconcile(context.Background())
+		reported += r
+		dropped += d
+	}
+	s.logf("reconcile reported=%d dropped=%d", reported, dropped)
+}
+
+// --- invariants ---
+
+// checkPartitionInvariant verifies the always-true structural invariant:
+// every ring of the origin's assignment is an exact partition of
+// [0, IntraGen) — contiguous, non-overlapping, fully covering — and no
+// assigned beacon point is a node the origin has declared dead.
+func (s *sim) checkPartitionInvariant(where string) {
+	defer s.traceInvariant("partition", len(s.failures))
+	a := s.origin.Assignments()
+	down := make(map[string]bool)
+	for _, d := range s.origin.DownNodes() {
+		down[d] = true
+	}
+	for r, subs := range a.Rings {
+		if len(subs) == 0 {
+			s.failf("partition[%s]: ring %d has no beacon points", where, r)
+			continue
+		}
+		sorted := append([]node.Subrange(nil), subs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+		if sorted[0].Lo != 0 {
+			s.failf("partition[%s]: ring %d starts at %d, want 0", where, r, sorted[0].Lo)
+		}
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].Lo != sorted[i-1].Hi+1 {
+				s.failf("partition[%s]: ring %d gap/overlap between [%d,%d] and [%d,%d]",
+					where, r, sorted[i-1].Lo, sorted[i-1].Hi, sorted[i].Lo, sorted[i].Hi)
+			}
+		}
+		if last := sorted[len(sorted)-1]; last.Hi != s.cfg.IntraGen-1 {
+			s.failf("partition[%s]: ring %d ends at %d, want %d", where, r, last.Hi, s.cfg.IntraGen-1)
+		}
+		for _, sub := range subs {
+			if down[sub.Node] {
+				s.failf("partition[%s]: ring %d assigns [%d,%d] to dead node %s",
+					where, r, sub.Lo, sub.Hi, sub.Node)
+			}
+		}
+	}
+}
+
+// checkFanout verifies one clean-network publish: every holder the beacon
+// still lists for the URL must store exactly the published version (a
+// holder that failed the push must have been pruned, one that dropped the
+// copy must be deregistered).
+func (s *sim) checkFanout(docURL string, version document.Version) {
+	owner, err := s.origin.Assignments().Owner(docURL, s.cfg.IntraGen)
+	if err != nil {
+		s.failf("fanout %s: no owner: %v", docURL, err)
+		return
+	}
+	rec, ok := findRecord(s.caches[owner].Records(), docURL)
+	if !ok {
+		s.failf("fanout %s: beacon %s has no record after publish", docURL, owner)
+		return
+	}
+	if rec.Version != version {
+		s.failf("fanout %s: beacon %s at version %d, published %d", docURL, owner, rec.Version, version)
+	}
+	for _, h := range rec.Holders {
+		cn, ok := s.caches[h]
+		if !ok {
+			s.failf("fanout %s: beacon %s lists unknown holder %s", docURL, owner, h)
+			continue
+		}
+		if v, stored := cn.StoredVersions()[docURL]; !stored || v != version {
+			s.failf("fanout %s: holder %s stores version %d (stored=%v), published %d",
+				docURL, h, v, stored, version)
+		}
+	}
+}
+
+// checkAccounting verifies the crash bookkeeping: the victim must have
+// been declared dead, the origin's RecordsLost delta must equal the
+// records the victim actually held at its last heartbeat, and the
+// survivors' replica promotions (RecordsRecovered delta) must match —
+// i.e. every lost lookup record was recovered from the lazy replica.
+func (s *sim) checkAccounting(victim string) {
+	defer s.traceInvariant("accounting", len(s.failures))
+	led := s.pendingCrash
+	if led == nil || led.victim != victim {
+		s.logf("check-accounting node=%s skipped (no pending crash)", victim)
+		return
+	}
+	s.pendingCrash = nil
+	downNow := make(map[string]bool)
+	for _, d := range s.origin.DownNodes() {
+		downNow[d] = true
+	}
+	if !downNow[victim] {
+		s.failf("accounting: victim %s not declared dead within the detection window", victim)
+		return
+	}
+	stats := s.origin.Stats()
+	lost := stats.RecordsLost - led.lost0
+	rec := stats.RecordsRecovered - led.rec0
+	s.logf("check-accounting node=%s expect=%d lost=%d recovered=%d", victim, led.expect, lost, rec)
+	if lost != int64(led.expect) {
+		s.failf("accounting: RecordsLost delta %d != %d records held by %s at crash", lost, led.expect, victim)
+	}
+	if rec != lost {
+		s.failf("accounting: RecordsRecovered delta %d != RecordsLost delta %d", rec, lost)
+	}
+}
+
+// checkQuiescent runs the settle-time invariants over the live nodes:
+// view agreement, reachability of every cached document through its
+// beacon record, and freshness of every stored copy against the origin's
+// ground-truth versions.
+func (s *sim) checkQuiescent() {
+	defer s.traceInvariant("quiescent", len(s.failures))
+	live := s.livePeers()
+	originAssign := s.origin.Assignments()
+	originEnc, _ := json.Marshal(originAssign)
+
+	// View agreement: every live node's installed assignment matches the
+	// origin's.
+	for _, name := range live {
+		enc, _ := json.Marshal(s.caches[name].AssignmentsView())
+		if string(enc) != string(originEnc) {
+			s.failf("views: %s disagrees with origin: %s != %s", name, enc, originEnc)
+		}
+	}
+
+	// Reachability: every stored copy on a live node is listed as a
+	// holder in its beacon's lookup record.
+	recordsOf := make(map[string]map[string]node.WireRecord, len(live))
+	for _, name := range live {
+		m := make(map[string]node.WireRecord)
+		for _, wr := range s.caches[name].Records() {
+			m[wr.URL] = wr
+		}
+		recordsOf[name] = m
+	}
+	versions := s.origin.DocVersions()
+	checked, stale := 0, 0
+	for _, name := range live {
+		for docURL, v := range s.caches[name].StoredVersions() {
+			checked++
+			owner, err := originAssign.Owner(docURL, s.cfg.IntraGen)
+			if err != nil {
+				s.failf("reachability: no owner for %s: %v", docURL, err)
+				continue
+			}
+			if s.partitioned[owner] {
+				continue // owner partitioned: cooperation degraded, skip
+			}
+			wr, ok := recordsOf[owner][docURL]
+			if !ok {
+				s.failf("reachability: %s stores %s but beacon %s has no record", name, docURL, owner)
+				continue
+			}
+			holderListed := false
+			for _, h := range wr.Holders {
+				if h == name {
+					holderListed = true
+				}
+			}
+			if !holderListed {
+				s.failf("reachability: %s stores %s but beacon %s does not list it (holders=%v)",
+					name, docURL, owner, wr.Holders)
+			}
+
+			// Freshness: no stored copy staler than the origin's version
+			// survives a settle (reconcile drops stale copies).
+			if want, known := versions[docURL]; known && v != want {
+				stale++
+				s.failf("freshness: %s stores %s at version %d, origin at %d", name, docURL, v, want)
+			}
+		}
+	}
+	s.logf("check live=%d copies=%d stale=%d failures=%d", len(live), checked, stale, len(s.failures))
+}
+
+// findRecord looks a URL up in a sorted Records() snapshot.
+func findRecord(recs []node.WireRecord, docURL string) (node.WireRecord, bool) {
+	for _, wr := range recs {
+		if wr.URL == docURL {
+			return wr, true
+		}
+	}
+	return node.WireRecord{}, false
+}

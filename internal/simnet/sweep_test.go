@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSweep runs the generated-schedule sweep over many seeds and requires
+// every invariant to hold on each. Short mode trims the seed count; CI runs
+// the full 200-seed sweep (see .github/workflows and `make simsweep`).
+func TestSweep(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		res, err := Run(Config{Seed: int64(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d failed:\n%s\n--- schedule ---\n%s\n--- log ---\n%s",
+				seed, strings.Join(res.Failures, "\n"), Encode(res.Schedule), res.Log)
+		}
+	}
+}
+
+// TestInjectedBugIsCaught verifies the harness detects a deliberately
+// planted protocol bug: the injection shaves one record off every
+// heartbeat's RecordsHeld, so the origin under-counts RecordsLost at the
+// crash and the accounting invariant must trip with a failing seed.
+func TestInjectedBugIsCaught(t *testing.T) {
+	caught := false
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(Config{Seed: seed, Inject: "heartbeat-undercount"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Failed() {
+			continue
+		}
+		caught = true
+		found := false
+		for _, f := range res.Failures {
+			if strings.Contains(f, "accounting") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: injection tripped only non-accounting failures:\n%s",
+				seed, strings.Join(res.Failures, "\n"))
+		}
+		break
+	}
+	if !caught {
+		t.Fatal("heartbeat-undercount injection was not caught by any of seeds 0..4")
+	}
+}
+
+// partitionSchedule builds the PR-2 chaos end-to-end scenario as an explicit
+// schedule: warm load, publishes, replication, a partition mid-traffic, the
+// detection window with failover load against the surviving ring sibling,
+// then heal, readmission, reconcile, and a full quiescent check.
+func partitionSchedule(victim string) []Event {
+	hb := 500 * time.Millisecond
+	return []Event{
+		{At: 50 * time.Millisecond, Kind: EvLoad, N: 40},
+		{At: 150 * time.Millisecond, Kind: EvPublish, N: 3},
+		{At: 900 * time.Millisecond, Kind: EvReplicate},
+		{At: 950 * time.Millisecond, Kind: EvCrash, Node: victim},
+		{At: 950*time.Millisecond + 5*hb, Kind: EvCheckAccounting, Node: victim},
+		{At: 1000*time.Millisecond + 5*hb, Kind: EvLoad, N: 20},
+		{At: 1100*time.Millisecond + 5*hb, Kind: EvHeal, Node: victim},
+		{At: 1100*time.Millisecond + 7*hb + hb/2, Kind: EvReconcile},
+		{At: 1200*time.Millisecond + 7*hb + hb/2, Kind: EvCheck},
+	}
+}
+
+// TestPartitionConvergence ports the real-socket chaos end-to-end test
+// (partition mid-load, then convergence after heal) into the simulator and
+// runs it for ten seeds, rotating the victim. The original httptest-based
+// variant remains in internal/node as the real-transport smoke test.
+func TestPartitionConvergence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		victim := fmt.Sprintf("n%d", seed%4)
+		res, err := Run(Config{Seed: seed, Schedule: partitionSchedule(victim)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d (victim %s) failed:\n%s\n--- log ---\n%s",
+				seed, victim, strings.Join(res.Failures, "\n"), res.Log)
+		}
+		if !strings.Contains(res.Log, "crash node="+victim) {
+			t.Fatalf("seed %d: log lacks crash of %s:\n%s", seed, victim, res.Log)
+		}
+	}
+}
+
+// TestMinimize checks the ddmin-style shrinker against a synthetic
+// predicate, then against a real failing simulation.
+func TestMinimize(t *testing.T) {
+	// Synthetic: failure requires the crash and the check, nothing else.
+	evs := Generate(3, GenConfig{Nodes: 4, Rounds: 1})
+	needs := func(cand []Event) bool {
+		hasCrash, hasCheck := false, false
+		for _, ev := range cand {
+			if ev.Kind == EvCrash {
+				hasCrash = true
+			}
+			if ev.Kind == EvCheckAccounting {
+				hasCheck = true
+			}
+		}
+		return hasCrash && hasCheck
+	}
+	min := Minimize(evs, needs)
+	if len(min) != 2 {
+		t.Fatalf("synthetic minimize kept %d events, want 2: %v", len(min), min)
+	}
+	if !needs(min) {
+		t.Fatal("minimized schedule no longer satisfies the predicate")
+	}
+
+	// Real: minimize an injected-bug failure; the result must still fail
+	// and be no larger than the original schedule.
+	cfg := Config{Seed: 1, Inject: "heartbeat-undercount"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Skip("seed 1 does not trip the injection; covered by TestInjectedBugIsCaught")
+	}
+	fails := func(cand []Event) bool {
+		c := cfg
+		c.Schedule = cand
+		r, err := Run(c)
+		return err == nil && r.Failed()
+	}
+	min = Minimize(res.Schedule, fails)
+	if len(min) > len(res.Schedule) {
+		t.Fatalf("minimize grew the schedule: %d > %d", len(min), len(res.Schedule))
+	}
+	if !fails(min) {
+		t.Fatal("minimized real schedule no longer fails")
+	}
+	t.Logf("minimized %d events to %d", len(res.Schedule), len(min))
+}
