@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json figures figures-fast examples golden fuzz simsweep clean
+.PHONY: all build vet test race bench bench-json figures figures-fast examples golden fuzz simsweep storm clean
 
 all: build vet test
 
@@ -54,6 +54,14 @@ fuzz:
 # minimized reproducing schedule on failure.
 SEEDS ?= 200
 simsweep:
+	$(GO) run ./cmd/simnet -seeds $(SEEDS)
+
+# Overload-resilience gate: the storm chaos end-to-end and the admission
+# primitives under the race detector, then a simulation sweep whose
+# generated schedules include burst and hot-document miss-storm events.
+storm:
+	$(GO) test -race -count=2 -run 'TestChaosStorm|TestStorm' ./internal/node
+	$(GO) test -race ./internal/admit/...
 	$(GO) run ./cmd/simnet -seeds $(SEEDS)
 
 examples:

@@ -19,6 +19,11 @@
 // The node heartbeats its liveness to the origin every -heartbeat (0
 // disables); outbound calls get per-request deadlines (-timeout) with
 // -retries bounded retries and per-peer circuit breaking.
+//
+// Overload resilience is tuned with -max-inflight (admission gate
+// capacity), -miss-queue (bounded miss-class queue) and -limit-mode
+// (adaptive origin-fetch limiter: aimd, gradient or fixed); each
+// overrides the matching cluster-config field when set.
 package main
 
 import (
@@ -51,6 +56,9 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-request deadline for outbound calls")
 		retries   = fs.Int("retries", 2, "outbound retries after a failed attempt (-1 disables)")
 		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		maxInfl   = fs.Int("max-inflight", 0, "admission gate capacity in weight units (0 = config value or 64)")
+		missQueue = fs.Int("miss-queue", 0, "bounded queue for miss-class admissions (0 = config value or 32)")
+		limitMode = fs.String("limit-mode", "", "origin-fetch limiter: aimd, gradient or fixed (default config value or aimd)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +69,17 @@ func run(args []string) error {
 	cfg, err := loadConfig(*cfgPath)
 	if err != nil {
 		return err
+	}
+	// Overload knobs: flags override the shared cluster config so a single
+	// node can be retuned without editing the file every node reads.
+	if *maxInfl > 0 {
+		cfg.MaxInflight = *maxInfl
+	}
+	if *missQueue > 0 {
+		cfg.MissQueue = *missQueue
+	}
+	if *limitMode != "" {
+		cfg.LimitMode = *limitMode
 	}
 	tp := node.NewHTTPTransport(node.TransportOptions{
 		RequestTimeout: *timeout,

@@ -13,7 +13,10 @@ func TestLoadConfig(t *testing.T) {
 	  "rings": [["n0","n1"]],
 	  "addrs": {"n0":"http://127.0.0.1:8100","n1":"http://127.0.0.1:8101"},
 	  "originAddr": "http://127.0.0.1:8000",
-	  "utilityPlacement": true
+	  "utilityPlacement": true,
+	  "maxInflight": 128,
+	  "missQueue": 48,
+	  "limitMode": "gradient"
 	}`
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
@@ -27,6 +30,9 @@ func TestLoadConfig(t *testing.T) {
 	}
 	if cfg.Addrs["n1"] != "http://127.0.0.1:8101" {
 		t.Fatalf("addrs = %v", cfg.Addrs)
+	}
+	if cfg.MaxInflight != 128 || cfg.MissQueue != 48 || cfg.LimitMode != "gradient" {
+		t.Fatalf("overload knobs = %d/%d/%q", cfg.MaxInflight, cfg.MissQueue, cfg.LimitMode)
 	}
 }
 

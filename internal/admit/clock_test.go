@@ -1,0 +1,79 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a hand-advanced Clock: time only moves when the test
+// calls advance, so queue-deadline expiry is deterministic instead of a
+// real sleep. AfterFunc callbacks fire synchronously inside advance.
+type manualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+type manualTimer struct {
+	when    time.Time
+	f       func()
+	stopped bool
+}
+
+func (mt *manualTimer) Stop() bool {
+	was := mt.stopped
+	mt.stopped = true
+	return !was
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mt := &manualTimer{when: c.now.Add(d), f: f}
+	c.timers = append(c.timers, mt)
+	return mt
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*manualTimer
+	rest := c.timers[:0]
+	for _, mt := range c.timers {
+		if !mt.stopped && !mt.when.After(c.now) {
+			due = append(due, mt)
+		} else if !mt.stopped {
+			rest = append(rest, mt)
+		}
+	}
+	c.timers = rest
+	c.mu.Unlock()
+	for _, mt := range due {
+		mt.f()
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes (real
+// time; used only to synchronise with test goroutines, never to drive
+// the primitives under test).
+func waitUntil(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,303 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGateImmediateAdmission(t *testing.T) {
+	g := NewGate(GateOptions{Capacity: 8})
+	rel, err := g.Acquire(context.Background(), Hit)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if got := g.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1 (hit weight)", got)
+	}
+	rel()
+	rel() // idempotent
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+	if got := g.Admitted(Hit); got != 1 {
+		t.Fatalf("Admitted(Hit) = %d, want 1", got)
+	}
+}
+
+func TestGateWeights(t *testing.T) {
+	g := NewGate(GateOptions{Capacity: 8})
+	relM, err := g.Acquire(context.Background(), Miss)
+	if err != nil {
+		t.Fatalf("Acquire(Miss): %v", err)
+	}
+	if got := g.InFlight(); got != 4 {
+		t.Fatalf("InFlight = %d, want 4 (default miss weight)", got)
+	}
+	relL, err := g.Acquire(context.Background(), Lookup)
+	if err != nil {
+		t.Fatalf("Acquire(Lookup): %v", err)
+	}
+	if got := g.InFlight(); got != 6 {
+		t.Fatalf("InFlight = %d, want 6", got)
+	}
+	relM()
+	relL()
+}
+
+// TestGateQueueFullSheds checks the immediate-shed path: a class whose
+// queue is at cap refuses new arrivals with a typed queue-full shed and
+// bumps the matching counter.
+func TestGateQueueFullSheds(t *testing.T) {
+	g := NewGate(GateOptions{
+		Capacity: 1,
+		Weights:  [3]int{1, 1, 1},
+		QueueCap: [3]int{1, 1, 1},
+	})
+	rel, err := g.Acquire(context.Background(), Miss)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel()
+
+	// One waiter occupies the queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background(), Miss)
+		if r != nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	waitUntil(t, func() bool { return g.Queued(Miss) == 1 }, "miss waiter queued")
+
+	_, err = g.Acquire(context.Background(), Miss)
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if se.Reason != ReasonQueueFull || se.Class != Miss {
+		t.Fatalf("shed = %+v, want miss/queue-full", se)
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("errors.Is(err, ErrShed) = false")
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", se.RetryAfter)
+	}
+	if got := g.ShedQueueFull(Miss); got != 1 {
+		t.Fatalf("ShedQueueFull(Miss) = %d, want 1", got)
+	}
+	rel() // drain the queued waiter
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestGateQueueDeadlineShedsNotTimeout is the satellite property: a
+// waiter that exhausts its queue-time budget gets a typed shed — not a
+// context deadline error — and the deadline-shed metric increments.
+func TestGateQueueDeadlineShedsNotTimeout(t *testing.T) {
+	mc := newManualClock()
+	g := NewGate(GateOptions{
+		Capacity:      1,
+		Weights:       [3]int{1, 1, 1},
+		QueueDeadline: [3]time.Duration{time.Second, time.Second, time.Second},
+		Clock:         mc,
+	})
+	rel, err := g.Acquire(context.Background(), Hit)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel()
+
+	got := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background(), Miss)
+		if r != nil {
+			defer r()
+		}
+		got <- err
+	}()
+	waitUntil(t, func() bool { return g.Queued(Miss) == 1 }, "miss waiter queued")
+
+	mc.advance(time.Second + time.Millisecond)
+	err = <-got
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *ShedError", err, err)
+	}
+	if se.Reason != ReasonQueueDeadline {
+		t.Fatalf("Reason = %q, want %q", se.Reason, ReasonQueueDeadline)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("queue-deadline expiry surfaced as a context timeout")
+	}
+	if got := g.ShedQueueDeadline(Miss); got != 1 {
+		t.Fatalf("ShedQueueDeadline(Miss) = %d, want 1", got)
+	}
+	if got := g.Queued(Miss); got != 0 {
+		t.Fatalf("Queued(Miss) = %d after shed, want 0", got)
+	}
+}
+
+// TestGateCallerDeadlineFreesSlot: a waiter whose own ctx ends gets
+// ctx.Err() (the caller gave up — that is not a shed) and stops
+// consuming its queue slot.
+func TestGateCallerDeadlineFreesSlot(t *testing.T) {
+	g := NewGate(GateOptions{Capacity: 1, Weights: [3]int{1, 1, 1}})
+	rel, err := g.Acquire(context.Background(), Hit)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(ctx, Lookup)
+		if r != nil {
+			defer r()
+		}
+		got <- err
+	}()
+	waitUntil(t, func() bool { return g.Queued(Lookup) == 1 }, "lookup waiter queued")
+	cancel()
+	err = <-got
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrShed) {
+		t.Fatal("caller cancellation mis-reported as a shed")
+	}
+	if got := g.Queued(Lookup); got != 0 {
+		t.Fatalf("Queued(Lookup) = %d after cancel, want 0 (slot freed)", got)
+	}
+	if got := g.Shed(Lookup); got != 0 {
+		t.Fatalf("Shed(Lookup) = %d, want 0 (cancellation is not a shed)", got)
+	}
+}
+
+// TestGatePriorityHitsBeforeMisses is the satellite property test:
+// under saturation, queued hit-class work is always admitted before
+// queued miss-class work, across randomized queue mixes. Slots are
+// released one at a time so the observed grant order is exact.
+func TestGatePriorityHitsBeforeMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 10; round++ {
+		nHits := 1 + rng.Intn(5)
+		nMisses := 1 + rng.Intn(5)
+		g := NewGate(GateOptions{
+			Capacity:      2,
+			Weights:       [3]int{1, 1, 1},
+			QueueCap:      [3]int{16, 16, 16},
+			QueueDeadline: [3]time.Duration{time.Hour, time.Hour, time.Hour},
+		})
+
+		// Saturate the gate.
+		var holders []func()
+		for i := 0; i < 2; i++ {
+			rel, err := g.Acquire(context.Background(), Miss)
+			if err != nil {
+				t.Fatalf("saturate: %v", err)
+			}
+			holders = append(holders, rel)
+		}
+
+		// Queue misses first, then hits — the adversarial order.
+		granted := make(chan Class, nHits+nMisses)
+		rels := make(chan func(), nHits+nMisses)
+		spawn := func(c Class) {
+			go func() {
+				rel, err := g.Acquire(context.Background(), c)
+				if err != nil {
+					t.Errorf("waiter %v: %v", c, err)
+					return
+				}
+				granted <- c
+				rels <- rel
+			}()
+		}
+		for i := 0; i < nMisses; i++ {
+			spawn(Miss)
+		}
+		waitUntil(t, func() bool { return g.Queued(Miss) == nMisses }, "misses queued")
+		for i := 0; i < nHits; i++ {
+			spawn(Hit)
+		}
+		waitUntil(t, func() bool { return g.Queued(Hit) == nHits }, "hits queued")
+
+		// Free one slot at a time; each release grants exactly one waiter,
+		// so receive order is grant order.
+		var order []Class
+		release := holders
+		for i := 0; i < nHits+nMisses; i++ {
+			release[0]()
+			release = release[1:]
+			select {
+			case c := <-granted:
+				order = append(order, c)
+				release = append(release, <-rels)
+			case <-time.After(5 * time.Second):
+				t.Fatalf("round %d: no grant after release %d (order so far %v)", round, i, order)
+			}
+		}
+		for _, rel := range release {
+			rel()
+		}
+
+		// Property: every hit precedes every miss.
+		firstMiss := len(order)
+		for i, c := range order {
+			if c == Miss {
+				firstMiss = i
+				break
+			}
+		}
+		for _, c := range order[firstMiss:] {
+			if c == Hit {
+				t.Fatalf("round %d (hits=%d misses=%d): hit granted after a miss: %v",
+					round, nHits, nMisses, order)
+			}
+		}
+	}
+}
+
+func TestGateTryAcquire(t *testing.T) {
+	g := NewGate(GateOptions{Capacity: 4, Weights: [3]int{1, 1, 4}})
+	rel, ok := g.TryAcquire(Miss)
+	if !ok {
+		t.Fatal("TryAcquire(Miss) refused on an empty gate")
+	}
+	if _, ok := g.TryAcquire(Hit); ok {
+		t.Fatal("TryAcquire(Hit) admitted past capacity")
+	}
+	rel()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}
+
+func TestGateDefaults(t *testing.T) {
+	g := NewGate(GateOptions{})
+	if got := g.Capacity(); got != DefaultCapacity {
+		t.Fatalf("Capacity = %d, want %d", got, DefaultCapacity)
+	}
+	// Misses cost 4× a hit: only Capacity/4 fit concurrently.
+	var rels []func()
+	for i := 0; i < DefaultCapacity/defaultWeights[Miss]; i++ {
+		rel, ok := g.TryAcquire(Miss)
+		if !ok {
+			t.Fatalf("miss %d refused below capacity", i)
+		}
+		rels = append(rels, rel)
+	}
+	if _, ok := g.TryAcquire(Miss); ok {
+		t.Fatal("miss admitted past capacity")
+	}
+	for _, rel := range rels {
+		rel()
+	}
+}

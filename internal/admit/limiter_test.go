@@ -1,0 +1,188 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// feed pushes n identical samples through the limiter.
+func feed(l *Limiter, n int, latency time.Duration, ok bool) {
+	for i := 0; i < n; i++ {
+		if l.TryAcquire() {
+			l.Release(latency, ok)
+		}
+	}
+}
+
+func TestLimiterAIMDGrowsWhenHealthy(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Min: 1, Max: 16, Initial: 2})
+	feed(l, 200, 10*time.Millisecond, true)
+	if got := l.Limit(); got != 16 {
+		t.Fatalf("Limit = %d after healthy samples, want 16 (ceiling)", got)
+	}
+	if got := l.Congested(); got != 0 {
+		t.Fatalf("Congested = %d, want 0", got)
+	}
+}
+
+func TestLimiterAIMDShrinksWhenOriginSlows(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Min: 1, Max: 16, Initial: 16})
+	feed(l, 20, 10*time.Millisecond, true) // establish ~10ms baseline
+	before := l.Limit()
+	// Origin slowed 5×: every sample is past SlowFactor × baseline.
+	feed(l, 20, 50*time.Millisecond, true)
+	after := l.Limit()
+	if after >= before {
+		t.Fatalf("Limit %d -> %d under 5× slowdown, want decrease", before, after)
+	}
+	if after != 1 {
+		t.Fatalf("Limit = %d after sustained slowdown, want floor 1", after)
+	}
+	if l.Congested() == 0 {
+		t.Fatal("Congested = 0, want > 0")
+	}
+	// The slow samples must not have become the new baseline instantly.
+	if b := l.Baseline(); b > 25 {
+		t.Fatalf("Baseline = %.1fms after slowdown, want < 25ms (slow creep only)", b)
+	}
+}
+
+func TestLimiterFailuresShrink(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Min: 1, Max: 16, Initial: 8})
+	feed(l, 10, 10*time.Millisecond, true)
+	feed(l, 10, 10*time.Millisecond, false)
+	if got := l.Limit(); got != 1 {
+		t.Fatalf("Limit = %d after failures, want 1", got)
+	}
+}
+
+func TestLimiterFixedModeNeverAdapts(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Mode: LimitFixed, Min: 1, Max: 16, Initial: 8})
+	feed(l, 50, 10*time.Millisecond, true)
+	feed(l, 50, 500*time.Millisecond, true)
+	feed(l, 10, time.Millisecond, false)
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("fixed Limit = %d, want 8", got)
+	}
+}
+
+func TestLimiterGradientTracksSlowdown(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Mode: LimitGradient, Min: 1, Max: 16, Initial: 16})
+	feed(l, 20, 10*time.Millisecond, true)
+	before := l.Limit()
+	feed(l, 40, 50*time.Millisecond, true)
+	after := l.Limit()
+	if after >= before {
+		t.Fatalf("gradient Limit %d -> %d under slowdown, want decrease", before, after)
+	}
+	// Recovery: healthy samples grow the limit back.
+	feed(l, 200, 10*time.Millisecond, true)
+	if rec := l.Limit(); rec <= after {
+		t.Fatalf("gradient Limit stuck at %d after recovery, want growth past %d", rec, after)
+	}
+}
+
+// TestLimiterDeterministic: identical sample sequences produce identical
+// limiter state — the property the stormsweep golden test rests on.
+func TestLimiterDeterministic(t *testing.T) {
+	mk := func() *Limiter {
+		l := NewLimiter(LimiterOptions{Min: 1, Max: 32, Initial: 4})
+		feed(l, 30, 8*time.Millisecond, true)
+		feed(l, 10, 40*time.Millisecond, true)
+		feed(l, 5, 8*time.Millisecond, false)
+		feed(l, 30, 8*time.Millisecond, true)
+		return l
+	}
+	a, b := mk(), mk()
+	if a.Limit() != b.Limit() || a.Baseline() != b.Baseline() || a.Congested() != b.Congested() {
+		t.Fatalf("diverged: limit %d/%d baseline %v/%v congested %d/%d",
+			a.Limit(), b.Limit(), a.Baseline(), b.Baseline(), a.Congested(), b.Congested())
+	}
+}
+
+func TestLimiterTryAcquireBounds(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Mode: LimitFixed, Min: 1, Max: 3, Initial: 3})
+	for i := 0; i < 3; i++ {
+		if !l.TryAcquire() {
+			t.Fatalf("TryAcquire %d refused under the limit", i)
+		}
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire admitted past the limit")
+	}
+	if got := l.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+	l.Release(time.Millisecond, true)
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire refused after a release")
+	}
+}
+
+func TestLimiterQueueShedAndPump(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Mode: LimitFixed, Min: 1, Max: 1, Initial: 1, QueueCap: 1})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	queued := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if r != nil {
+			defer r(time.Millisecond, true)
+		}
+		queued <- err
+	}()
+	waitUntil(t, func() bool { return l.Queued() == 1 }, "limiter waiter queued")
+
+	// Queue at cap: immediate typed shed.
+	_, err = l.Acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ReasonLimit {
+		t.Fatalf("err = %v, want *ShedError limit", err)
+	}
+	if l.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", l.Shed())
+	}
+
+	// Releasing pumps the queued waiter.
+	rel(time.Millisecond, true)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestLimiterQueueDeadlineSheds(t *testing.T) {
+	mc := newManualClock()
+	l := NewLimiter(LimiterOptions{
+		Mode: LimitFixed, Min: 1, Max: 1, Initial: 1,
+		QueueDeadline: time.Second, Clock: mc,
+	})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel(time.Millisecond, true)
+
+	got := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if r != nil {
+			defer r(time.Millisecond, true)
+		}
+		got <- err
+	}()
+	waitUntil(t, func() bool { return l.Queued() == 1 }, "limiter waiter queued")
+	mc.advance(time.Second + time.Millisecond)
+	err = <-got
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ReasonQueueDeadline {
+		t.Fatalf("err = %v, want queue-deadline *ShedError", err)
+	}
+	if got := l.Queued(); got != 0 {
+		t.Fatalf("Queued = %d after shed, want 0", got)
+	}
+}

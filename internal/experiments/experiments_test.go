@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -177,7 +178,7 @@ func TestRunByName(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 12 {
+	if len(names) != 13 {
 		t.Fatalf("names = %v", names)
 	}
 }
@@ -358,5 +359,64 @@ func TestEveryExperimentDispatches(t *testing.T) {
 				t.Fatal("no output")
 			}
 		})
+	}
+}
+
+// TestStormSweepShape checks the overload sweep's structure and its core
+// claims: conservation holds in every cell (the cell function self-checks
+// and errors otherwise), the limiter ceiling bounds peak origin
+// in-flight, the adaptive limiter keeps mean fetch latency below the
+// full-throttle limiter under the heaviest storm, and the result is
+// byte-identical across worker counts.
+func TestStormSweepShape(t *testing.T) {
+	r, err := StormSweepExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(r.Rows))
+	}
+	cellAt := func(mode string, rate int, alpha float64) StormRow {
+		for _, row := range r.Rows {
+			if row.Mode == mode && row.Rate == rate && row.Alpha == alpha {
+				return row
+			}
+		}
+		t.Fatalf("missing cell %s/%d/%.2f", mode, rate, alpha)
+		return StormRow{}
+	}
+	for _, row := range r.Rows {
+		if row.Offered == 0 || row.Served == 0 {
+			t.Fatalf("vacuous cell: %+v", row)
+		}
+		if row.PeakInFlight > stormLimitMax {
+			t.Fatalf("peak in-flight %d exceeds limiter max %d: %+v", row.PeakInFlight, stormLimitMax, row)
+		}
+		if row.Rate >= 16 && row.Coalesced == 0 {
+			t.Fatalf("no coalescing under a heavy storm: %+v", row)
+		}
+	}
+	// Under the heaviest storm the adaptive limiter must keep origin
+	// fetch latency below full throttle — that is the protection claim.
+	adaptive, fixed := cellAt("aimd", 64, 0.9), cellAt("fixed", 64, 0.9)
+	if adaptive.MeanFetchMs >= fixed.MeanFetchMs {
+		t.Fatalf("aimd mean %.1fms not below fixed %.1fms", adaptive.MeanFetchMs, fixed.MeanFetchMs)
+	}
+
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "storm sweep") {
+		t.Fatal("format output unexpected")
+	}
+
+	// Byte-identical at any worker count.
+	for _, workers := range []int{1, 7} {
+		r2, err := NewRunner(workers).StormSweepExperiment(testScale, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("workers=%d: result differs from default run", workers)
+		}
 	}
 }

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cachecloud/internal/admit"
+)
+
+// Storm-model constants: one cache node facing a fixed-capacity origin.
+// The origin completes stormOriginRate fetches per tick in FIFO order, so
+// driving more fetches in flight only lengthens their latency — exactly
+// the shape the adaptive limiter exists to detect.
+const (
+	stormDocs       = 600 // catalog size
+	stormCacheCap   = 100 // cached documents (FIFO replacement)
+	stormOriginRate = 3   // origin fetch completions per tick
+	stormTickMs     = 10  // one tick of modelled latency, in milliseconds
+	stormGateCap    = 64  // admission gate capacity (weight units)
+	stormLimitMax   = 12  // limiter ceiling on in-flight origin fetches
+)
+
+// StormSweep is the result of the overload storm sweep (robustness
+// extension): a deterministic discrete-time miss-storm model driven over
+// an arrival-rate × Zipf-skew grid, once with the adaptive AIMD limiter
+// and once with a full-throttle fixed limiter. The model steps the real
+// admission primitives — internal/admit's Gate, Limiter and the
+// coalescing discipline — via their clock-free TryAcquire/Release
+// surface, so every cell is reproducible at any worker count.
+type StormSweep struct {
+	// Ticks is the arrival phase length; each run then drains to
+	// quiescence before its books are balanced.
+	Ticks int
+	Rows  []StormRow
+}
+
+// StormRow is one grid cell's outcome.
+type StormRow struct {
+	Mode    string  // limiter mode: aimd or fixed
+	Rate    int     // arrivals per tick
+	Alpha   float64 // Zipf skew of document popularity
+	Offered int64
+	Served  int64
+	Shed    int64
+	// Coalesced counts requests served by piggybacking on an in-flight
+	// fetch for the same document rather than issuing their own.
+	Coalesced     int64
+	OriginFetches int64
+	GoodputPct    float64
+	// MeanFetchMs is the mean origin fetch latency (queueing included) —
+	// the number the adaptive limiter keeps bounded.
+	MeanFetchMs float64
+	FinalLimit  int
+	// PeakInFlight is the most fetches ever simultaneously in flight at
+	// the origin; the limiter ceiling bounds it.
+	PeakInFlight int
+}
+
+// Format writes the sweep table.
+func (s *StormSweep) Format(w io.Writer) {
+	fmt.Fprintf(w, "Overload storm sweep (extension): %d-tick miss storms on the live admission primitives\n", s.Ticks)
+	fmt.Fprintf(w, "origin serves %d fetches/tick; gate capacity %d; limiter max %d; aimd (adaptive) vs fixed (full throttle)\n",
+		stormOriginRate, stormGateCap, stormLimitMax)
+	fmt.Fprintf(w, "%-6s %5s %6s %8s %8s %8s %8s %10s %8s %8s %6s %5s\n",
+		"mode", "rate", "alpha", "offered", "served", "shed", "goodput",
+		"coalesced", "fetches", "mean ms", "limit", "peak")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-6s %5d %6.2f %8d %8d %8d %7.1f%% %10d %8d %8.1f %6d %5d\n",
+			r.Mode, r.Rate, r.Alpha, r.Offered, r.Served, r.Shed, r.GoodputPct,
+			r.Coalesced, r.OriginFetches, r.MeanFetchMs, r.FinalLimit, r.PeakInFlight)
+	}
+}
+
+// zipfCDF precomputes the cumulative distribution of a power law with
+// exponent alpha over n ranks.
+func zipfCDF(n int, alpha float64) []float64 {
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -alpha)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+// sampleZipf draws one rank from the precomputed CDF.
+func sampleZipf(rng *rand.Rand, cum []float64) int {
+	i := sort.SearchFloat64s(cum, rng.Float64())
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}
+
+// stormCell runs one grid cell: ticks of Poisson-free fixed-rate arrivals
+// against the gate/limiter/coalescing pipeline, then a drain to
+// quiescence. The cell self-checks the conservation invariant (every
+// offered request is served or shed, nothing lingers) before reporting.
+func stormCell(seed int64, mode admit.LimitMode, rate int, alpha float64, ticks int) (StormRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cum := zipfCDF(stormDocs, alpha)
+	gate := admit.NewGate(admit.GateOptions{Capacity: stormGateCap})
+	lopts := admit.LimiterOptions{Mode: mode, Max: stormLimitMax}
+	if mode == admit.LimitFixed {
+		// Full throttle: the naive policy the adaptive law must beat.
+		lopts.Initial = stormLimitMax
+	}
+	lim := admit.NewLimiter(lopts)
+
+	type flight struct {
+		doc     int
+		issued  int
+		waiters int64
+		release func()
+	}
+	var (
+		pending  = make(map[int]*flight) // document -> in-flight fetch
+		origin   []*flight               // FIFO queue at the origin
+		cached   = make(map[int]bool)
+		fifo     []int
+		row      = StormRow{Mode: string(mode), Rate: rate, Alpha: alpha}
+		latSumMs float64
+		peak     int
+	)
+	insert := func(doc int) {
+		if cached[doc] {
+			return
+		}
+		cached[doc] = true
+		fifo = append(fifo, doc)
+		if len(fifo) > stormCacheCap {
+			delete(cached, fifo[0])
+			fifo = fifo[1:]
+		}
+	}
+
+	for now := 0; ; now++ {
+		// The origin completes up to its per-tick capacity; a completed
+		// fetch serves its whole coalesced group and reports its latency
+		// (queueing included) to the limiter.
+		for done := 0; len(origin) > 0 && done < stormOriginRate; done++ {
+			f := origin[0]
+			origin = origin[1:]
+			lat := time.Duration(now-f.issued+1) * stormTickMs * time.Millisecond
+			latSumMs += float64(lat) / float64(time.Millisecond)
+			lim.Release(lat, true)
+			f.release()
+			delete(pending, f.doc)
+			insert(f.doc)
+			row.Served += f.waiters
+			row.Coalesced += f.waiters - 1
+			row.OriginFetches++
+		}
+
+		if now < ticks {
+			for i := 0; i < rate; i++ {
+				row.Offered++
+				doc := sampleZipf(rng, cum)
+				if cached[doc] {
+					if rel, ok := gate.TryAcquire(admit.Hit); ok {
+						rel()
+						row.Served++
+					} else {
+						row.Shed++
+					}
+					continue
+				}
+				if f, ok := pending[doc]; ok {
+					f.waiters++ // coalesce onto the in-flight fetch
+					continue
+				}
+				grel, ok := gate.TryAcquire(admit.Miss)
+				if !ok {
+					row.Shed++
+					continue
+				}
+				if !lim.TryAcquire() {
+					grel()
+					row.Shed++
+					continue
+				}
+				f := &flight{doc: doc, issued: now, waiters: 1, release: grel}
+				pending[doc] = f
+				origin = append(origin, f)
+			}
+		}
+		if len(origin) > peak {
+			peak = len(origin)
+		}
+		if now >= ticks && len(origin) == 0 {
+			break
+		}
+	}
+
+	if row.Served+row.Shed != row.Offered {
+		return row, fmt.Errorf("experiments: stormsweep %s rate=%d alpha=%.2f: served %d + shed %d != offered %d",
+			mode, rate, alpha, row.Served, row.Shed, row.Offered)
+	}
+	if gate.InFlight() != 0 || lim.InFlight() != 0 || len(pending) != 0 {
+		return row, fmt.Errorf("experiments: stormsweep %s rate=%d alpha=%.2f: not quiescent (gate %d, limiter %d, pending %d)",
+			mode, rate, alpha, gate.InFlight(), lim.InFlight(), len(pending))
+	}
+	if row.Offered > 0 {
+		row.GoodputPct = 100 * float64(row.Served) / float64(row.Offered)
+	}
+	if row.OriginFetches > 0 {
+		row.MeanFetchMs = latSumMs / float64(row.OriginFetches)
+	}
+	row.FinalLimit = lim.Limit()
+	row.PeakInFlight = peak
+	return row, nil
+}
+
+// StormSweepExperiment runs the storm grid on this Runner's pool: every
+// (mode, rate, alpha) cell is an independent deterministic run collected
+// by index, so the sweep is byte-identical at any worker count.
+func (r *Runner) StormSweepExperiment(scale float64, seed int64) (*StormSweep, error) {
+	ticks := int(scaleDuration(240, scale))
+	modes := []admit.LimitMode{admit.LimitAIMD, admit.LimitFixed}
+	rates := []int{4, 16, 64}
+	alphas := []float64{0.5, 0.9}
+	type cell struct {
+		mode  admit.LimitMode
+		rate  int
+		alpha float64
+	}
+	var cells []cell
+	for _, m := range modes {
+		for _, rate := range rates {
+			for _, a := range alphas {
+				cells = append(cells, cell{m, rate, a})
+			}
+		}
+	}
+	out := &StormSweep{Ticks: ticks, Rows: make([]StormRow, len(cells))}
+	err := r.Map(len(cells), func(i int) error {
+		c := cells[i]
+		row, err := stormCell(seed+int64(i)*7919, c.mode, c.rate, c.alpha, ticks)
+		if err != nil {
+			return err
+		}
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StormSweepExperiment runs the overload storm sweep on a default-sized
+// Runner.
+func StormSweepExperiment(scale float64, seed int64) (*StormSweep, error) {
+	return NewRunner(0).StormSweepExperiment(scale, seed)
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cachecloud/internal/admit"
 	"cachecloud/internal/cache"
 	"cachecloud/internal/document"
 	"cachecloud/internal/loadstats"
@@ -72,6 +73,21 @@ type CacheNode struct {
 	reqMs       *obs.Histogram // client /doc handling latency
 	lookupMs    *obs.Histogram // beacon lookup round trip
 	fetchMs     *obs.Histogram // peer/origin document retrieval
+
+	// Overload-resilience layer (see admission.go): the weighted
+	// class-priority admission gate, the adaptive origin-fetch limiter,
+	// and the miss-storm coalescer, plus the conservation counters
+	// (Requests == Served + Shed + Failed at quiescent points).
+	gate          *admit.Gate
+	limiter       *admit.Limiter
+	flights       *admit.Coalescer[flightKey, document.Document]
+	docRequests   *obs.Counter
+	docServed     *obs.Counter
+	docShed       *obs.Counter
+	docFailed     *obs.Counter
+	originFetches *obs.Counter // actual origin wire fetches, post-coalescing
+	coalescedMiss *obs.Counter // misses that joined an in-flight fetch
+	shedByClass   [admit.NumClasses]*obs.Counter
 }
 
 // NewCacheNode constructs a live cache node. The node starts with the equal
@@ -107,8 +123,9 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		down:        make(map[string]bool),
 		loads:       make(map[int][]int64),
 	}
+	n.initAdmission()
 	n.initMetrics()
-	n.tp = NewHTTPTransport(TransportOptions{OnBreakerOpen: n.noteCircuitOpen})
+	n.tp = NewHTTPTransport(TransportOptions{OnBreakerOpen: n.noteCircuitOpen, Clock: clock})
 	return n, nil
 }
 
@@ -163,6 +180,7 @@ func (n *CacheNode) initMetrics() {
 		defer n.mu.Unlock()
 		return float64(n.hbSeq)
 	})
+	n.initAdmissionMetrics(reg)
 }
 
 // Metrics exposes the node's metrics registry.
@@ -312,26 +330,51 @@ func (n *CacheNode) chargeBeaconLoad(url string) {
 	}
 }
 
-// handleDoc is the client entry point: local hit, else cooperate.
+// handleDoc is the client entry point: local hit, else cooperate. Every
+// request passes the admission gate under its work class — hits under
+// the cheap hit class, cooperation under the lookup class, origin
+// fetches under the miss class — so a miss storm can never starve hit
+// serving. Each request increments docRequests and then exactly one of
+// docServed, docShed, or docFailed (the conservation invariant).
 func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
 	if url == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
 		return
 	}
+	n.docRequests.Inc()
 	t0 := n.clock.Now()
 	defer func() { n.reqMs.Observe(n.msSince(t0)) }()
+	ctx, cancel := requestContext(r)
+	defer cancel()
 	now := n.now()
 	if cp, ok := n.store.Get(url, now); ok {
+		release, err := n.gate.Acquire(ctx, admit.Hit)
+		if err != nil {
+			n.refuseDoc(w, url, admit.Hit, err)
+			return
+		}
+		defer release()
 		n.localHits.Inc()
+		n.docServed.Inc()
 		writeJSON(w, http.StatusOK, DocResponse{Doc: cp.Doc, Source: "local", Stored: true})
 		return
 	}
 
+	// Miss: the beacon lookup and peer retrieval run under one
+	// lookup-class admission; it is released before any origin fetch so
+	// slow origin work is charged to the miss class alone.
+	lookupRelease, err := n.gate.Acquire(ctx, admit.Lookup)
+	if err != nil {
+		n.refuseDoc(w, url, admit.Lookup, err)
+		return
+	}
+	defer lookupRelease()
+
 	// Ask the document's beacon point for holders.
-	ctx := r.Context()
 	beaconName, beaconBase, err := n.beaconURL(url)
 	if err != nil {
+		n.docFailed.Inc()
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -370,17 +413,20 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// No beacon at all: degrade to a direct origin fetch so the client
-	// request still completes.
+	// request still completes. The fetch runs under full miss-class
+	// controls (coalescing, gate, adaptive limiter).
 	if !lookupOK {
-		var fr FetchResponse
-		if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
-			writeErr(w, http.StatusBadGateway, err)
+		lookupRelease()
+		doc, err := n.originFetch(ctx, url, 0)
+		if err != nil {
+			n.refuseDoc(w, url, admit.Miss, err)
 			return
 		}
 		n.originMZ.Inc()
 		n.degraded.Inc()
-		stored := n.place(ctx, fr.Doc, "", "", LookupResponse{}, now)
-		writeJSON(w, http.StatusOK, DocResponse{Doc: fr.Doc, Source: "origin", Stored: stored, Degraded: true})
+		stored := n.place(ctx, doc, "", "", LookupResponse{}, now)
+		n.docServed.Inc()
+		writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: "origin", Stored: stored, Degraded: true})
 		return
 	}
 	if failedOver {
@@ -391,46 +437,48 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tFetch := n.clock.Now()
-	doc, source, err := n.retrieve(ctx, url, lr)
-	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+	doc, source, ok := n.peerRetrieve(ctx, url, lr)
+	lookupRelease()
+	if !ok {
+		doc, err = n.originFetch(ctx, url, lr.Version)
+		if err != nil {
+			n.refuseDoc(w, url, admit.Miss, err)
+			return
+		}
+		n.originMZ.Inc()
+		source = "origin"
 	}
 	n.fetchMs.Observe(n.msSince(tFetch))
 	stored := n.place(ctx, doc, beaconName, beaconBase, lr, now)
+	n.docServed.Inc()
 	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored, FailedOver: failedOver})
 }
 
 // msSince returns the elapsed wall time since t0 in milliseconds.
 func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
 
-// retrieve fetches the document from a holder, falling back to the origin.
-// Holders the origin has declared dead are skipped without a network call.
-func (n *CacheNode) retrieve(ctx context.Context, url string, lr LookupResponse) (document.Document, string, error) {
+// peerRetrieve tries to fetch the document from a sibling holder.
+// Holders the origin has declared dead are skipped without a network
+// call; a holder that sheds (429), is unreachable, or lacks the copy is
+// skipped for the next one. ok=false means the caller must fall back to
+// the origin (via originFetch, under the miss-class controls).
+func (n *CacheNode) peerRetrieve(ctx context.Context, url string, lr LookupResponse) (doc document.Document, source string, ok bool) {
 	for _, h := range lr.Holders {
 		if h == n.name || n.isDown(h) {
 			continue
 		}
-		base, ok := n.cfg.Addrs[h]
-		if !ok {
+		base, have := n.cfg.Addrs[h]
+		if !have {
 			continue
 		}
 		var fr FetchResponse
-		err := n.tp.GetJSON(ctx, base+"/fetch?url="+queryEscape(url), &fr)
-		if err == nil {
+		if err := n.tp.GetJSON(ctx, base+"/fetch?url="+queryEscape(url), &fr); err == nil {
 			n.peerHits.Inc()
-			return fr.Doc, "peer", nil
+			return fr.Doc, "peer", true
 		}
-		if !errors.Is(err, errNotFound) {
-			continue // holder unreachable; try the next one
-		}
+		// Shed, not-found, or unreachable: try the next holder.
 	}
-	var fr FetchResponse
-	if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
-		return document.Document{}, "", fmt.Errorf("origin fetch: %w", err)
-	}
-	n.originMZ.Inc()
-	return fr.Doc, "origin", nil
+	return document.Document{}, "", false
 }
 
 // place runs the placement decision and registers the copy when stored.
@@ -535,6 +583,14 @@ func (n *CacheNode) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
 		return
 	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	release, err := n.gate.Acquire(ctx, admit.Lookup)
+	if err != nil {
+		n.refuseServe(w, url, admit.Lookup, err)
+		return
+	}
+	defer release()
 	writeJSON(w, http.StatusOK, n.localLookup(url))
 }
 
@@ -610,8 +666,19 @@ func (n *CacheNode) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
+// handleFetch serves a held copy to a sibling. Serving an existing copy
+// is hit-class work: cheap, and prioritised over miss-class admissions
+// so an overloaded holder still relieves its peers.
 func (n *CacheNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	release, err := n.gate.Acquire(ctx, admit.Hit)
+	if err != nil {
+		n.refuseServe(w, url, admit.Hit, err)
+		return
+	}
+	defer release()
 	cp, ok := n.store.Peek(url)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no copy of %q", url))
@@ -960,19 +1027,27 @@ func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	records, downPeers := len(n.records), len(n.down)
 	n.mu.Unlock()
+	ad := n.Admission()
 	writeJSON(w, http.StatusOK, CacheStats{
-		Node:        n.name,
-		StoredDocs:  n.store.Len(),
-		UsedBytes:   n.store.Used(),
-		LocalHits:   local,
-		PeerHits:    peer,
-		OriginMiss:  origin,
-		BeaconOps:   n.beaconOps.Value(),
-		HitRate:     hitRate,
-		RecordsHeld: records,
-		FailedOver:  n.failedOver.Value(),
-		Degraded:    n.degraded.Value(),
-		DownPeers:   downPeers,
+		Node:          n.name,
+		StoredDocs:    n.store.Len(),
+		UsedBytes:     n.store.Used(),
+		LocalHits:     local,
+		PeerHits:      peer,
+		OriginMiss:    origin,
+		BeaconOps:     n.beaconOps.Value(),
+		HitRate:       hitRate,
+		RecordsHeld:   records,
+		FailedOver:    n.failedOver.Value(),
+		Degraded:      n.degraded.Value(),
+		DownPeers:     downPeers,
+		Requests:      ad.Requests,
+		Served:        ad.Served,
+		Shed:          ad.Shed,
+		Failed:        ad.Failed,
+		OriginFetches: ad.OriginFetches,
+		Coalesced:     ad.Coalesced,
+		LimitNow:      ad.Limit,
 	})
 }
 

@@ -44,6 +44,9 @@ func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Doc
 		IntraGen:         opts.IntraGen,
 		CapacityBytes:    opts.CapacityBytes,
 		UtilityPlacement: opts.UtilityPlacement,
+		MaxInflight:      opts.MaxInflight,
+		MissQueue:        opts.MissQueue,
+		LimitMode:        opts.LimitMode,
 		Clock:            opts.Clock,
 		Addrs:            make(map[string]string, len(nodeNames)),
 	}

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cachecloud/internal/document"
@@ -39,6 +40,12 @@ type OriginNode struct {
 	recordsHeld map[string]int       // records reported in each node's last beat
 	tracer      *obs.Tracer
 	started     time.Time
+
+	// fetchInFlight / fetchHighWater track concurrent /fetch serving;
+	// the chaos storm harness asserts the high water stays within the
+	// cache nodes' summed adaptive limits.
+	fetchInFlight  atomic.Int64
+	fetchHighWater atomic.Int64
 
 	reg         *obs.Registry
 	heartbeats  *obs.Counter
@@ -126,7 +133,13 @@ func (o *OriginNode) initMetrics() {
 	})
 	reg.GaugeFunc("intra_ring_hash_n", func() float64 { return float64(o.cfg.IntraGen) })
 	reg.GaugeFunc("uptime_seconds", func() float64 { return o.clock.Since(o.started).Seconds() })
+	reg.GaugeFunc("fetch_inflight", func() float64 { return float64(o.fetchInFlight.Load()) })
+	reg.GaugeFunc("fetch_inflight_highwater", func() float64 { return float64(o.fetchHighWater.Load()) })
 }
+
+// FetchHighWater returns the maximum number of /fetch requests ever
+// served concurrently (white-box accessor for the storm harness).
+func (o *OriginNode) FetchHighWater() int64 { return o.fetchHighWater.Load() }
 
 // Metrics exposes the origin's metrics registry.
 func (o *OriginNode) Metrics() *obs.Registry { return o.reg }
@@ -175,6 +188,22 @@ func (o *OriginNode) Handler() http.Handler {
 }
 
 func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
+	cur := o.fetchInFlight.Add(1)
+	defer o.fetchInFlight.Add(-1)
+	for {
+		hw := o.fetchHighWater.Load()
+		if cur <= hw || o.fetchHighWater.CompareAndSwap(hw, cur) {
+			break
+		}
+	}
+	// Honor a propagated deadline: a caller that already gave up gets a
+	// timeout instead of a payload nobody reads.
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
 	u := r.URL.Query().Get("url")
 	o.mu.Lock()
 	d, ok := o.docs[u]
@@ -702,6 +731,8 @@ func (o *OriginNode) Stats() OriginStats {
 		Repairs:          o.repairs.Value(),
 		Heartbeats:       o.heartbeats.Value(),
 		NodesDown:        nodesDown,
+		FetchInFlight:    o.fetchInFlight.Load(),
+		FetchHighWater:   o.fetchHighWater.Load(),
 		RecordsLost:      o.recordsLost.Value(),
 		RecordsRecovered: o.recordsRec.Value(),
 		Rejoins:          o.rejoins.Value(),

@@ -38,6 +38,17 @@ import (
 	"cachecloud/internal/document"
 )
 
+// DeadlineHeader carries a request's remaining deadline budget in
+// milliseconds. The transport stamps it from the caller's context on
+// every outbound call and handlers derive their context from it, so a
+// client deadline propagates hop by hop and queue waiters whose caller
+// already gave up stop consuming slots.
+const DeadlineHeader = "X-Cachecloud-Deadline-Ms"
+
+// RetryAfterMsHeader carries a sub-second Retry-After hint on 429 shed
+// replies, alongside the standard whole-second Retry-After header.
+const RetryAfterMsHeader = "X-Cachecloud-Retry-After-Ms"
+
 // Subrange is one beacon point's inclusive IrH interval on the wire.
 type Subrange struct {
 	Node string `json:"node"`
@@ -61,6 +72,17 @@ type ClusterConfig struct {
 	// UtilityPlacement selects the utility-based placement policy for the
 	// cache nodes (ad hoc placement otherwise).
 	UtilityPlacement bool `json:"utilityPlacement"`
+	// MaxInflight caps the total weighted work units a node admits
+	// concurrently across the three work classes (0 selects the default,
+	// 64). It also bounds the adaptive origin-fetch limiter's ceiling at
+	// MaxInflight/4.
+	MaxInflight int `json:"maxInflight,omitempty"`
+	// MissQueue caps queued miss-class (origin fetch) waiters; arrivals
+	// past the cap are shed immediately (0 selects the default, 32).
+	MissQueue int `json:"missQueue,omitempty"`
+	// LimitMode selects the adaptive origin-fetch concurrency law:
+	// "aimd" (default), "gradient", or "fixed".
+	LimitMode string `json:"limitMode,omitempty"`
 	// Clock is the time source nodes built from this config run on. Nil
 	// selects the wall clock; the deterministic simulation harness
 	// injects a virtual clock here. Never serialised.
@@ -271,6 +293,24 @@ type CacheStats struct {
 	Degraded int64 `json:"degraded"`
 	// DownPeers is the number of peers currently marked dead by the origin.
 	DownPeers int `json:"downPeers"`
+	// Requests counts client /doc requests accepted for processing.
+	// Conservation: Requests == Served + Shed + Failed once the node is
+	// quiescent (nothing queued or in flight).
+	Requests int64 `json:"requests"`
+	// Served counts /doc requests answered with a document.
+	Served int64 `json:"served"`
+	// Shed counts /doc requests deliberately refused by the overload
+	// layer (HTTP 429 + Retry-After) — counted separately from failures.
+	Shed int64 `json:"shed"`
+	// Failed counts /doc requests that errored (bad gateway, timeout).
+	Failed int64 `json:"failed"`
+	// OriginFetches counts actual origin wire fetches after coalescing.
+	OriginFetches int64 `json:"originFetches"`
+	// Coalesced counts misses that joined an in-flight origin fetch
+	// instead of issuing their own (singleflight waiters).
+	Coalesced int64 `json:"coalesced"`
+	// LimitNow is the adaptive origin-fetch concurrency limit right now.
+	LimitNow int `json:"limitNow"`
 }
 
 // OriginStats answers the origin node's GET /stats.
@@ -294,6 +334,12 @@ type OriginStats struct {
 	RecordsRecovered int64 `json:"recordsRecovered"`
 	// Rejoins counts nodes re-admitted after being declared dead.
 	Rejoins int64 `json:"rejoins"`
+	// FetchInFlight is the number of /fetch requests being served right
+	// now; FetchHighWater is the maximum observed concurrently. Under the
+	// cache nodes' adaptive origin-fetch limiters the high water stays
+	// bounded by the sum of their current limits even during a miss storm.
+	FetchInFlight  int64 `json:"fetchInFlight"`
+	FetchHighWater int64 `json:"fetchHighWater"`
 }
 
 // HeartbeatRequest is the body of the origin's POST /heartbeat: a cache

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -34,6 +35,42 @@ var ErrNotFound = errNotFound
 // is open: recent calls to it failed consecutively and the cooldown has
 // not elapsed, so the call is refused without touching the network.
 var ErrPeerDown = errors.New("node: peer circuit open")
+
+// ErrShed is returned by a Transport when the remote answered 429: the
+// peer is alive but deliberately shedding load. A shed is never retried
+// against the same peer (the caller falls through the beacon → sibling
+// → origin degradation chain instead), never trips the circuit breaker
+// (the peer responded), and its Retry-After hint is honored: further
+// calls to that peer fail fast with ErrShed until the hint elapses.
+var ErrShed = errors.New("node: peer shedding load")
+
+// peerShedError is a 429 reply (or a fail-fast repeat of one within its
+// Retry-After window).
+type peerShedError struct {
+	url        string
+	retryAfter time.Duration
+}
+
+func (e *peerShedError) Error() string {
+	return fmt.Sprintf("node: %s: peer shedding load (retry after %v)", e.url, e.retryAfter)
+}
+
+// Is makes errors.Is(err, ErrShed) true for every *peerShedError.
+func (e *peerShedError) Is(target error) bool { return target == ErrShed }
+
+// ShedRetryAfter extracts the Retry-After hint from a transport shed
+// error (ok is false for any other error).
+func ShedRetryAfter(err error) (time.Duration, bool) {
+	var se *peerShedError
+	if errors.As(err, &se) {
+		return se.retryAfter, true
+	}
+	return 0, false
+}
+
+// maxShedRetryAfter caps how long a peer's Retry-After hint can keep the
+// fail-fast window open, so a bogus hint cannot poison a peer for long.
+const maxShedRetryAfter = 2 * time.Second
 
 // TransportOptions tunes HTTPTransport. The zero value selects the
 // defaults noted on each field.
@@ -77,6 +114,10 @@ type breaker struct {
 	fails    int       // consecutive failures
 	openedAt time.Time // when the circuit opened (zero = closed)
 	probing  bool      // a half-open probe is in flight
+	// shedUntil is the end of the peer's Retry-After window: calls
+	// before it fail fast with ErrShed instead of hitting a peer that
+	// just said it is overloaded.
+	shedUntil time.Time
 }
 
 // HTTPTransport is the production Transport: JSON over HTTP with
@@ -151,12 +192,30 @@ func (t *HTTPTransport) do(ctx context.Context, method, rawurl string, body []by
 	host := hostOf(rawurl)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if err := t.admit(host); err != nil {
+		switch err := t.admit(host); {
+		case errors.Is(err, ErrShed):
+			// The peer shed a recent call and its Retry-After window is
+			// still open: fail fast without touching the network so the
+			// caller can fall through the degradation chain.
+			return err
+		case err != nil:
 			// An open circuit fails fast; it still counts as this
 			// attempt's outcome so callers see a stable error.
 			lastErr = fmt.Errorf("%w: %s", ErrPeerDown, host)
-		} else {
+		default:
 			err := doJSON(ctx, t.client, method, rawurl, body, out, t.opts.RequestTimeout)
+			if errors.Is(err, ErrShed) {
+				// A shed is a deliberate, non-retryable refusal from a
+				// live peer: remember its Retry-After window and count
+				// the reply as the peer being up (never a breaker
+				// failure — shedding must not amplify into retries or a
+				// tripped circuit).
+				if ra, ok := ShedRetryAfter(err); ok {
+					t.noteShed(host, ra)
+				}
+				t.observe(host, true)
+				return err
+			}
 			if err == nil || !retryable(err) {
 				t.observe(host, err == nil || errors.Is(err, errNotFound))
 				return err
@@ -173,16 +232,49 @@ func (t *HTTPTransport) do(ctx context.Context, method, rawurl string, body []by
 	}
 }
 
-// admit consults the peer's circuit breaker; nil means the call may
-// proceed.
-func (t *HTTPTransport) admit(host string) error {
-	if t.opts.BreakerThreshold < 0 {
-		return nil
+// noteShed records a peer's Retry-After window (capped) so subsequent
+// calls fail fast until it elapses.
+func (t *HTTPTransport) noteShed(host string, retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		return
 	}
+	if retryAfter > maxShedRetryAfter {
+		retryAfter = maxShedRetryAfter
+	}
+	t.mu.Lock()
+	b := t.breakers[host]
+	if b == nil {
+		b = &breaker{}
+		t.breakers[host] = b
+	}
+	until := t.clock.Now().Add(retryAfter)
+	if until.After(b.shedUntil) {
+		b.shedUntil = until
+	}
+	t.mu.Unlock()
+}
+
+// PeerShedding reports whether the peer's Retry-After window is open.
+func (t *HTTPTransport) PeerShedding(baseURL string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[hostOf(baseURL)]
+	return b != nil && b.shedUntil.After(t.clock.Now())
+}
+
+// admit consults the peer's shed window and circuit breaker; nil means
+// the call may proceed.
+func (t *HTTPTransport) admit(host string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	b := t.breakers[host]
-	if b == nil || b.openedAt.IsZero() {
+	if b == nil {
+		return nil
+	}
+	if remain := b.shedUntil.Sub(t.clock.Now()); remain > 0 {
+		return &peerShedError{url: host, retryAfter: remain}
+	}
+	if t.opts.BreakerThreshold < 0 || b.openedAt.IsZero() {
 		return nil
 	}
 	if t.clock.Since(b.openedAt) >= t.opts.BreakerCooldown && !b.probing {
@@ -256,7 +348,7 @@ func (t *HTTPTransport) sleep(ctx context.Context, attempt int) error {
 // failures and 5xx replies are; 404 (absence) and other 4xx (the peer
 // answered and rejected the request) are not.
 func retryable(err error) bool {
-	if err == nil || errors.Is(err, errNotFound) {
+	if err == nil || errors.Is(err, errNotFound) || errors.Is(err, ErrShed) {
 		return false
 	}
 	var se *statusError
@@ -306,13 +398,25 @@ func doJSON(ctx context.Context, client *http.Client, method, rawurl string, bod
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's remaining budget so downstream queue waiters
+	// whose caller gave up stop consuming slots.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl) / time.Millisecond; ms > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(int64(ms), 10))
+		}
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("node: %s %s: %w", method, rawurl, err)
 	}
+	// Every early return below rides on this drain+close, so error
+	// replies (shed, 4xx, 5xx) never leak the keep-alive connection.
 	defer drainClose(resp.Body)
 	if resp.StatusCode == http.StatusNotFound {
 		return errNotFound
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return &peerShedError{url: rawurl, retryAfter: parseRetryAfter(resp.Header)}
 	}
 	if resp.StatusCode/100 != 2 {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -322,6 +426,24 @@ func doJSON(ctx context.Context, client *http.Client, method, rawurl string, bod
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// parseRetryAfter reads a 429 reply's retry hint: the millisecond
+// header when present, else the standard whole-second Retry-After, else
+// a 100ms default (a hint of some kind keeps the fail-fast window
+// meaningful).
+func parseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get(RetryAfterMsHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := h.Get("Retry-After"); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil && s > 0 {
+			return time.Duration(s) * time.Second
+		}
+	}
+	return 100 * time.Millisecond
 }
 
 // drainClose consumes any unread bytes before closing, so keep-alive

@@ -25,6 +25,8 @@ const (
 	EvRecordMigrated           // lookup records moved between beacons (Count = records)
 	EvSimFault                 // deterministic simulator injected a fault (crash, drop window)
 	EvInvariant                // deterministic simulator checked an invariant (Count = violations)
+	EvShed                     // overload layer deliberately refused work (429 + Retry-After)
+	EvCoalesced                // a miss joined an in-flight origin fetch instead of issuing its own
 	numEventKinds
 )
 
@@ -41,6 +43,8 @@ var kindNames = [numEventKinds]string{
 	EvRecordMigrated: "record_migrated",
 	EvSimFault:       "sim_fault",
 	EvInvariant:      "invariant",
+	EvShed:           "shed",
+	EvCoalesced:      "coalesced",
 }
 
 // String returns the JSONL wire name of the kind.

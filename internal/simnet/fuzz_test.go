@@ -18,6 +18,7 @@ func FuzzScheduleDecode(f *testing.F) {
 	f.Add("# comment only\n\n")
 	f.Add("at=1s kind=load n=5")
 	f.Add("at=0s kind=crash node=n0\nat=2s kind=check")
+	f.Add("at=1s kind=burst n=12\nat=2s kind=hotdoc n=8\nat=3s kind=check")
 	f.Add("at=1s kind=bogus")
 	f.Add("at=1s at=2s kind=load")
 	f.Add("at=-1s kind=load")

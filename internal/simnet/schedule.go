@@ -45,6 +45,16 @@ const (
 	// EvReconcile runs one holder-side anti-entropy pass on every live
 	// node in name order.
 	EvReconcile EventKind = "reconcile"
+	// EvBurst concentrates N client requests on one seeded entry node
+	// (seeded document choice per request) and checks the overload
+	// conservation invariant on the delta: every offered request is
+	// exactly one of served, shed, or failed, with positive goodput on a
+	// clean network.
+	EvBurst EventKind = "burst"
+	// EvHotDoc issues N client requests for one seeded hot document
+	// across seeded entry nodes (a miss-storm shape: many requesters, one
+	// document) under the same conservation invariant as EvBurst.
+	EvHotDoc EventKind = "hotdoc"
 	// EvCheckAccounting verifies RecordsLost/RecordsRecovered deltas
 	// against the white-box ledger taken at the preceding crash.
 	EvCheckAccounting EventKind = "check-accounting"
@@ -107,6 +117,16 @@ func Generate(seed int64, cfg GenConfig) []Event {
 		}
 		add(EvLoad, "", 15+rng.Intn(15))
 		t += 50 * time.Millisecond
+		// Overload shapes: a concentrated burst at one entry node and a
+		// hot-document storm, each in roughly half the rounds.
+		if rng.Intn(2) == 0 {
+			add(EvBurst, "", 15+rng.Intn(20))
+			t += 30 * time.Millisecond
+		}
+		if rng.Intn(2) == 0 {
+			add(EvHotDoc, "", 10+rng.Intn(20))
+			t += 30 * time.Millisecond
+		}
 		add(EvPublish, "", 2+rng.Intn(3))
 		if rng.Intn(3) == 0 {
 			t += 50 * time.Millisecond
@@ -159,6 +179,7 @@ func Encode(evs []Event) string {
 var validKinds = map[EventKind]bool{
 	EvLoad: true, EvPublish: true, EvReplicate: true, EvRebalance: true,
 	EvCrash: true, EvHeal: true, EvDrop: true, EvReconcile: true,
+	EvBurst: true, EvHotDoc: true,
 	EvCheckAccounting: true, EvCheck: true,
 }
 

@@ -352,6 +352,14 @@ func (s *sim) exec(ev Event) {
 		s.logf("drop permille=%d", ev.N)
 	case EvReconcile:
 		s.execReconcile()
+	case EvBurst:
+		entry := s.names[s.rng.Intn(len(s.names))]
+		s.execStorm("burst", entry, ev.N, func() document.Document {
+			return s.docs[s.rng.Intn(len(s.docs))]
+		})
+	case EvHotDoc:
+		hot := s.docs[s.rng.Intn(len(s.docs))]
+		s.execStorm("hotdoc", "", ev.N, func() document.Document { return hot })
 	case EvCheckAccounting:
 		s.checkAccounting(ev.Node)
 	case EvCheck:
@@ -422,6 +430,73 @@ func (s *sim) execCrash(victim string) {
 	s.net.Kill(victim)
 	s.traceFault(victim, int64(s.pendingCrash.expect))
 	s.logf("crash node=%s records=%d stored=%d", victim, s.pendingCrash.expect, s.pendingCrash.stored0)
+}
+
+// admissionTotals folds every node's overload-layer snapshot into one
+// (partitioned nodes included: they are still in-process and their
+// counters must stay consistent).
+func (s *sim) admissionTotals() node.AdmissionStats {
+	var out node.AdmissionStats
+	for _, name := range s.names {
+		st := s.caches[name].Admission()
+		out.Requests += st.Requests
+		out.Served += st.Served
+		out.Shed += st.Shed
+		out.Failed += st.Failed
+		out.OriginFetches += st.OriginFetches
+		out.Coalesced += st.Coalesced
+	}
+	return out
+}
+
+// execStorm drives one overload event (burst: seeded docs at a fixed
+// entry; hotdoc: one doc across seeded entries) and checks the overload
+// conservation invariant on the counter deltas: every request that
+// reached a node is exactly one of served, shed, or failed. On a clean
+// network it additionally requires all n offered requests to arrive,
+// zero failures (sheds are deliberate, failures are not), and positive
+// goodput — shedding may be partial but never a full outage.
+func (s *sim) execStorm(kind, entry string, n int, pick func() document.Document) {
+	defer s.traceInvariant(kind, len(s.failures))
+	before := s.admissionTotals()
+	ok, failed := 0, 0
+	for i := 0; i < n; i++ {
+		e := entry
+		if e == "" {
+			e = s.names[s.rng.Intn(len(s.names))]
+		}
+		doc := pick()
+		target := fmt.Sprintf("http://%s.sim/doc?url=%s", e, url.QueryEscape(doc.URL))
+		var dr node.DocResponse
+		if err := s.client.GetJSON(context.Background(), target, &dr); err != nil {
+			failed++
+			continue
+		}
+		ok++
+	}
+	after := s.admissionTotals()
+	dReq := after.Requests - before.Requests
+	dServed := after.Served - before.Served
+	dShed := after.Shed - before.Shed
+	dFailed := after.Failed - before.Failed
+	s.logf("%s entry=%s n=%d ok=%d failed=%d req=%d served=%d shed=%d nodefailed=%d coalesced=%d",
+		kind, entry, n, ok, failed, dReq, dServed, dShed, dFailed,
+		after.Coalesced-before.Coalesced)
+	if dServed+dShed+dFailed != dReq {
+		s.failf("%s conservation: served %d + shed %d + failed %d != requests %d",
+			kind, dServed, dShed, dFailed, dReq)
+	}
+	if s.clean() {
+		if dReq != int64(n) {
+			s.failf("%s: %d of %d offered requests reached a node on a clean network", kind, dReq, n)
+		}
+		if dFailed != 0 {
+			s.failf("%s: %d node-side failures on a clean network (must shed, not error)", kind, dFailed)
+		}
+		if n > 0 && dServed == 0 {
+			s.failf("%s: goodput collapsed to zero (shed=%d of %d)", kind, dShed, n)
+		}
+	}
 }
 
 // execReconcile runs one anti-entropy pass on every live node, in name
@@ -605,6 +680,22 @@ func (s *sim) checkQuiescent() {
 				stale++
 				s.failf("freshness: %s stores %s at version %d, origin at %d", name, docURL, v, want)
 			}
+		}
+	}
+	// Overload-layer books at quiescence: on every node (partitioned ones
+	// included — they are still in-process) the conservation identity
+	// holds exactly and all admission state has drained: nothing queued,
+	// nothing in flight, no open coalesced flights.
+	for _, name := range s.names {
+		st := s.caches[name].Admission()
+		if st.Served+st.Shed+st.Failed != st.Requests {
+			s.failf("admission: %s served %d + shed %d + failed %d != requests %d",
+				name, st.Served, st.Shed, st.Failed, st.Requests)
+		}
+		if st.GateInFlight != 0 || st.GateQueued != 0 || st.LimiterInFlight != 0 ||
+			st.LimiterQueued != 0 || st.FlightsActive != 0 {
+			s.failf("admission: %s not drained at quiescence: inflight=%d queued=%d limiter=%d/%d flights=%d",
+				name, st.GateInFlight, st.GateQueued, st.LimiterInFlight, st.LimiterQueued, st.FlightsActive)
 		}
 	}
 	s.logf("check live=%d copies=%d stale=%d failures=%d", len(live), checked, stale, len(s.failures))
