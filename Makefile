@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json figures figures-fast examples golden fuzz simsweep storm clean
+.PHONY: all build vet test race bench bench-json bench-json2 bench-smoke figures figures-fast examples golden fuzz simsweep storm clean
 
 all: build vet test
 
@@ -26,6 +26,19 @@ bench:
 # micro-benchmark timings (ns/op, allocs/op), written to BENCH_1.json.
 bench-json:
 	$(GO) run ./cmd/cloudsim -all -json -microbench -scale 0.08 > BENCH_1.json
+
+# Sharded-core benchmark report: the bench-json suite plus the parallel
+# lookup and seedref-contention micro-benchmarks and a parallel-read replay
+# over a two-million-document catalog, written to BENCH_2.json. BENCH_1.json
+# stays untouched as the pre-sharding baseline.
+bench-json2:
+	$(GO) run ./cmd/cloudsim -all -json -microbench -scalebench -scale 0.08 > BENCH_2.json
+
+# CI smoke for the lock-free read path: one iteration of the parallel
+# lookup and contention benchmarks under the race detector. Catches data
+# races the unit tests' interleavings miss, without benchmark runtimes.
+bench-smoke:
+	$(GO) test -race -run NoTestsJustBench -bench 'BenchmarkCloudLookupParallel|BenchmarkCloudContention' -benchtime 1x .
 
 # Reproduce every paper figure at full scale (several minutes).
 figures:

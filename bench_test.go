@@ -12,10 +12,13 @@ package cachecloud_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"cachecloud/internal/cache"
 	"cachecloud/internal/core"
+	"cachecloud/internal/core/seedref"
 	"cachecloud/internal/document"
 	"cachecloud/internal/experiments"
 	"cachecloud/internal/hashing"
@@ -352,6 +355,112 @@ func BenchmarkCloudLookup(b *testing.B) {
 	})
 }
 
+// BenchmarkCloudLookupParallel measures aggregate lookup throughput when
+// many goroutines hit the sharded core at once — the scaling the epoch
+// snapshot design exists for. The sweep pins GOMAXPROCS to 1, 2, 4 and 8;
+// on a single-core host the higher points measure oversubscription rather
+// than parallel speedup, so read the scaling claim from a multi-core run
+// (BENCH_2.json records the core count alongside the numbers).
+func BenchmarkCloudLookupParallel(b *testing.B) {
+	cloud, urls, hashes, err := sim.BuildParallelReadCloud(sim.ParallelReadConfig{
+		NumDocs: 4096, NumCaches: 10, NumRings: 5, HoldersPerDoc: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			var errs atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var i int
+				for pb.Next() {
+					i++
+					j := i & 4095
+					if _, err := cloud.LookupHash(urls[j], hashes[j], 1); err != nil {
+						errs.Add(1)
+						return
+					}
+				}
+			})
+			if n := errs.Load(); n > 0 {
+				b.Fatalf("%d parallel lookups failed", n)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+		})
+	}
+}
+
+// BenchmarkCloudContention runs the identical parallel lookup load against
+// the sharded epoch core and the preserved single-mutex seed
+// (internal/core/seedref), quantifying what sharding buys under
+// contention. The two implementations are sequentially equivalent (see
+// internal/core TestEquivalenceRandomOps), so the delta is pure
+// synchronization cost.
+func BenchmarkCloudContention(b *testing.B) {
+	names := trace.CacheNames(10)
+	urls := make([]string, 4096)
+	hashes := make([]document.Hash, len(urls))
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site.example.com/docs/contend/page-%04d.html", i)
+		hashes[i] = document.HashURL(urls[i])
+	}
+	populate := func(reg func(url string, h document.Hash, id string) error) {
+		for i := range urls {
+			for _, id := range names[:3] {
+				if err := reg(urls[i], hashes[i], id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	run := func(b *testing.B, lookup func(url string, h document.Hash, now int64) error) {
+		var errs atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var i int
+			for pb.Next() {
+				i++
+				j := i & 4095
+				if err := lookup(urls[j], hashes[j], 1); err != nil {
+					errs.Add(1)
+					return
+				}
+			}
+		})
+		if n := errs.Load(); n > 0 {
+			b.Fatalf("%d parallel lookups failed", n)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	}
+	b.Run("sharded", func(b *testing.B) {
+		cloud, err := core.New(core.Config{NumRings: 5, IntraGen: 1000}, names, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		populate(cloud.RegisterHolderHash)
+		run(b, func(url string, h document.Hash, now int64) error {
+			_, err := cloud.LookupHash(url, h, now)
+			return err
+		})
+	})
+	b.Run("seed-mutex", func(b *testing.B) {
+		cloud, err := seedref.New(seedref.Config{NumRings: 5, IntraGen: 1000}, names, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		populate(cloud.RegisterHolderHash)
+		run(b, func(url string, h document.Hash, now int64) error {
+			_, err := cloud.LookupHash(url, h, now)
+			return err
+		})
+	})
+}
+
 // TestCloudLookupHashZeroAlloc pins the hot-path guarantee the tracer
 // hook must not erode: with no tracer attached, LookupHash performs zero
 // heap allocations per call. The tracer integration is a nil check on
@@ -379,6 +488,63 @@ func TestCloudLookupHashZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("LookupHash allocates %.1f per op with tracing disabled, want 0", allocs)
+	}
+}
+
+// TestCloudLookupServePathZeroAlloc extends the zero-alloc guarantee to
+// the whole lookup→serve path the simulator's peer-hit branch walks:
+// beacon record resolution (epoch load + ring view search), holder
+// selection from the returned list, cache-handle resolution, and the
+// holder cache's Get. One cooperative read end to end, zero heap
+// allocations.
+func TestCloudLookupServePathZeroAlloc(t *testing.T) {
+	cloud, err := core.New(core.Config{NumRings: 5, IntraGen: 1000, FineGrained: true},
+		trace.CacheNames(10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://site.example.com/docs/dynamic/page-0000.html"
+	h := document.HashURL(url)
+	doc := document.Document{URL: url, Size: 4096, Version: 1}
+	for _, id := range trace.CacheNames(10)[:3] {
+		if err := cloud.RegisterHolderHash(url, h, id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cloud.Cache(id).Put(document.Copy{Doc: doc}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var now int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		res, err := cloud.LookupHash(url, h, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holder := res.Holders[int(now)%len(res.Holders)]
+		hc := cloud.Cache(holder)
+		if hc == nil {
+			t.Fatalf("no cache for holder %q", holder)
+		}
+		cp, ok := hc.Get(url, now)
+		if !ok || cp.Doc.URL != url {
+			t.Fatalf("holder %q did not serve %q", holder, url)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lookup→serve path allocates %.1f per op, want 0", allocs)
+	}
+
+	// The fused rates variant is the simulator's actual miss path; it must
+	// stay allocation-free too.
+	allocs = testing.AllocsPerRun(1000, func() {
+		now++
+		if _, err := cloud.LookupHashWithRates(url, h, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupHashWithRates allocates %.1f per op, want 0", allocs)
 	}
 }
 

@@ -34,7 +34,7 @@ func TestGoldenAllJSON(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4, 16} {
 		var buf bytes.Buffer
-		if err := writeJSONTo(&buf, experiments.NewRunner(workers), figureNames(), goldenScale, goldenSeed, false); err != nil {
+		if err := writeJSONTo(&buf, experiments.NewRunner(workers), figureNames(), goldenScale, goldenSeed, false, false); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if !bytes.Equal(buf.Bytes(), want) {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	"cachecloud/internal/core"
+	"cachecloud/internal/core/seedref"
 	"cachecloud/internal/document"
 	"cachecloud/internal/experiments"
 	"cachecloud/internal/placement"
@@ -27,6 +29,26 @@ type report struct {
 	Seed       int64                  `json:"seed"`
 	Figures    map[string]any         `json:"figures"`
 	Benchmarks map[string]benchResult `json:"benchmarks,omitempty"`
+	ScaleBench *scaleBench            `json:"scalebench,omitempty"`
+}
+
+// scaleBench reports the parallel-read replay at scale (-scalebench): a
+// synthetic catalog of millions of documents across thousands of caches,
+// replayed as concurrent lock-free lookups. Wall-clock fields vary run to
+// run; the report is for recording measured throughput (BENCH_2.json), not
+// for golden comparison.
+type scaleBench struct {
+	NumDocs      int     `json:"num_docs"`
+	NumCaches    int     `json:"num_caches"`
+	NumRings     int     `json:"num_rings"`
+	Workers      int     `json:"workers"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	Ops          int64   `json:"ops"`
+	HoldersSeen  int64   `json:"holders_seen"`
+	Errors       int64   `json:"errors"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // benchResult is one micro-benchmark's timings in testing.Benchmark units.
@@ -40,13 +62,13 @@ const reportSchema = "cachecloud-bench/v1"
 
 // writeJSON runs the named experiments on the runner and writes the JSON
 // report to stdout.
-func writeJSON(r *experiments.Runner, names []string, scale float64, seed int64, microbench bool) error {
-	return writeJSONTo(os.Stdout, r, names, scale, seed, microbench)
+func writeJSON(r *experiments.Runner, names []string, scale float64, seed int64, microbench, scalebench bool) error {
+	return writeJSONTo(os.Stdout, r, names, scale, seed, microbench, scalebench)
 }
 
 // writeJSONTo is writeJSON with an explicit destination (tests capture
 // the report in memory).
-func writeJSONTo(w io.Writer, r *experiments.Runner, names []string, scale float64, seed int64, microbench bool) error {
+func writeJSONTo(w io.Writer, r *experiments.Runner, names []string, scale float64, seed int64, microbench, scalebench bool) error {
 	rep := report{
 		Schema:  reportSchema,
 		Scale:   scale,
@@ -63,9 +85,50 @@ func writeJSONTo(w io.Writer, r *experiments.Runner, names []string, scale float
 	if microbench {
 		rep.Benchmarks = microBenchmarks(seed)
 	}
+	if scalebench {
+		sb, err := runScaleBench(seed)
+		if err != nil {
+			return err
+		}
+		rep.ScaleBench = sb
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runScaleBench replays the parallel-read event mode at cache-cloud scale:
+// two million documents across a thousand caches on fifty rings, read
+// concurrently from one worker per processor. It reports measured
+// throughput; the deterministic counters (HoldersSeen, Errors) double as a
+// correctness check on the lock-free path at this catalog size.
+func runScaleBench(seed int64) (*scaleBench, error) {
+	cfg := sim.ParallelReadConfig{
+		NumDocs:       2_000_000,
+		NumCaches:     1_000,
+		NumRings:      50,
+		HoldersPerDoc: 3,
+		Workers:       runtime.GOMAXPROCS(0),
+		Ops:           4_000_000,
+		Seed:          seed,
+	}
+	res, err := sim.RunParallelRead(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &scaleBench{
+		NumDocs:      cfg.NumDocs,
+		NumCaches:    cfg.NumCaches,
+		NumRings:     cfg.NumRings,
+		Workers:      cfg.Workers,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Ops:          res.Ops,
+		HoldersSeen:  res.HoldersSeen,
+		Errors:       res.Errors,
+		ElapsedMs:    float64(res.Elapsed.Microseconds()) / 1e3,
+		EventsPerSec: res.EventsPerSec,
+	}, nil
 }
 
 // microBenchmarks times the protocol hot paths with testing.Benchmark:
@@ -109,6 +172,55 @@ func microBenchmarks(seed int64) map[string]benchResult {
 				b.Fatal(err)
 			}
 		}
+	}), 1)
+
+	// Contended lookups: all workers hammer a shared 4096-document catalog.
+	// The same load is run against the sharded epoch-snapshot core and the
+	// preserved seed single-mutex implementation, so the pair of numbers is
+	// a direct read on what the sharding bought.
+	pcloud, purls, phashes, err := sim.BuildParallelReadCloud(sim.ParallelReadConfig{
+		NumDocs: 4096, NumCaches: 10, NumRings: 5, HoldersPerDoc: 3,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("cloudsim: parallel bench cloud: %v", err))
+	}
+	record("cloud_lookup_parallel", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint64
+			for pb.Next() {
+				j := int(i & 4095)
+				i++
+				if _, err := pcloud.LookupHash(purls[j], phashes[j], 1); err != nil {
+					return
+				}
+			}
+		})
+	}), 1)
+	scloud, err := seedref.New(seedref.Config{NumRings: 5, IntraGen: 1000},
+		trace.CacheNames(10), nil)
+	if err != nil {
+		panic(fmt.Sprintf("cloudsim: seedref bench cloud: %v", err))
+	}
+	for j, u := range purls {
+		for k := 0; k < 3; k++ {
+			if err := scloud.RegisterHolderHash(u, phashes[j], trace.CacheNames(10)[(j+k)%10]); err != nil {
+				panic(fmt.Sprintf("cloudsim: seedref bench holder: %v", err))
+			}
+		}
+	}
+	record("cloud_lookup_parallel_seedref", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint64
+			for pb.Next() {
+				j := int(i & 4095)
+				i++
+				if _, err := scloud.LookupHash(purls[j], phashes[j], 1); err != nil {
+					return
+				}
+			}
+		})
 	}), 1)
 
 	tr := trace.GenerateZipf(trace.ZipfConfig{

@@ -11,8 +11,9 @@
 // -workers (or the CACHECLOUD_WORKERS environment variable) sets the pool
 // size, 0 meaning one worker per CPU. Output is byte-identical for every
 // worker count. -json emits the figure series as machine-readable JSON
-// instead of text tables, and -microbench appends micro-benchmark timings
-// of the protocol hot paths to the JSON report.
+// instead of text tables, -microbench appends micro-benchmark timings of
+// the protocol hot paths to the JSON report, and -scalebench appends a
+// parallel-read replay over a two-million-document catalog.
 //
 // Run a custom simulation over a generated trace file:
 //
@@ -66,6 +67,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "parallel runs per experiment (0 = CACHECLOUD_WORKERS or one per CPU)")
 		jsonOut   = fs.Bool("json", false, "emit figure results as JSON instead of text")
 		microb    = fs.Bool("microbench", false, "with -json: include hot-path micro-benchmark timings")
+		scaleb    = fs.Bool("scalebench", false, "with -json: include a parallel-read replay at scale (2M docs, 1000 caches)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +77,7 @@ func run(args []string) error {
 	switch {
 	case *all:
 		if *jsonOut {
-			return writeJSON(runner, figureNames(), *scale, *seed, *microb)
+			return writeJSON(runner, figureNames(), *scale, *seed, *microb, *scaleb)
 		}
 		for _, name := range figureNames() {
 			fmt.Printf("=== %s ===\n", name)
@@ -87,7 +89,7 @@ func run(args []string) error {
 		return nil
 	case *fig != "":
 		if *jsonOut {
-			return writeJSON(runner, []string{*fig}, *scale, *seed, *microb)
+			return writeJSON(runner, []string{*fig}, *scale, *seed, *microb, *scaleb)
 		}
 		return runner.Run(*fig, *scale, *seed, os.Stdout)
 	case *traceFile != "":

@@ -374,8 +374,10 @@ func TestReplicateRecordsDisabledNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.ReplicateRecords() // must be a no-op, not a panic
-	if len(c.replicas) != 0 {
-		t.Fatal("replication ran while disabled")
+	for _, s := range c.shards {
+		if len(s.replicas) != 0 {
+			t.Fatal("replication ran while disabled")
+		}
 	}
 }
 

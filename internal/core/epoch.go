@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"cachecloud/internal/cache"
+	"cachecloud/internal/document"
+	"cachecloud/internal/obs"
+	"cachecloud/internal/ring"
+)
+
+// epoch is one immutable snapshot of the cloud's topology: the membership,
+// the ring layouts, and the shard for every beacon point. The read path
+// (lookups, updates, holder registration, stats reads) loads the current
+// epoch with a single atomic pointer read and resolves documents against it
+// without taking any lock; topology changes (Rebalance, AddCache,
+// RemoveCache) build a fresh epoch under Cloud.mu and publish it RCU-style.
+//
+// Everything reachable from an epoch is either immutable (the ring views,
+// the maps and slices built at install time) or internally synchronized
+// (shards, records, caches), so a reader holding a stale epoch is always
+// memory-safe; see DESIGN.md for what such a reader may observe.
+type epoch struct {
+	// seq is the install sequence number, 1 for the epoch installed by New.
+	seq int64
+	// rings holds, per ring, the frozen sub-range layout and the shard at
+	// each layout position, so document resolution is two array indexes and
+	// one binary search — no map lookups on the hot path.
+	rings []epochRing
+	// caches, shards, and ringOf are the membership at install time.
+	caches map[string]*cache.Cache
+	shards map[string]*shard
+	ringOf map[string]int
+	// ids is the sorted membership, shared by every CacheIDs caller.
+	ids []string
+}
+
+type epochRing struct {
+	view *ring.View
+	// shards is position-aligned with view: shards[i] serves view.Sub(i).
+	shards []*shard
+}
+
+// resolve maps a document hash to its owning shard and IrH value within the
+// epoch. It performs the paper's two-step resolution (static hash to a ring,
+// intra-ring hash to a beacon point) entirely against immutable state.
+func (ep *epoch) resolve(h document.Hash) (*shard, int, error) {
+	er := &ep.rings[h.RingIndex(len(ep.rings))]
+	irh := h.IrH(er.view.IntraGen())
+	pos, err := er.view.IndexFor(irh)
+	if err != nil {
+		return nil, 0, err
+	}
+	return er.shards[pos], irh, nil
+}
+
+// beaconFor resolves the beacon point ID for a hash.
+func (ep *epoch) beaconFor(h document.Hash) (string, error) {
+	s, _, err := ep.resolve(h)
+	if err != nil {
+		return "", err
+	}
+	return s.id, nil
+}
+
+// installEpoch snapshots the current topology into a fresh epoch and
+// publishes it. Caller holds Cloud.mu.
+func (c *Cloud) installEpoch() {
+	ep := &epoch{
+		seq:    c.epochInstalls.Add(1),
+		rings:  make([]epochRing, len(c.rings)),
+		caches: make(map[string]*cache.Cache, len(c.caches)),
+		shards: make(map[string]*shard, len(c.shards)),
+		ringOf: make(map[string]int, len(c.ringOf)),
+		ids:    make([]string, 0, len(c.caches)),
+	}
+	for i, rg := range c.rings {
+		v := rg.View()
+		er := epochRing{view: v, shards: make([]*shard, v.Len())}
+		for pos := 0; pos < v.Len(); pos++ {
+			er.shards[pos] = c.shards[v.ID(pos)]
+		}
+		ep.rings[i] = er
+	}
+	for id, hc := range c.caches {
+		ep.caches[id] = hc
+		ep.ids = append(ep.ids, id)
+	}
+	for id, s := range c.shards {
+		ep.shards[id] = s
+	}
+	for id, r := range c.ringOf {
+		ep.ringOf[id] = r
+	}
+	sort.Strings(ep.ids)
+	c.ep.Store(ep)
+	if t := c.tracer.Load(); t != nil {
+		t.Emit(obs.Event{Time: c.lastNow.Load(), Kind: obs.EvEpochInstall, Count: ep.seq})
+	}
+}

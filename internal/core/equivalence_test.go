@@ -1,0 +1,300 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cachecloud/internal/core"
+	"cachecloud/internal/core/seedref"
+	"cachecloud/internal/document"
+)
+
+// The model-based equivalence check: the sharded epoch-snapshot core and
+// the preserved seed single-mutex implementation (internal/core/seedref)
+// are driven through identical seeded operation sequences and must agree —
+// bit-for-bit where floats are involved — on every observable: lookup
+// results, monitored rates, holder sets, versions, beacon-load totals,
+// ring assignments, and migration/loss/recovery accounting.
+//
+// Crash recovery sequences call ReplicateRecords exactly once, immediately
+// before the single crash: the seed scans replica shards in map order and
+// breaks on the first hit, which is only deterministic while each record
+// has one replica clone. The sharded core scans in sorted order; the two
+// agree whenever the clone set is unambiguous, which this schedule
+// guarantees (and production schedules approximate, since replication runs
+// right before the failure window it protects).
+
+// equivPair drives both implementations in lockstep.
+type equivPair struct {
+	t    *testing.T
+	new  *core.Cloud
+	old  *seedref.Cloud
+	urls []string
+	hs   []document.Hash
+	now  int64
+}
+
+func newEquivPair(t *testing.T, numCaches, numRings, numDocs int, replicate, fineGrained bool) *equivPair {
+	t.Helper()
+	ids := make([]string, numCaches)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cache-%02d", i)
+	}
+	nc, err := core.New(core.Config{NumRings: numRings, ReplicateRecords: replicate, FineGrained: fineGrained}, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := seedref.New(seedref.Config{NumRings: numRings, ReplicateRecords: replicate, FineGrained: fineGrained}, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &equivPair{t: t, new: nc, old: oc, now: 1}
+	for i := 0; i < numDocs; i++ {
+		u := fmt.Sprintf("http://origin/eq-%04d", i)
+		p.urls = append(p.urls, u)
+		p.hs = append(p.hs, document.HashURL(u))
+	}
+	return p
+}
+
+func (p *equivPair) lookup(i int) {
+	// The sharded core's fused variant must agree with the seed's split
+	// lookup + rates protocol, values and state trajectory both.
+	nr, nerr := p.new.LookupHashWithRates(p.urls[i], p.hs[i], p.now)
+	or, oerr := p.old.LookupHash(p.urls[i], p.hs[i], p.now)
+	olr, our := p.old.DocumentRatesHash(p.urls[i], p.hs[i], p.now)
+	if (nerr == nil) != (oerr == nil) {
+		p.t.Fatalf("lookup(%s): err %v vs %v", p.urls[i], nerr, oerr)
+	}
+	if nerr != nil {
+		return
+	}
+	if nr.Beacon != or.Beacon || nr.Version != or.Version {
+		p.t.Fatalf("lookup(%s): beacon/version %q v%d vs %q v%d", p.urls[i], nr.Beacon, nr.Version, or.Beacon, or.Version)
+	}
+	if !sameStrings(nr.Holders, or.Holders) {
+		p.t.Fatalf("lookup(%s): holders %v vs %v", p.urls[i], nr.Holders, or.Holders)
+	}
+	if nr.LookupRate != olr || nr.UpdateRate != our {
+		p.t.Fatalf("lookup(%s): rates (%v,%v) vs (%v,%v)", p.urls[i], nr.LookupRate, nr.UpdateRate, olr, our)
+	}
+}
+
+func (p *equivPair) update(i int, version document.Version, size int64) {
+	doc := document.Document{URL: p.urls[i], Version: version, Size: size}
+	nr, nerr := p.new.UpdateHash(doc, p.hs[i], p.now)
+	or, oerr := p.old.UpdateHash(doc, p.hs[i], p.now)
+	if (nerr == nil) != (oerr == nil) {
+		p.t.Fatalf("update(%s): err %v vs %v", doc.URL, nerr, oerr)
+	}
+	if nr.Beacon != or.Beacon || nr.FanoutBytes != or.FanoutBytes || !sameStrings(nr.Notified, or.Notified) {
+		p.t.Fatalf("update(%s): %+v vs %+v", doc.URL, nr, or)
+	}
+}
+
+func (p *equivPair) register(i, cacheIdx int, ids []string) {
+	id := ids[cacheIdx%len(ids)]
+	nerr := p.new.RegisterHolderHash(p.urls[i], p.hs[i], id)
+	oerr := p.old.RegisterHolderHash(p.urls[i], p.hs[i], id)
+	if (nerr == nil) != (oerr == nil) {
+		p.t.Fatalf("register(%s,%s): err %v vs %v", p.urls[i], id, nerr, oerr)
+	}
+}
+
+func (p *equivPair) deregister(i, cacheIdx int, ids []string) {
+	id := ids[cacheIdx%len(ids)]
+	nerr := p.new.DeregisterHolderHash(p.urls[i], p.hs[i], id)
+	oerr := p.old.DeregisterHolderHash(p.urls[i], p.hs[i], id)
+	if (nerr == nil) != (oerr == nil) {
+		p.t.Fatalf("deregister(%s,%s): err %v vs %v", p.urls[i], id, nerr, oerr)
+	}
+}
+
+func (p *equivPair) rebalance() {
+	if n, o := p.new.Rebalance(), p.old.Rebalance(); n != o {
+		p.t.Fatalf("rebalance migrated %d vs %d", n, o)
+	}
+}
+
+func (p *equivPair) remove(id string, graceful bool) {
+	nerr := p.new.RemoveCache(id, graceful)
+	oerr := p.old.RemoveCache(id, graceful)
+	if (nerr == nil) != (oerr == nil) {
+		p.t.Fatalf("remove(%s,%v): err %v vs %v", id, graceful, nerr, oerr)
+	}
+}
+
+func (p *equivPair) add(id string) {
+	nerr := p.new.AddCache(id, 1, 0)
+	oerr := p.old.AddCache(id, 1, 0)
+	if (nerr == nil) != (oerr == nil) {
+		p.t.Fatalf("add(%s): err %v vs %v", id, nerr, oerr)
+	}
+}
+
+// checkState compares every aggregate observable of the two clouds.
+func (p *equivPair) checkState() {
+	p.t.Helper()
+	if !sameStrings(p.new.CacheIDs(), p.old.CacheIDs()) {
+		p.t.Fatalf("members %v vs %v", p.new.CacheIDs(), p.old.CacheIDs())
+	}
+	nl, ol := p.new.BeaconLoads(), p.old.BeaconLoads()
+	if len(nl) != len(ol) {
+		p.t.Fatalf("beacon loads %v vs %v", nl, ol)
+	}
+	for id, v := range ol {
+		if nl[id] != v {
+			p.t.Fatalf("beacon load[%s] = %d vs %d", id, nl[id], v)
+		}
+	}
+	nd, od := p.new.LoadDistribution(), p.old.LoadDistribution()
+	if nd.Mean() != od.Mean() || nd.CoV() != od.CoV() || nd.MaxToMean() != od.MaxToMean() {
+		p.t.Fatalf("distribution %v vs %v", nd, od)
+	}
+	ns, os := p.new.Stats(), p.old.Stats()
+	if ns.RecordsMigrated != os.RecordsMigrated || ns.RecordsLost != os.RecordsLost || ns.RecordsRecovered != os.RecordsRecovered {
+		p.t.Fatalf("stats %+v vs %+v", ns, os)
+	}
+	na, oa := p.new.RingAssignments(), p.old.RingAssignments()
+	if len(na) != len(oa) {
+		p.t.Fatalf("ring count %d vs %d", len(na), len(oa))
+	}
+	for r := range na {
+		if len(na[r]) != len(oa[r]) {
+			p.t.Fatalf("ring %d size %d vs %d", r, len(na[r]), len(oa[r]))
+		}
+		for j := range na[r] {
+			if na[r][j] != oa[r][j] {
+				p.t.Fatalf("ring %d assignment %d: %+v vs %+v", r, j, na[r][j], oa[r][j])
+			}
+		}
+	}
+	for i, u := range p.urls {
+		if !sameStrings(p.new.Holders(u), p.old.Holders(u)) {
+			p.t.Fatalf("holders(%s) %v vs %v", u, p.new.Holders(u), p.old.Holders(u))
+		}
+		nlr, nur := p.new.DocumentRatesHash(u, p.hs[i], p.now)
+		olr, our := p.old.DocumentRatesHash(u, p.hs[i], p.now)
+		if nlr != olr || nur != our {
+			p.t.Fatalf("rates(%s) (%v,%v) vs (%v,%v)", u, nlr, nur, olr, our)
+		}
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivalenceRandomOps drives random mixed workloads — lookups,
+// updates, holder churn, rebalances, graceful departures, joins — through
+// both implementations and compares all observables after every topology
+// change and at the end.
+func TestEquivalenceRandomOps(t *testing.T) {
+	for _, tc := range []struct {
+		seed        int64
+		fineGrained bool
+	}{
+		{seed: 1, fineGrained: false},
+		{seed: 2, fineGrained: true},
+		{seed: 3, fineGrained: true},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d", tc.seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			p := newEquivPair(t, 12, 4, 150, false, tc.fineGrained)
+			ids := p.new.CacheIDs()
+			added, removed := 0, 0
+			for step := 0; step < 4000; step++ {
+				i := rng.Intn(len(p.urls))
+				switch op := rng.Intn(100); {
+				case op < 55:
+					p.lookup(i)
+				case op < 70:
+					p.update(i, document.Version(step), int64(100+rng.Intn(900)))
+				case op < 82:
+					p.register(i, rng.Intn(len(ids)), ids)
+				case op < 90:
+					p.deregister(i, rng.Intn(len(ids)), ids)
+				case op < 96:
+					p.now++
+					p.lookup(i)
+				case op < 98:
+					p.rebalance()
+					p.checkState()
+				case op < 99 && removed < 3:
+					p.remove(ids[rng.Intn(len(ids))], true)
+					ids = p.new.CacheIDs()
+					removed++
+					p.checkState()
+				default:
+					if added < 3 {
+						added++
+						p.add(fmt.Sprintf("cache-j%d", added))
+						ids = p.new.CacheIDs()
+						p.checkState()
+					}
+				}
+			}
+			p.rebalance()
+			p.checkState()
+		})
+	}
+}
+
+// TestEquivalenceCrashRecovery exercises the replicated-crash path: a
+// workload builds up records, replication runs once, one cache crashes,
+// and both implementations must agree on the recovered state and the
+// recovery/loss accounting.
+func TestEquivalenceCrashRecovery(t *testing.T) {
+	for _, replicate := range []bool{true, false} {
+		t.Run(fmt.Sprintf("replicate=%v", replicate), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			p := newEquivPair(t, 10, 5, 120, replicate, false)
+			ids := p.new.CacheIDs()
+			for step := 0; step < 1500; step++ {
+				i := rng.Intn(len(p.urls))
+				switch op := rng.Intn(10); {
+				case op < 5:
+					p.lookup(i)
+				case op < 7:
+					p.update(i, document.Version(step), 256)
+				case op < 9:
+					p.register(i, rng.Intn(len(ids)), ids)
+				default:
+					p.now++
+				}
+			}
+			p.new.ReplicateRecords()
+			p.old.ReplicateRecords()
+			p.remove(ids[3], false) // crash
+			p.checkState()
+			ns := p.new.Stats()
+			if replicate && ns.RecordsRecovered == 0 {
+				t.Fatal("crash with replication recovered nothing — vacuous test")
+			}
+			if !replicate && ns.RecordsLost == 0 {
+				t.Fatal("crash without replication lost nothing — vacuous test")
+			}
+			// The cloud must keep operating identically on the merged state.
+			for step := 0; step < 500; step++ {
+				i := rng.Intn(len(p.urls))
+				if step%3 == 0 {
+					p.update(i, document.Version(2000+step), 256)
+				} else {
+					p.lookup(i)
+				}
+			}
+			p.rebalance()
+			p.checkState()
+		})
+	}
+}

@@ -1,36 +1,23 @@
-// Package core implements the paper's primary contribution: the cache
-// cloud — a group of edge caches that cooperate through beacon points for
-// document lookups, document updates, and document placement (Section 2).
+// Package seedref preserves the seed's single-mutex implementation of the
+// cache cloud, verbatim except for the package name. It exists for two
+// jobs, both about keeping the sharded epoch-snapshot core
+// (internal/core) honest:
 //
-// The cloud owns its edge caches and its beacon rings. A document's beacon
-// point is resolved in two steps: a static hash picks the beacon ring
-// (MD5(URL) mod numRings) and the dynamic intra-ring hash picks the beacon
-// point within the ring (the owner of the sub-range containing IrH(URL)).
-// Beacon points maintain lookup records — the list of caches currently
-// holding each document plus the monitoring state (cloud-wide lookup and
-// update rates) the utility placement scheme consumes.
+//   - the model-based equivalence property test drives seeded operation
+//     sequences through both implementations and requires identical holder
+//     sets, versions, beacon-load totals, and migration accounting;
+//   - the contention micro-benchmarks run the same parallel lookup load
+//     against both, quantifying what sharding buys over the global lock.
 //
-// The implementation is sharded and epoch-snapshotted for read scalability:
-// per-beacon-point shards hold the lookup records and load counters, and an
-// immutable epoch snapshot of the topology is published through an atomic
-// pointer. The hot paths (Lookup, Update, holder registration, stats reads)
-// resolve documents against the current epoch without taking any cloud-wide
-// lock — operations on documents owned by different beacon points never
-// contend, and operations on different documents of the same beacon point
-// contend only on a short per-shard read lock. Topology changes (Rebalance,
-// AddCache, RemoveCache, replication) serialize on a single writer mutex
-// and install a fresh epoch RCU-style. Sequential behaviour is
-// bit-identical to the seed single-mutex implementation, which is preserved
-// as internal/core/seedref and checked against this package by the
-// equivalence property test. DESIGN.md documents the epoch semantics.
-package core
+// Behavioural changes belong in internal/core; this package only changes
+// when the intended semantics change, together with the equivalence test.
+package seedref
 
 import (
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"cachecloud/internal/cache"
 	"cachecloud/internal/document"
@@ -79,39 +66,99 @@ type Config struct {
 	Replacement cache.ReplacementKind
 }
 
-// Cloud is a cache cloud. All methods are safe for concurrent use; the
-// lookup/update/registration paths and all stats reads are lock-free with
-// respect to the cloud (they synchronize only per shard and per record).
+// record is the beacon-side lookup record for one document. The document
+// hash is cached here so migrations and replica management never re-hash the
+// URL, and the holder list is an insertion-ordered slice: holder sets are
+// small (bounded by the cloud size), membership checks are a short linear
+// scan, and — unlike a map — iteration order is deterministic, which keeps
+// whole simulation runs reproducible.
+type record struct {
+	hash       document.Hash
+	holders    []string
+	version    document.Version
+	lookupRate *loadstats.EWRate // cloud-wide lookups for this document
+	updateRate *loadstats.EWRate // updates for this document
+}
+
+func newRecord(h document.Hash) *record {
+	return &record{
+		hash:       h,
+		lookupRate: loadstats.NewEWRate(monitorHalfLife),
+		updateRate: loadstats.NewEWRate(monitorHalfLife),
+	}
+}
+
+func (r *record) hasHolder(id string) bool {
+	for _, h := range r.holders {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *record) addHolder(id string) {
+	if !r.hasHolder(id) {
+		r.holders = append(r.holders, id)
+	}
+}
+
+func (r *record) removeHolder(id string) {
+	for i, h := range r.holders {
+		if h == id {
+			r.holders = append(r.holders[:i], r.holders[i+1:]...)
+			return
+		}
+	}
+}
+
+// holderList returns a defensive copy of the holder list.
+func (r *record) holderList() []string {
+	if len(r.holders) == 0 {
+		return nil
+	}
+	out := make([]string, len(r.holders))
+	copy(out, r.holders)
+	return out
+}
+
+func (r *record) clone() *record {
+	c := newRecord(r.hash)
+	c.holders = r.holderList()
+	c.version = r.version
+	return c
+}
+
+// Cloud is a cache cloud. All methods are safe for concurrent use.
 type Cloud struct {
-	// mu serializes topology writers: Rebalance, AddCache, RemoveCache,
-	// ReplicateRecords. The read path never touches it.
 	mu  sync.Mutex
 	cfg Config
 
-	// rings, caches, shards, and ringOf are the master topology, mutated
-	// only under mu. Readers use the epoch snapshot instead.
-	rings  []*ring.Ring
 	caches map[string]*cache.Cache
-	shards map[string]*shard
-	// ringOf maps a cache ID to the index of the ring it serves in (one per
+	rings  []*ring.Ring
+	// ringOf maps a cache ID to the indexes of rings it serves in (one per
 	// cloud in this implementation).
 	ringOf map[string]int
 
-	// ep is the current epoch snapshot, the read path's single entry point.
-	ep atomic.Pointer[epoch]
+	// records holds lookup records sharded by owning beacon point.
+	records map[string]map[string]*record
+	// replicas holds the lazy sibling replicas: replicas[siblingID][url].
+	replicas map[string]map[string]*record
+
+	// beaconLoad accumulates lookup+update operations handled per cache
+	// over the cloud's lifetime — the quantity plotted in Figures 3-6.
+	beaconLoad map[string]int64
+
+	recordsMigrated int64
+	recordsLost     int64
+	recordsRecov    int64
 
 	// tracer receives protocol events (nil = disabled; the hot paths
-	// guard on the pointer so a disabled tracer costs zero allocations).
-	tracer atomic.Pointer[obs.Tracer]
-
+	// guard on the field so a disabled tracer costs zero allocations).
+	tracer *obs.Tracer
 	// lastNow is the most recent logical time seen by a lookup or
 	// update — migrations at cycle boundaries are stamped with it.
-	lastNow atomic.Int64
-
-	recordsMigrated atomic.Int64
-	recordsLost     atomic.Int64
-	recordsRecov    atomic.Int64
-	epochInstalls   atomic.Int64
+	lastNow int64
 }
 
 // New builds a cloud over the given cache IDs with the given per-cache
@@ -137,10 +184,12 @@ func New(cfg Config, cacheIDs []string, capabilities map[string]float64) (*Cloud
 	}
 
 	c := &Cloud{
-		cfg:    cfg,
-		caches: make(map[string]*cache.Cache, len(cacheIDs)),
-		shards: make(map[string]*shard, len(cacheIDs)),
-		ringOf: make(map[string]int, len(cacheIDs)),
+		cfg:        cfg,
+		caches:     make(map[string]*cache.Cache, len(cacheIDs)),
+		ringOf:     make(map[string]int, len(cacheIDs)),
+		records:    make(map[string]map[string]*record),
+		replicas:   make(map[string]map[string]*record),
+		beaconLoad: make(map[string]int64, len(cacheIDs)),
 	}
 	capOf := func(id string) float64 {
 		if capabilities != nil {
@@ -157,7 +206,8 @@ func New(cfg Config, cacheIDs []string, capabilities map[string]float64) (*Cloud
 		members[r] = append(members[r], ring.Member{ID: id, Capability: capOf(id)})
 		c.ringOf[id] = r
 		c.caches[id] = cache.NewWithReplacement(id, cfg.DefaultCapacity, replacementOrLRU(cfg.Replacement))
-		c.shards[id] = newShard(id, cfg.IntraGen, cfg.FineGrained)
+		c.records[id] = make(map[string]*record)
+		c.beaconLoad[id] = 0
 	}
 	for r := 0; r < cfg.NumRings; r++ {
 		rg, err := ring.New(ring.Config{IntraGen: cfg.IntraGen, FineGrained: cfg.FineGrained}, members[r])
@@ -166,31 +216,35 @@ func New(cfg Config, cacheIDs []string, capabilities map[string]float64) (*Cloud
 		}
 		c.rings = append(c.rings, rg)
 	}
-	c.mu.Lock()
-	c.installEpoch()
-	c.mu.Unlock()
 	return c, nil
 }
 
 // SetTracer attaches a protocol-event tracer (nil detaches). The cloud
-// emits EvBeaconLookup, EvUpdateFanout, EvRecordMigrated, and
-// EvEpochInstall.
+// emits EvBeaconLookup, EvUpdateFanout, and EvRecordMigrated.
 func (c *Cloud) SetTracer(t *obs.Tracer) {
-	c.tracer.Store(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
 }
 
 // Cache returns the cache with the given ID, or nil when absent.
 func (c *Cloud) Cache(id string) *cache.Cache {
-	return c.ep.Load().caches[id]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caches[id]
 }
 
 // CacheIDs returns the IDs of all member caches in sorted order, so
 // consumers that fold floating-point quantities over the membership get the
 // same summation order — and therefore bit-identical results — on every run.
 func (c *Cloud) CacheIDs() []string {
-	ids := c.ep.Load().ids
-	out := make([]string, len(ids))
-	copy(out, ids)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.caches))
+	for id := range c.caches {
+		out = append(out, id)
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -205,7 +259,14 @@ func (c *Cloud) BeaconFor(url string) (string, error) {
 
 // BeaconForHash is BeaconFor for a precomputed document hash.
 func (c *Cloud) BeaconForHash(h document.Hash) (string, error) {
-	return c.ep.Load().beaconFor(h)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.beaconForHashLocked(h)
+}
+
+func (c *Cloud) beaconForHashLocked(h document.Hash) (string, error) {
+	rg := c.rings[h.RingIndex(len(c.rings))]
+	return rg.BeaconFor(h.IrH(rg.IntraGen()))
 }
 
 // LookupResult is the beacon point's answer to a document lookup.
@@ -217,69 +278,69 @@ type LookupResult struct {
 	// Version is the latest version the beacon has seen (0 if never
 	// updated through the cloud).
 	Version document.Version
-	// LookupRate and UpdateRate are the document's beacon-side monitored
-	// per-unit rates, populated only by LookupHashWithRates — they feed the
-	// utility placement scheme; plain lookups skip the computation.
-	LookupRate float64
-	UpdateRate float64
 }
 
 // Lookup runs the document lookup protocol: it resolves the beacon point,
-// records the lookup load on the owning shard (drained into the ring's
-// sub-range counters at Rebalance) and on the beacon's lifetime counters
-// (for the evaluation figures), and returns the current holders. The
-// returned holder list is a copy the caller owns; the simulator's hot path
-// uses LookupHash instead, which avoids both the re-hash and the copy.
+// records the lookup load on the owning ring (for sub-range determination)
+// and on the beacon's lifetime counters (for the evaluation figures), and
+// returns the current holders. The returned holder list is a copy the
+// caller owns; the simulator's hot path uses LookupHash instead, which
+// avoids both the re-hash and the defensive copy.
 func (c *Cloud) Lookup(url string, now int64) (LookupResult, error) {
-	return c.lookupHash(url, document.HashURL(url), now, false, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.lookupHashLocked(url, document.HashURL(url), now)
+	if err != nil {
+		return res, err
+	}
+	res.Holders = append([]string(nil), res.Holders...)
+	return res, nil
 }
 
 // LookupHash is Lookup for a precomputed document hash — the simulator's
 // hot path. To avoid an allocation per lookup the returned Holders slice
 // aliases the beacon's internal record: it is valid only until the next
-// call that mutates the record (an update, registration, or membership
-// change) and must not be modified. Callers that retain the holder list
-// across mutations should use Lookup, which returns a private copy.
+// mutating call on the cloud and must not be modified. Concurrent callers
+// should use Lookup, which returns a private copy.
 func (c *Cloud) LookupHash(url string, h document.Hash, now int64) (LookupResult, error) {
-	return c.lookupHash(url, h, now, false, false)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupHashLocked(url, h, now)
 }
 
-// LookupHashWithRates is LookupHash plus the document's monitored lookup
-// and update rates in one record acquisition — the miss path's placement
-// decision needs both, and fusing them halves the synchronization.
-//
-// Determinism note: the rates are computed at the same logical time as the
-// lookup's Observe, where the estimator's decay step is a no-op, so calling
-// this instead of LookupHash + DocumentRatesHash leaves the monitor state
-// trajectory — and therefore whole-run reproducibility — unchanged.
-func (c *Cloud) LookupHashWithRates(url string, h document.Hash, now int64) (LookupResult, error) {
-	return c.lookupHash(url, h, now, true, false)
-}
-
-func (c *Cloud) lookupHash(url string, h document.Hash, now int64, withRates, copyHolders bool) (LookupResult, error) {
-	ep := c.ep.Load()
-	s, irh, err := ep.resolve(h)
+func (c *Cloud) lookupHashLocked(url string, h document.Hash, now int64) (LookupResult, error) {
+	beacon, err := c.recordOp(h, loadstats.Lookup)
 	if err != nil {
 		return LookupResult{}, err
 	}
-	s.charge(irh, loadstats.Lookup)
-	rec := s.getOrCreate(url, h)
-	rec.mu.Lock()
+	rec, ok := c.records[beacon][url]
+	if !ok {
+		// Create the record so monitoring starts with the first lookup.
+		rec = newRecord(h)
+		c.records[beacon][url] = rec
+	}
 	rec.lookupRate.Observe(now, 1)
-	res := LookupResult{Beacon: s.id, Holders: rec.holders, Version: rec.version}
-	if withRates {
-		res.LookupRate = rec.lookupRate.Rate(now)
-		res.UpdateRate = rec.updateRate.Rate(now)
+	c.lastNow = now
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{Time: now, Kind: obs.EvBeaconLookup, Node: beacon, URL: url})
 	}
-	if copyHolders {
-		res.Holders = rec.holderList()
+	return LookupResult{Beacon: beacon, Holders: rec.holders, Version: rec.version}, nil
+}
+
+// recordOp resolves the beacon for a document hash and charges one load
+// unit of the given kind. Caller holds the lock.
+func (c *Cloud) recordOp(h document.Hash, kind loadstats.Kind) (string, error) {
+	rg := c.rings[h.RingIndex(len(c.rings))]
+	irh := h.IrH(rg.IntraGen())
+	beacon, err := rg.BeaconFor(irh)
+	if err != nil {
+		return "", err
 	}
-	rec.mu.Unlock()
-	c.lastNow.Store(now)
-	if t := c.tracer.Load(); t != nil {
-		t.Emit(obs.Event{Time: now, Kind: obs.EvBeaconLookup, Node: s.id, URL: url})
+	if err := rg.Record(irh, kind, 1); err != nil {
+		return "", err
 	}
-	return res, nil
+	c.beaconLoad[beacon]++
+	return beacon, nil
 }
 
 // RegisterHolder adds a cache to the document's holder list at its beacon
@@ -290,19 +351,21 @@ func (c *Cloud) RegisterHolder(url, cacheID string) error {
 
 // RegisterHolderHash is RegisterHolder for a precomputed document hash.
 func (c *Cloud) RegisterHolderHash(url string, h document.Hash, cacheID string) error {
-	ep := c.ep.Load()
-	hc, ok := ep.caches[cacheID]
-	if !ok {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.caches[cacheID]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCache, cacheID)
 	}
-	s, _, err := ep.resolve(h)
+	beacon, err := c.beaconForHashLocked(h)
 	if err != nil {
 		return err
 	}
-	rec := s.getOrCreate(url, h)
-	rec.mu.Lock()
-	rec.addHolder(cacheID, hc)
-	rec.mu.Unlock()
+	rec, ok := c.records[beacon][url]
+	if !ok {
+		rec = newRecord(h)
+		c.records[beacon][url] = rec
+	}
+	rec.addHolder(cacheID)
 	return nil
 }
 
@@ -314,15 +377,14 @@ func (c *Cloud) DeregisterHolder(url, cacheID string) error {
 
 // DeregisterHolderHash is DeregisterHolder for a precomputed document hash.
 func (c *Cloud) DeregisterHolderHash(url string, h document.Hash, cacheID string) error {
-	ep := c.ep.Load()
-	s, _, err := ep.resolve(h)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	beacon, err := c.beaconForHashLocked(h)
 	if err != nil {
 		return err
 	}
-	if rec := s.get(url); rec != nil {
-		rec.mu.Lock()
+	if rec, ok := c.records[beacon][url]; ok {
 		rec.removeHolder(cacheID)
-		rec.mu.Unlock()
 	}
 	return nil
 }
@@ -331,19 +393,16 @@ func (c *Cloud) DeregisterHolderHash(url string, h document.Hash, cacheID string
 // (an internal peek used by placement and tests; the protocol path is
 // Lookup).
 func (c *Cloud) Holders(url string) []string {
-	ep := c.ep.Load()
-	s, _, err := ep.resolve(document.HashURL(url))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	beacon, err := c.beaconForHashLocked(document.HashURL(url))
 	if err != nil {
 		return nil
 	}
-	rec := s.get(url)
-	if rec == nil {
-		return nil
+	if rec, ok := c.records[beacon][url]; ok {
+		return rec.holderList()
 	}
-	rec.mu.Lock()
-	out := rec.holderList()
-	rec.mu.Unlock()
-	return out
+	return nil
 }
 
 // UpdateResult summarises one run of the document update protocol.
@@ -366,43 +425,42 @@ func (c *Cloud) Update(doc document.Document, now int64) (UpdateResult, error) {
 	return c.UpdateHash(doc, document.HashURL(doc.URL), now)
 }
 
-// UpdateHash is Update for a precomputed document hash. The fan-out pushes
-// through the record's cached holder handles, so notifying n holders costs
-// n cache-level operations and no map lookups.
+// UpdateHash is Update for a precomputed document hash.
 func (c *Cloud) UpdateHash(doc document.Document, h document.Hash, now int64) (UpdateResult, error) {
-	ep := c.ep.Load()
-	s, irh, err := ep.resolve(h)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	beacon, err := c.recordOp(h, loadstats.Update)
 	if err != nil {
 		return UpdateResult{}, err
 	}
-	s.charge(irh, loadstats.Update)
-	rec := s.getOrCreate(doc.URL, h)
-	res := UpdateResult{Beacon: s.id}
-	rec.mu.Lock()
+	rec, ok := c.records[beacon][doc.URL]
+	if !ok {
+		rec = newRecord(h)
+		c.records[beacon][doc.URL] = rec
+	}
 	rec.updateRate.Observe(now, 1)
 	if doc.Version > rec.version {
 		rec.version = doc.Version
 	}
-	// Filter the holder list in place: holders that no longer hold the
-	// document (stale record) drop out. RemoveCache scrubs departed caches
-	// from every record, so each cached handle is a live member.
+	res := UpdateResult{Beacon: beacon}
+	// Filter the holder list in place: holders that no longer exist or no
+	// longer hold the document (stale record) drop out.
 	keep := rec.holders[:0]
-	keepC := rec.hcaches[:0]
-	for i, holder := range rec.holders {
-		hc := rec.hcaches[i]
+	for _, holder := range rec.holders {
+		hc, ok := c.caches[holder]
+		if !ok {
+			continue
+		}
 		if hc.ApplyUpdate(doc, now) {
 			res.Notified = append(res.Notified, holder)
 			res.FanoutBytes += doc.Size
 			keep = append(keep, holder)
-			keepC = append(keepC, hc)
 		}
 	}
 	rec.holders = keep
-	rec.hcaches = keepC
-	rec.mu.Unlock()
-	c.lastNow.Store(now)
-	if t := c.tracer.Load(); t != nil && len(res.Notified) > 0 {
-		t.Emit(obs.Event{Time: now, Kind: obs.EvUpdateFanout, Node: s.id, URL: doc.URL, Count: int64(len(res.Notified))})
+	c.lastNow = now
+	if c.tracer != nil && len(res.Notified) > 0 {
+		c.tracer.Emit(obs.Event{Time: now, Kind: obs.EvUpdateFanout, Node: beacon, URL: doc.URL, Count: int64(len(res.Notified))})
 	}
 	return res, nil
 }
@@ -416,84 +474,60 @@ func (c *Cloud) DocumentRates(url string, now int64) (lookupRate, updateRate flo
 
 // DocumentRatesHash is DocumentRates for a precomputed document hash.
 func (c *Cloud) DocumentRatesHash(url string, h document.Hash, now int64) (lookupRate, updateRate float64) {
-	ep := c.ep.Load()
-	s, _, err := ep.resolve(h)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	beacon, err := c.beaconForHashLocked(h)
 	if err != nil {
 		return 0, 0
 	}
-	rec := s.get(url)
-	if rec == nil {
+	rec, ok := c.records[beacon][url]
+	if !ok {
 		return 0, 0
 	}
-	rec.mu.Lock()
-	lookupRate = rec.lookupRate.Rate(now)
-	updateRate = rec.updateRate.Rate(now)
-	rec.mu.Unlock()
-	return lookupRate, updateRate
+	return rec.lookupRate.Rate(now), rec.updateRate.Rate(now)
 }
 
 // Rebalance runs the sub-range determination process on every beacon ring
 // (end of cycle) and migrates the lookup records implied by the boundary
-// moves. The shards' cycle load counters — accumulated lock-free while the
-// cycle ran — are drained into the rings' per-point counters first, so
-// sub-range determination sees exactly the per-point, per-IrH tallies the
-// seed accumulated in-line. It returns the number of records migrated.
+// moves. It returns the number of records migrated.
 func (c *Cloud) Rebalance() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	migrated := 0
 	for ringIdx, rg := range c.rings {
-		for _, a := range rg.Assignments() {
-			s := c.shards[a.ID]
-			if s == nil {
-				continue
-			}
-			lookups, updates, perIrH := s.drainCycle()
-			if lookups != 0 || updates != 0 {
-				// Absorb can only fail for an unknown point; a comes fresh
-				// from the same ring under Cloud.mu, so it cannot.
-				_ = rg.AbsorbLoad(a.ID, lookups, updates, perIrH)
-			}
-		}
 		moves := rg.Rebalance()
 		for _, mv := range moves {
-			n := c.migrate(ringIdx, rg, mv)
+			n := c.migrateLocked(ringIdx, rg, mv)
 			migrated += n
-			if t := c.tracer.Load(); t != nil && n > 0 {
-				t.Emit(obs.Event{Time: c.lastNow.Load(), Kind: obs.EvRecordMigrated, Node: mv.To, Count: int64(n)})
+			if c.tracer != nil && n > 0 {
+				c.tracer.Emit(obs.Event{Time: c.lastNow, Kind: obs.EvRecordMigrated, Node: mv.To, Count: int64(n)})
 			}
 		}
 	}
-	c.recordsMigrated.Add(int64(migrated))
-	c.installEpoch()
+	c.recordsMigrated += int64(migrated)
 	return migrated
 }
 
-// migrate moves the records covered by mv from mv.From to mv.To. Caller
-// holds Cloud.mu; the two shards are write-locked against concurrent
-// readers of the outgoing epoch.
-func (c *Cloud) migrate(ringIdx int, rg *ring.Ring, mv ring.Move) int {
-	src := c.shards[mv.From]
-	dst := c.shards[mv.To]
+// migrateLocked moves the records covered by mv from mv.From to mv.To.
+func (c *Cloud) migrateLocked(ringIdx int, rg *ring.Ring, mv ring.Move) int {
+	src := c.records[mv.From]
+	dst := c.records[mv.To]
 	if src == nil || dst == nil {
 		return 0
 	}
-	intraGen := rg.IntraGen()
-	lockPair(src, dst)
 	n := 0
-	for url, rec := range src.records {
+	for url, rec := range src {
 		// The record caches its document hash, so migration never re-hashes.
 		if rec.hash.RingIndex(len(c.rings)) != ringIdx {
 			continue
 		}
-		if !mv.Sub.Contains(rec.hash.IrH(intraGen)) {
+		if !mv.Sub.Contains(rec.hash.IrH(rg.IntraGen())) {
 			continue
 		}
-		dst.records[url] = rec
-		delete(src.records, url)
+		dst[url] = rec
+		delete(src, url)
 		n++
 	}
-	unlockPair(src, dst)
 	return n
 }
 
@@ -506,7 +540,7 @@ func (c *Cloud) ReplicateRecords() {
 	if !c.cfg.ReplicateRecords {
 		return
 	}
-	for beacon, s := range c.shards {
+	for beacon, recs := range c.records {
 		rIdx, ok := c.ringOf[beacon]
 		if !ok {
 			continue
@@ -515,15 +549,14 @@ func (c *Cloud) ReplicateRecords() {
 		if sib == "" {
 			continue
 		}
-		sibShard := c.shards[sib]
-		if sibShard == nil {
-			continue
+		repl := c.replicas[sib]
+		if repl == nil {
+			repl = make(map[string]*record, len(recs))
+			c.replicas[sib] = repl
 		}
-		s.mu.RLock()
-		for url, rec := range s.records {
-			sibShard.replicas[url] = rec.clone()
+		for url, rec := range recs {
+			repl[url] = rec.clone()
 		}
-		s.mu.RUnlock()
 	}
 }
 
@@ -544,81 +577,62 @@ func (c *Cloud) RemoveCache(id string, graceful bool) error {
 	if err != nil {
 		return fmt.Errorf("core: remove %q from ring %d: %w", id, rIdx, err)
 	}
-	victim := c.shards[id]
-	dst := c.shards[mv.To]
 
 	switch {
 	case graceful:
 		moved := int64(0)
-		lockPair(victim, dst)
-		for url, rec := range victim.records {
-			dst.records[url] = rec
+		for url, rec := range c.records[id] {
+			c.records[mv.To][url] = rec
+			c.recordsMigrated++
 			moved++
 		}
-		unlockPair(victim, dst)
-		c.recordsMigrated.Add(moved)
-		if t := c.tracer.Load(); t != nil && moved > 0 {
-			t.Emit(obs.Event{Time: c.lastNow.Load(), Kind: obs.EvRecordMigrated, Node: mv.To, Count: moved})
+		if c.tracer != nil && moved > 0 {
+			c.tracer.Emit(obs.Event{Time: c.lastNow, Kind: obs.EvRecordMigrated, Node: mv.To, Count: moved})
 		}
 	case c.cfg.ReplicateRecords:
 		// Crash: recover records from the replicas held by the dead
 		// beacon's sibling(s). Replicas were pushed to other caches, so
-		// scan every replica shard for records the dead beacon owned. The
-		// scan runs in sorted ID order — deterministic where the seed's
-		// map-order scan was not, observable only when stale clones linger
-		// at a record's pre-migration sibling.
-		holderIDs := make([]string, 0, len(c.shards))
-		for holderID := range c.shards {
-			if holderID != id {
-				holderIDs = append(holderIDs, holderID)
-			}
-		}
-		sort.Strings(holderIDs)
-		lockPair(victim, dst)
-		for url := range victim.records {
+		// scan every replica shard for records the dead beacon owned.
+		for url := range c.records[id] {
 			recovered := false
-			for _, holderID := range holderIDs {
-				if repl, ok := c.shards[holderID].replicas[url]; ok {
-					dst.records[url] = repl
-					c.recordsRecov.Add(1)
+			for holderID, shard := range c.replicas {
+				if holderID == id {
+					continue
+				}
+				if repl, ok := shard[url]; ok {
+					c.records[mv.To][url] = repl
+					c.recordsRecov++
 					recovered = true
 					break
 				}
 			}
 			if !recovered {
-				c.recordsLost.Add(1)
+				c.recordsLost++
 			}
 		}
-		unlockPair(victim, dst)
 	default:
-		victim.mu.RLock()
-		c.recordsLost.Add(int64(len(victim.records)))
-		victim.mu.RUnlock()
+		c.recordsLost += int64(len(c.records[id]))
 	}
 
-	delete(c.shards, id)
+	delete(c.records, id)
+	delete(c.replicas, id)
 	delete(c.caches, id)
 	delete(c.ringOf, id)
+	delete(c.beaconLoad, id)
 
 	// Drop the departed cache from every holder list — including the
 	// replica snapshots, which would otherwise resurrect it as a holder
-	// when a later crash promotes them. Promoted replicas may be aliased
-	// by live records, so replica scrubbing locks the record too.
-	for _, s := range c.shards {
-		s.mu.RLock()
-		for _, rec := range s.records {
-			rec.mu.Lock()
+	// when a later crash promotes them.
+	for _, shard := range c.records {
+		for _, rec := range shard {
 			rec.removeHolder(id)
-			rec.mu.Unlock()
-		}
-		s.mu.RUnlock()
-		for _, rec := range s.replicas {
-			rec.mu.Lock()
-			rec.removeHolder(id)
-			rec.mu.Unlock()
 		}
 	}
-	c.installEpoch()
+	for _, shard := range c.replicas {
+		for _, rec := range shard {
+			rec.removeHolder(id)
+		}
+	}
 	return nil
 }
 
@@ -642,25 +656,25 @@ func (c *Cloud) AddCache(id string, capability float64, capacity int64) error {
 		return fmt.Errorf("core: add %q to ring %d: %w", id, best, err)
 	}
 	c.caches[id] = cache.NewWithReplacement(id, capacity, replacementOrLRU(c.cfg.Replacement))
-	c.shards[id] = newShard(id, c.cfg.IntraGen, c.cfg.FineGrained)
+	c.records[id] = make(map[string]*record)
 	c.ringOf[id] = best
-	n := c.migrate(best, c.rings[best], mv)
-	c.recordsMigrated.Add(int64(n))
-	if t := c.tracer.Load(); t != nil && n > 0 {
-		t.Emit(obs.Event{Time: c.lastNow.Load(), Kind: obs.EvRecordMigrated, Node: id, Count: int64(n)})
+	c.beaconLoad[id] = 0
+	n := c.migrateLocked(best, c.rings[best], mv)
+	c.recordsMigrated += int64(n)
+	if c.tracer != nil && n > 0 {
+		c.tracer.Emit(obs.Event{Time: c.lastNow, Kind: obs.EvRecordMigrated, Node: id, Count: int64(n)})
 	}
-	c.installEpoch()
 	return nil
 }
 
 // BeaconLoads returns the cumulative lookup+update operations handled per
-// cache since the cloud was created — the load metric of Figures 3-6. The
-// counts are read from the current epoch without locking.
+// cache since the cloud was created — the load metric of Figures 3-6.
 func (c *Cloud) BeaconLoads() map[string]int64 {
-	ep := c.ep.Load()
-	out := make(map[string]int64, len(ep.shards))
-	for id, s := range ep.shards {
-		out[id] = s.load.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.beaconLoad))
+	for id, v := range c.beaconLoad {
+		out[id] = v
 	}
 	return out
 }
@@ -687,36 +701,27 @@ type Stats struct {
 	RecordsMigrated  int64
 	RecordsLost      int64
 	RecordsRecovered int64
-	// EpochInstalls counts topology snapshots published since New (the
-	// initial epoch is install 1).
-	EpochInstalls int64
 }
 
-// Stats returns the lifetime record-management counters. It reads atomics
-// only and never blocks behind the write path.
+// Stats returns the lifetime record-management counters.
 func (c *Cloud) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{
-		RecordsMigrated:  c.recordsMigrated.Load(),
-		RecordsLost:      c.recordsLost.Load(),
-		RecordsRecovered: c.recordsRecov.Load(),
-		EpochInstalls:    c.epochInstalls.Load(),
+		RecordsMigrated:  c.recordsMigrated,
+		RecordsLost:      c.recordsLost,
+		RecordsRecovered: c.recordsRecov,
 	}
 }
 
 // RingAssignments exposes each ring's current sub-range assignment for
-// diagnostics and experiments. CycleLoad includes the shards' pending
-// (not yet drained) counts, matching the seed's in-line accounting.
+// diagnostics and experiments.
 func (c *Cloud) RingAssignments() [][]ring.Assignment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([][]ring.Assignment, len(c.rings))
 	for i, rg := range c.rings {
 		out[i] = rg.Assignments()
-		for j := range out[i] {
-			if s := c.shards[out[i][j].ID]; s != nil {
-				out[i][j].CycleLoad += s.pendingCycle()
-			}
-		}
 	}
 	return out
 }

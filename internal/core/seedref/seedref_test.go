@@ -1,0 +1,201 @@
+package seedref
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/obs"
+)
+
+// The reference core's behavioral contract is pinned by the model-based
+// equivalence test in internal/core (equivalence_test.go), which drives it
+// in lockstep with the sharded implementation and requires bit-equal
+// observables. The tests here are the in-package smoke pass: they replay a
+// representative workload through every API path so the reference stays
+// runnable (and covered) on its own.
+
+func newTestCloud(t *testing.T, numCaches, numRings int, replicate, fineGrained bool) (*Cloud, []string) {
+	t.Helper()
+	ids := make([]string, numCaches)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cache-%02d", i)
+	}
+	c, err := New(Config{NumRings: numRings, ReplicateRecords: replicate, FineGrained: fineGrained}, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ids
+}
+
+func TestSeedrefConfigValidation(t *testing.T) {
+	if _, err := New(Config{NumRings: 2}, nil, nil); err == nil {
+		t.Fatal("want error for empty membership")
+	}
+	if _, err := New(Config{NumRings: 0}, []string{"a", "b"}, nil); err == nil {
+		t.Fatal("want error for zero rings")
+	}
+	if _, err := New(Config{NumRings: 3}, []string{"a", "b"}, nil); err == nil {
+		t.Fatal("want error for more rings than caches")
+	}
+	if c, err := New(Config{NumRings: 1, IntraGen: -5}, []string{"a", "b"}, nil); err != nil || c == nil {
+		t.Fatalf("non-positive IntraGen should default, got %v", err)
+	}
+	if _, err := New(Config{NumRings: 1}, []string{"a", "a"}, nil); err == nil {
+		t.Fatal("want error for duplicate cache ID")
+	}
+}
+
+func TestSeedrefLookupUpdateCycle(t *testing.T) {
+	c, ids := newTestCloud(t, 10, 5, false, true)
+	tracer := obs.NewTracer(256)
+	c.SetTracer(tracer)
+	if got := c.NumRings(); got != 5 {
+		t.Fatalf("NumRings = %d", got)
+	}
+	if c.Cache(ids[0]) == nil || c.Cache("nope") != nil {
+		t.Fatal("Cache accessor broken")
+	}
+	if got := c.CacheIDs(); len(got) != 10 {
+		t.Fatalf("CacheIDs = %v", got)
+	}
+
+	url := "http://origin/seedref-doc"
+	h := document.HashURL(url)
+	if _, err := c.BeaconFor(url); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterHolder(url, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterHolderHash(url, h, ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterHolderHash(url, h, "ghost"); err == nil {
+		t.Fatal("want ErrUnknownCache")
+	}
+	res, err := c.Lookup(url, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Holders) != 2 {
+		t.Fatalf("holders = %v", res.Holders)
+	}
+	if got := c.Holders(url); len(got) != 2 {
+		t.Fatalf("Holders = %v", got)
+	}
+	doc := document.Document{URL: url, Version: 3, Size: 256}
+	if _, err := c.Update(doc, 2); err != nil {
+		t.Fatal(err)
+	}
+	ur, err := c.UpdateHash(document.Document{URL: url, Version: 4, Size: 256}, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Beacon == "" {
+		t.Fatalf("update result %+v", ur)
+	}
+	if res, err = c.LookupHash(url, h, 4); err != nil || res.Version != 4 {
+		t.Fatalf("post-update lookup %+v, %v", res, err)
+	}
+	if lr, _ := c.DocumentRates(url, 4); lr <= 0 {
+		t.Fatalf("lookup rate %v", lr)
+	}
+	if lr, _ := c.DocumentRatesHash(url, h, 4); lr <= 0 {
+		t.Fatalf("lookup rate (hash) %v", lr)
+	}
+	if err := c.DeregisterHolder(url, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeregisterHolderHash(url, h, ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Holders(url); len(got) != 0 {
+		t.Fatalf("holders after deregister = %v", got)
+	}
+	if loads := c.BeaconLoads(); len(loads) != 10 {
+		t.Fatalf("beacon loads %v", loads)
+	}
+	_ = c.LoadDistribution()
+	if tracer.Total() == 0 {
+		t.Fatal("tracer saw no events")
+	}
+}
+
+// TestSeedrefTopologyChurn replays a seeded workload through rebalances,
+// replication, graceful departures, crashes, and joins, checking the
+// bookkeeping invariants the equivalence test relies on.
+func TestSeedrefTopologyChurn(t *testing.T) {
+	for _, replicate := range []bool{true, false} {
+		t.Run(fmt.Sprintf("replicate=%v", replicate), func(t *testing.T) {
+			c, ids := newTestCloud(t, 12, 4, replicate, false)
+			rng := rand.New(rand.NewSource(5))
+			urls := make([]string, 200)
+			hs := make([]document.Hash, 200)
+			for i := range urls {
+				urls[i] = fmt.Sprintf("http://origin/churn-%03d", i)
+				hs[i] = document.HashURL(urls[i])
+				if err := c.RegisterHolderHash(urls[i], hs[i], ids[i%len(ids)]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for now := int64(1); now < 400; now++ {
+				i := rng.Intn(len(urls))
+				if now%3 == 0 {
+					if _, err := c.UpdateHash(document.Document{URL: urls[i], Version: document.Version(now), Size: 128}, hs[i], now); err != nil {
+						t.Fatal(err)
+					}
+				} else if _, err := c.LookupHash(urls[i], hs[i], now); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Rebalance()
+			c.ReplicateRecords()
+			if err := c.RemoveCache(ids[2], true); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RemoveCache(ids[5], false); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RemoveCache("ghost", true); err == nil {
+				t.Fatal("want error removing unknown cache")
+			}
+			if err := c.AddCache("cache-new", 1, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.AddCache(ids[0], 1, 0); err == nil {
+				t.Fatal("want error re-adding member")
+			}
+			c.Rebalance()
+
+			st := c.Stats()
+			if replicate {
+				if st.RecordsRecovered == 0 {
+					t.Fatal("crash with replication recovered nothing")
+				}
+			} else if st.RecordsLost == 0 {
+				t.Fatal("crash without replication lost nothing")
+			}
+			asn := c.RingAssignments()
+			if len(asn) != 4 {
+				t.Fatalf("ring count %d", len(asn))
+			}
+			members := map[string]bool{}
+			for _, subs := range asn {
+				for _, a := range subs {
+					members[a.ID] = true
+				}
+			}
+			if members[ids[2]] || members[ids[5]] || !members["cache-new"] {
+				t.Fatalf("assignment membership wrong: %v", members)
+			}
+			// The surviving records must still resolve and serve.
+			for i := range urls {
+				if _, err := c.LookupHash(urls[i], hs[i], 500); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

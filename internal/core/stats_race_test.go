@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachecloud/internal/core"
+	"cachecloud/internal/document"
+)
+
+// TestStatsConcurrentWithMutation scrapes every lock-free stats surface —
+// Stats, BeaconLoads, LoadDistribution, CacheIDs, BeaconForHash — while
+// lookups, updates, holder churn, and topology changes (RemoveCache,
+// AddCache, Rebalance, ReplicateRecords) run against the same cloud. Run
+// under -race in CI; the assertions here are liveness and monotonicity,
+// the race detector provides the memory-safety verdict.
+func TestStatsConcurrentWithMutation(t *testing.T) {
+	ids := make([]string, 12)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cache-%02d", i)
+	}
+	c, err := core.New(core.Config{NumRings: 4, ReplicateRecords: true, FineGrained: true}, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const numDocs = 400
+	urls := make([]string, numDocs)
+	hashes := make([]document.Hash, numDocs)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://origin/race-%04d", i)
+		hashes[i] = document.HashURL(urls[i])
+	}
+
+	var wg sync.WaitGroup
+	// Readers: lookups with and without rates.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				idx := (i*7 + w) % numDocs
+				if i%2 == 0 {
+					_, _ = c.LookupHash(urls[idx], hashes[idx], int64(i))
+				} else {
+					_, _ = c.LookupHashWithRates(urls[idx], hashes[idx], int64(i))
+				}
+			}
+		}(w)
+	}
+	// Updates and holder churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			idx := i % numDocs
+			doc := document.Document{URL: urls[idx], Version: document.Version(i), Size: 128}
+			_, _ = c.UpdateHash(doc, hashes[idx], int64(i))
+			_ = c.RegisterHolderHash(urls[idx], hashes[idx], ids[i%len(ids)])
+			if i%5 == 0 {
+				_ = c.DeregisterHolderHash(urls[idx], hashes[idx], ids[(i+1)%len(ids)])
+			}
+		}
+	}()
+	// Stats scraper: counters must never go backwards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev core.Stats
+		for i := 0; i < 4000; i++ {
+			st := c.Stats()
+			if st.RecordsMigrated < prev.RecordsMigrated || st.RecordsLost < prev.RecordsLost ||
+				st.RecordsRecovered < prev.RecordsRecovered || st.EpochInstalls < prev.EpochInstalls {
+				t.Errorf("stats went backwards: %+v after %+v", st, prev)
+				return
+			}
+			prev = st
+			_ = c.BeaconLoads()
+			_ = c.LoadDistribution()
+			_ = c.CacheIDs()
+			_, _ = c.BeaconForHash(hashes[i%numDocs])
+		}
+	}()
+	// Topology churn: replicate, crash, rejoin, rebalance.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			c.ReplicateRecords()
+			victim := fmt.Sprintf("cache-%02d", 4+i)
+			if err := c.RemoveCache(victim, i%2 == 0); err != nil {
+				t.Errorf("remove %s: %v", victim, err)
+				return
+			}
+			c.Rebalance()
+			if err := c.AddCache(fmt.Sprintf("cache-r%d", i), 1, 0); err != nil {
+				t.Errorf("rejoin %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if st := c.Stats(); st.EpochInstalls < 19 {
+		// 1 initial + 6 × (remove + rebalance + add).
+		t.Fatalf("EpochInstalls = %d, want >= 19", st.EpochInstalls)
+	}
+}

@@ -14,6 +14,7 @@ import "math"
 // guard it with their own locks.
 type EWRate struct {
 	halfLife float64
+	norm     float64 // 1 - 2^(-1/halfLife), fixed per estimator
 	mass     float64
 	last     int64
 }
@@ -24,7 +25,7 @@ func NewEWRate(halfLife float64) *EWRate {
 	if halfLife <= 0 {
 		halfLife = 1
 	}
-	return &EWRate{halfLife: halfLife}
+	return &EWRate{halfLife: halfLife, norm: 1 - math.Exp2(-1/halfLife)}
 }
 
 // Observe records weight w at time now. Time must be non-decreasing across
@@ -39,9 +40,10 @@ func (r *EWRate) Observe(now int64, w float64) {
 func (r *EWRate) Rate(now int64) float64 {
 	r.decayTo(now)
 	// Steady input of w per unit gives equilibrium mass w / (1 - 2^(-1/h)),
-	// so dividing by that geometric sum normalises to per-unit rate.
-	norm := 1 - math.Exp2(-1/r.halfLife)
-	return r.mass * norm
+	// so dividing by that geometric sum normalises to per-unit rate. The
+	// factor is fixed per estimator and precomputed by NewEWRate — Rate sits
+	// on the beacon lookup hot path.
+	return r.mass * r.norm
 }
 
 // Mass returns the decayed raw mass at time now.

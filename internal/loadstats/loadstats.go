@@ -58,6 +58,28 @@ func (c *Counter) Record(irh int, kind Kind, units int64) {
 	}
 }
 
+// Absorb folds externally accumulated cycle load into the counter. The
+// sharded cloud's beacon shards count load lock-free while the cycle runs
+// and drain their tallies here right before sub-range determination; the
+// resulting counter state is identical to having called Record per
+// operation. perIrH may be nil (or shorter than the counter's range) when
+// the producer tracked only aggregates.
+func (c *Counter) Absorb(lookups, updates int64, perIrH []int64) {
+	c.lookups += lookups
+	c.updates += updates
+	c.total += lookups + updates
+	if c.perIrH == nil || perIrH == nil {
+		return
+	}
+	n := len(perIrH)
+	if n > len(c.perIrH) {
+		n = len(c.perIrH)
+	}
+	for i := 0; i < n; i++ {
+		c.perIrH[i] += perIrH[i]
+	}
+}
+
 // Total returns the cumulative load recorded this cycle.
 func (c *Counter) Total() int64 { return c.total }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cachecloud/internal/admit"
@@ -50,6 +51,14 @@ type CacheNode struct {
 	assign      Assignments
 	records     map[string]*nodeRecord
 	replicas    map[string]WireRecord // sibling's records, lazily replicated
+
+	// assignView is the lock-free snapshot of assign, republished on every
+	// install (the node-layer mirror of the core's epoch pointer). Paths
+	// that only resolve beacon ownership — request routing, placement
+	// re-evaluation, metrics gauges — read it without touching n.mu, so an
+	// install or a long record hand-off never stalls them. An Assignments
+	// value is immutable once published: installs replace the whole value.
+	assignView atomic.Pointer[Assignments]
 	replicaFrom map[string]string     // url → sibling that pushed the replica
 	down        map[string]bool       // peers the origin declared dead
 	// loads[ring] is a dense per-IrH-value load counter for ranges this
@@ -123,6 +132,7 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		down:        make(map[string]bool),
 		loads:       make(map[int][]int64),
 	}
+	n.publishAssign()
 	n.initAdmission()
 	n.initMetrics()
 	n.tp = NewHTTPTransport(TransportOptions{OnBreakerOpen: n.noteCircuitOpen, Clock: clock})
@@ -161,14 +171,10 @@ func (n *CacheNode) initMetrics() {
 		return float64(len(n.replicas))
 	})
 	reg.GaugeFunc("ring_count", func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		return float64(len(n.assign.Rings))
+		return float64(len(n.assignSnapshot().Rings))
 	})
 	reg.GaugeFunc("owned_subrange_len", func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		return float64(n.ownedSubrangeLenLocked())
+		return float64(ownedSubrangeLen(n.assignSnapshot(), n.name))
 	})
 	reg.GaugeFunc("down_peers", func() float64 {
 		n.mu.Lock()
@@ -260,11 +266,21 @@ func (n *CacheNode) Handler() http.Handler {
 	return mux
 }
 
+// publishAssign republishes the lock-free assignment snapshot. The caller
+// holds n.mu (or, in the constructor, has exclusive access).
+func (n *CacheNode) publishAssign() {
+	a := n.assign
+	n.assignView.Store(&a)
+}
+
+// assignSnapshot returns the current assignment view without taking n.mu.
+func (n *CacheNode) assignSnapshot() *Assignments {
+	return n.assignView.Load()
+}
+
 // beaconURL resolves the beacon node's base URL for a document.
 func (n *CacheNode) beaconURL(url string) (name, base string, err error) {
-	n.mu.Lock()
-	owner, err := n.assign.ownerOf(url, n.cfg.IntraGen)
-	n.mu.Unlock()
+	owner, err := n.assignSnapshot().ownerOf(url, n.cfg.IntraGen)
 	if err != nil {
 		return "", "", err
 	}
@@ -782,9 +798,7 @@ func (n *CacheNode) applyLocal(req UpdateRequest) bool {
 	if others < 0 {
 		others = 0
 	}
-	n.mu.Lock()
-	owner, ownerErr := n.assign.ownerOf(req.Doc.URL, n.cfg.IntraGen)
-	n.mu.Unlock()
+	owner, ownerErr := n.assignSnapshot().ownerOf(req.Doc.URL, n.cfg.IntraGen)
 	ctx := placement.Context{
 		Now: now, CacheID: n.name, DocURL: req.Doc.URL, DocSize: req.Doc.Size,
 		IsBeacon:        ownerErr == nil && owner == n.name,
@@ -823,6 +837,7 @@ func (n *CacheNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
 	}
 	n.mu.Lock()
 	n.assign = req
+	n.publishAssign()
 	promoted := 0
 	for url, wr := range n.replicas {
 		owner, err := req.ownerOf(url, n.cfg.IntraGen)
@@ -962,10 +977,7 @@ func (n *CacheNode) handleReplicate(w http.ResponseWriter, r *http.Request) {
 // handleGetSubranges exposes this node's current view of the sub-range
 // layout (observability).
 func (n *CacheNode) handleGetSubranges(w http.ResponseWriter, r *http.Request) {
-	n.mu.Lock()
-	out := n.assign
-	n.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, *n.assignSnapshot())
 }
 
 // handleHealthz answers origin liveness probes.
@@ -1260,9 +1272,7 @@ func (n *CacheNode) StoredVersions() map[string]document.Version {
 // AssignmentsView returns this node's current view of the sub-range
 // layout.
 func (n *CacheNode) AssignmentsView() Assignments {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.assign
+	return *n.assignSnapshot()
 }
 
 // DownView returns the sorted list of peers this node currently considers

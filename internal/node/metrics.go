@@ -12,13 +12,13 @@ func (n *CacheNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(body))
 }
 
-// ownedSubrangeLenLocked sums the IrH values this node currently owns.
-// Caller holds the lock.
-func (n *CacheNode) ownedSubrangeLenLocked() int {
+// ownedSubrangeLen sums the IrH values the named node owns under an
+// assignment snapshot.
+func ownedSubrangeLen(a *Assignments, name string) int {
 	total := 0
-	for _, subs := range n.assign.Rings {
+	for _, subs := range a.Rings {
 		for _, s := range subs {
-			if s.Node == n.name && s.Hi >= s.Lo {
+			if s.Node == name && s.Hi >= s.Lo {
 				total += s.Hi - s.Lo + 1
 			}
 		}

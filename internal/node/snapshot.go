@@ -72,6 +72,7 @@ func (n *CacheNode) LoadSnapshot(r io.Reader) error {
 	defer n.mu.Unlock()
 	if len(snap.Assign.Rings) > 0 {
 		n.assign = snap.Assign
+		n.publishAssign()
 	}
 	for _, wr := range snap.Records {
 		rec, ok := n.records[wr.URL]

@@ -27,6 +27,7 @@ const (
 	EvInvariant                // deterministic simulator checked an invariant (Count = violations)
 	EvShed                     // overload layer deliberately refused work (429 + Retry-After)
 	EvCoalesced                // a miss joined an in-flight origin fetch instead of issuing its own
+	EvEpochInstall             // sharded cloud published a topology snapshot (Count = install seq)
 	numEventKinds
 )
 
@@ -45,6 +46,7 @@ var kindNames = [numEventKinds]string{
 	EvInvariant:      "invariant",
 	EvShed:           "shed",
 	EvCoalesced:      "coalesced",
+	EvEpochInstall:   "epoch_install",
 }
 
 // String returns the JSONL wire name of the kind.

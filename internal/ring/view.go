@@ -1,0 +1,88 @@
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// View is an immutable snapshot of a ring's sub-range layout, built for
+// lock-free beacon resolution: the sharded cloud publishes one View per
+// ring inside each epoch snapshot, and readers resolve IrH values against
+// it without touching the ring's mutex. A View never changes after
+// construction — layout changes (rebalance, add, remove) are made on the
+// Ring and published as a fresh View in the next epoch.
+type View struct {
+	intraGen int
+	his      []int // sub-range Hi bound per position, ascending
+	ids      []string
+	subs     []SubRange
+}
+
+// View captures the ring's current sub-range layout.
+func (r *Ring) View() *View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := &View{
+		intraGen: r.intraGen,
+		his:      make([]int, len(r.points)),
+		ids:      make([]string, len(r.points)),
+		subs:     make([]SubRange, len(r.points)),
+	}
+	for i, p := range r.points {
+		v.his[i] = p.sub.Hi
+		v.ids[i] = p.id
+		v.subs[i] = p.sub
+	}
+	return v
+}
+
+// IntraGen returns the hash-range size.
+func (v *View) IntraGen() int { return v.intraGen }
+
+// Len returns the number of beacon points in the snapshot.
+func (v *View) Len() int { return len(v.ids) }
+
+// IndexFor returns the position of the beacon point whose sub-range
+// contains the IrH value — the same resolution as Ring.BeaconFor, minus
+// the lock.
+func (v *View) IndexFor(irh int) (int, error) {
+	if irh < 0 || irh >= v.intraGen {
+		return 0, fmt.Errorf("ring: IrH value %d outside [0,%d)", irh, v.intraGen)
+	}
+	i := sort.SearchInts(v.his, irh)
+	if i == len(v.his) || !v.subs[i].Contains(irh) {
+		return 0, fmt.Errorf("ring: no beacon point covers IrH value %d", irh)
+	}
+	return i, nil
+}
+
+// ID returns the beacon-point ID at the given position.
+func (v *View) ID(i int) string { return v.ids[i] }
+
+// Sub returns the sub-range at the given position.
+func (v *View) Sub(i int) SubRange { return v.subs[i] }
+
+// BeaconFor resolves the beacon point for an IrH value.
+func (v *View) BeaconFor(irh int) (string, error) {
+	i, err := v.IndexFor(irh)
+	if err != nil {
+		return "", err
+	}
+	return v.ids[i], nil
+}
+
+// AbsorbLoad folds externally accumulated cycle load into the named beacon
+// point's counter. The sharded cloud counts per-shard load lock-free during
+// the cycle and drains it here immediately before Rebalance; the counter
+// ends up exactly as if Record had been called once per operation.
+func (r *Ring) AbsorbLoad(id string, lookups, updates int64, perIrH []int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.points {
+		if p.id == id {
+			p.counter.Absorb(lookups, updates, perIrH)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownPoint, id)
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachecloud/internal/core"
+	"cachecloud/internal/document"
+)
+
+// ParallelReadConfig parameterises the parallel-read event mode: a
+// synthetic catalog of documents with pre-registered holders, replayed as
+// concurrent beacon lookups by a pool of workers. It exercises exactly the
+// path the sharded core makes lock-free — epoch resolution, shard load
+// charging, record acquisition, holder reads — with zero coordination
+// between workers, so measured throughput reflects the core rather than
+// the harness.
+type ParallelReadConfig struct {
+	// NumDocs is the synthetic catalog size.
+	NumDocs int
+	// NumCaches and NumRings define the cloud topology (defaults 10 and 5).
+	NumCaches int
+	NumRings  int
+	// HoldersPerDoc holders are registered for every document before the
+	// replay starts (default 3, capped at NumCaches).
+	HoldersPerDoc int
+	// Workers is the number of concurrent lookup workers
+	// (default GOMAXPROCS).
+	Workers int
+	// Ops is the total number of lookups across all workers
+	// (default 1e6).
+	Ops int64
+	// Seed drives the workers' document-selection sequences; aggregate
+	// lookup counts are deterministic for a fixed (Seed, Workers, Ops).
+	Seed int64
+	// FineGrained enables per-IrH load tracking, adding one atomic
+	// increment per lookup.
+	FineGrained bool
+}
+
+// ParallelReadResult reports one parallel-read replay. The counters are
+// deterministic for a fixed config; Elapsed and EventsPerSec are wall-clock
+// measurements and are excluded from any golden comparison.
+type ParallelReadResult struct {
+	Ops          int64
+	HoldersSeen  int64
+	Errors       int64
+	Elapsed      time.Duration
+	EventsPerSec float64
+}
+
+func (c *ParallelReadConfig) setDefaults() {
+	if c.NumDocs <= 0 {
+		c.NumDocs = 100_000
+	}
+	if c.NumCaches <= 0 {
+		c.NumCaches = 10
+	}
+	if c.NumRings <= 0 {
+		c.NumRings = 5
+	}
+	if c.HoldersPerDoc <= 0 {
+		c.HoldersPerDoc = 3
+	}
+	if c.HoldersPerDoc > c.NumCaches {
+		c.HoldersPerDoc = c.NumCaches
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1_000_000
+	}
+}
+
+// BuildParallelReadCloud constructs the synthetic cloud and catalog for a
+// parallel-read replay: NumDocs documents, each registered at
+// HoldersPerDoc holders. It returns the cloud plus the interned URL and
+// hash tables the replay indexes into. Exported so benchmarks can build
+// once and replay many times.
+func BuildParallelReadCloud(cfg ParallelReadConfig) (*core.Cloud, []string, []document.Hash, error) {
+	cfg.setDefaults()
+	ids := make([]string, cfg.NumCaches)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cache-%03d", i)
+	}
+	cloud, err := core.New(core.Config{NumRings: cfg.NumRings, FineGrained: cfg.FineGrained}, ids, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	urls := make([]string, cfg.NumDocs)
+	hashes := make([]document.Hash, cfg.NumDocs)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://origin/doc-%07d", i)
+		hashes[i] = document.HashURL(urls[i])
+		for j := 0; j < cfg.HoldersPerDoc; j++ {
+			holder := ids[(i+j)%cfg.NumCaches]
+			if err := cloud.RegisterHolderHash(urls[i], hashes[i], holder); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	return cloud, urls, hashes, nil
+}
+
+// RunParallelRead builds the synthetic cloud and replays cfg.Ops lookups
+// from cfg.Workers concurrent workers. Every worker walks its own
+// deterministic document sequence (a splitmix64 stream seeded from
+// cfg.Seed and the worker index), so the aggregate counters are
+// reproducible while the interleaving is real concurrency.
+func RunParallelRead(cfg ParallelReadConfig) (ParallelReadResult, error) {
+	cfg.setDefaults()
+	cloud, urls, hashes, err := BuildParallelReadCloud(cfg)
+	if err != nil {
+		return ParallelReadResult{}, err
+	}
+
+	var holdersSeen, errs atomic.Int64
+	perWorker := cfg.Ops / int64(cfg.Workers)
+	rem := cfg.Ops % int64(cfg.Workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		ops := perWorker
+		if int64(w) < rem {
+			ops++
+		}
+		wg.Add(1)
+		go func(w int, ops int64) {
+			defer wg.Done()
+			rng := splitmix64(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(w) + 1)
+			var seen, failed int64
+			for i := int64(0); i < ops; i++ {
+				idx := int(rng.next() % uint64(len(urls)))
+				res, err := cloud.LookupHash(urls[idx], hashes[idx], 1)
+				if err != nil {
+					failed++
+					continue
+				}
+				seen += int64(len(res.Holders))
+			}
+			holdersSeen.Add(seen)
+			errs.Add(failed)
+		}(w, ops)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := ParallelReadResult{
+		Ops:         cfg.Ops,
+		HoldersSeen: holdersSeen.Load(),
+		Errors:      errs.Load(),
+		Elapsed:     elapsed,
+	}
+	if elapsed > 0 {
+		res.EventsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// splitmix64 is the standard 64-bit mixing generator — tiny, allocation
+// free, and identical on every platform, which keeps worker document
+// sequences reproducible.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// TestParallelReadCounters checks the replay's aggregate counters: every
+// lookup must see exactly HoldersPerDoc holders (the catalog registers that
+// many and nothing evicts), no lookup may fail, and the counters must be
+// identical on every run of the same config regardless of worker count.
+func TestParallelReadCounters(t *testing.T) {
+	cfg := ParallelReadConfig{
+		NumDocs: 2_000, NumCaches: 10, NumRings: 5,
+		HoldersPerDoc: 3, Workers: 4, Ops: 20_000, Seed: 42,
+	}
+	res, err := RunParallelRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay had %d errors", res.Errors)
+	}
+	if res.Ops != cfg.Ops {
+		t.Fatalf("Ops = %d, want %d", res.Ops, cfg.Ops)
+	}
+	if want := cfg.Ops * int64(cfg.HoldersPerDoc); res.HoldersSeen != want {
+		t.Fatalf("HoldersSeen = %d, want %d", res.HoldersSeen, want)
+	}
+	res2, err := RunParallelRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.HoldersSeen != res.HoldersSeen || res2.Errors != res.Errors {
+		t.Fatalf("counters not reproducible: %+v vs %+v", res2, res)
+	}
+}
+
+// TestParallelReadLoadConservation checks that the lock-free shard counters
+// lose nothing under concurrency: the beacon loads must sum to exactly the
+// number of operations (registrations charge no load; every lookup charges
+// one unit).
+func TestParallelReadLoadConservation(t *testing.T) {
+	cfg := ParallelReadConfig{
+		NumDocs: 1_000, NumCaches: 8, NumRings: 4,
+		HoldersPerDoc: 2, Workers: 8, Ops: 50_000, Seed: 7,
+		FineGrained: true,
+	}
+	cloud, urls, hashes, err := BuildParallelReadCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay through the exported entry point would rebuild the cloud, so
+	// drive the same worker pattern by hand against this instance.
+	done := make(chan int64, cfg.Workers)
+	perWorker := cfg.Ops / int64(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			rng := splitmix64(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(w) + 1)
+			var n int64
+			for i := int64(0); i < perWorker; i++ {
+				idx := int(rng.next() % uint64(len(urls)))
+				if _, err := cloud.LookupHash(urls[idx], hashes[idx], 1); err == nil {
+					n++
+				}
+			}
+			done <- n
+		}(w)
+	}
+	var ok int64
+	for w := 0; w < cfg.Workers; w++ {
+		ok += <-done
+	}
+	var total int64
+	for _, v := range cloud.BeaconLoads() {
+		total += v
+	}
+	if total != ok {
+		t.Fatalf("beacon loads sum to %d, want %d lookups", total, ok)
+	}
+}

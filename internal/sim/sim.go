@@ -683,7 +683,12 @@ func (s *state) storeNoCoop(ch *cache.Cache, doc document.Document, now int64) {
 // handleMissCloud runs the cooperative lookup-and-fetch protocol. h is the
 // event's interned document hash; the whole miss path hashes zero times.
 func (s *state) handleMissCloud(ev trace.Event, h document.Hash, ch *cache.Cache) error {
-	res, err := s.cloud.LookupHash(ev.URL, h, ev.Time)
+	// The fused lookup returns the monitored document rates along with the
+	// holders, so the placement decision below needs no second trip to the
+	// beacon record. The rates come out at the lookup's own timestamp,
+	// where the monitor decay is a no-op — run results are bit-identical
+	// to the split LookupHash + DocumentRatesHash protocol.
+	res, err := s.cloud.LookupHashWithRates(ev.URL, h, ev.Time)
 	if err != nil {
 		return fmt.Errorf("sim: lookup: %w", err)
 	}
@@ -750,7 +755,7 @@ func (s *state) handleMissCloud(ev trace.Event, h document.Hash, ch *cache.Cache
 // placeCloud runs the placement decision for the requesting cache (and the
 // beacon-point seeding special case of the beacon placement scheme).
 func (s *state) placeCloud(ev trace.Event, h document.Hash, ch *cache.Cache, doc document.Document, lr core.LookupResult, holders []string) {
-	lookupRate, updateRate := s.cloud.DocumentRatesHash(ev.URL, h, ev.Time)
+	lookupRate, updateRate := lr.LookupRate, lr.UpdateRate
 	ctx := placement.Context{
 		Now: ev.Time, CacheID: ev.Cache, DocURL: ev.URL, DocSize: doc.Size,
 		IsBeacon:        lr.Beacon == ev.Cache,
