@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json2 bench-smoke figures figures-fast examples golden fuzz simsweep storm clean
+.PHONY: all build vet test race bench bench-json bench-json2 bench-smoke figures figures-fast examples golden fuzz simsweep storm restart-chaos clean
 
 all: build vet test
 
@@ -76,6 +76,16 @@ storm:
 	$(GO) test -race -count=2 -run 'TestChaosStorm|TestStorm' ./internal/node
 	$(GO) test -race ./internal/admit/...
 	$(GO) run ./cmd/simnet -seeds $(SEEDS)
+
+# Durability gate: the restart-under-load chaos end-to-end and the durable
+# store's torn-write/crash-safety suites under the race detector, then a
+# simulation sweep whose generated schedules recover every crash with a
+# warm process restart (heal-warm) under the origin-fetch bound invariant.
+restart-chaos:
+	$(GO) test -race -count=2 -run 'TestChaosRestart|TestRestartCold' ./internal/node
+	$(GO) test -race ./internal/durable/...
+	$(GO) test -race -run 'TestEvictionTombstonesDurable|TestRemoveAndUpdateMirrorDurable' ./internal/cache
+	$(GO) run ./cmd/simnet -seeds $(SEEDS) -warm
 
 examples:
 	$(GO) run ./examples/quickstart

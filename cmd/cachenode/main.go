@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -59,6 +60,8 @@ func run(args []string) error {
 		maxInfl   = fs.Int("max-inflight", 0, "admission gate capacity in weight units (0 = config value or 64)")
 		missQueue = fs.Int("miss-queue", 0, "bounded queue for miss-class admissions (0 = config value or 32)")
 		limitMode = fs.String("limit-mode", "", "origin-fetch limiter: aimd, gradient or fixed (default config value or aimd)")
+		storeDir  = fs.String("store-dir", "", "durable cache tier directory root (empty = memory-only; overrides config)")
+		fsyncPol  = fs.String("fsync", "", "durable store fsync policy: rotate, always or never (default config value or rotate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +84,12 @@ func run(args []string) error {
 	if *limitMode != "" {
 		cfg.LimitMode = *limitMode
 	}
+	if *storeDir != "" {
+		cfg.StoreDir = *storeDir
+	}
+	if *fsyncPol != "" {
+		cfg.Fsync = *fsyncPol
+	}
 	tp := node.NewHTTPTransport(node.TransportOptions{
 		RequestTimeout: *timeout,
 		MaxRetries:     *retries,
@@ -99,6 +108,15 @@ func run(args []string) error {
 	if *heartbeat > 0 {
 		stop := n.StartHeartbeat(*heartbeat)
 		defer stop()
+	}
+	if warm, recovered := n.WarmBootInfo(); warm {
+		fmt.Fprintf(os.Stderr, "cachenode %s warm boot: %d entries recovered, revalidating\n", *name, recovered)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			kept, dropped := n.WarmRevalidate(ctx)
+			fmt.Fprintf(os.Stderr, "cachenode %s warm revalidation: %d fresh, %d stale dropped\n", *name, kept, dropped)
+		}()
 	}
 	h := n.Handler()
 	if *pprofOn {

@@ -8,12 +8,14 @@
 // Usage:
 //
 //	simnet [-seeds 200] [-seed -1] [-nodes 4] [-ringsize 2] [-docs 40]
-//	       [-rounds 3] [-inject ""] [-schedule file] [-v]
+//	       [-rounds 3] [-inject ""] [-schedule file] [-warm] [-v]
 //
 // -seed runs a single seed (overrides -seeds). -schedule replays an
 // encoded schedule file instead of generating one. -inject plants a
 // deliberate bug (e.g. "heartbeat-undercount") to prove the harness
-// catches it.
+// catches it. -warm gives every node a durable store and switches each
+// round's recovery to a warm process restart (heal-warm) with the
+// origin-fetch bound invariant (check-warm).
 package main
 
 import (
@@ -42,6 +44,7 @@ func run(args []string) error {
 		rounds   = fs.Int("rounds", 3, "crash/recover rounds per seed")
 		inject   = fs.String("inject", "", "deliberate bug to plant (heartbeat-undercount)")
 		schedule = fs.String("schedule", "", "replay an encoded schedule file instead of generating")
+		warm     = fs.Bool("warm", false, "durable stores + warm process restarts instead of plain heals")
 		verbose  = fs.Bool("v", false, "print the event log of every run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,7 +53,7 @@ func run(args []string) error {
 
 	base := simnet.Config{
 		Nodes: *nodes, RingSize: *ringSize, Docs: *docs,
-		Rounds: *rounds, Inject: *inject,
+		Rounds: *rounds, Inject: *inject, Warm: *warm,
 	}
 	if *schedule != "" {
 		text, err := os.ReadFile(*schedule)
@@ -97,6 +100,9 @@ func run(args []string) error {
 			sd, *nodes, *ringSize, *docs, *rounds)
 		if *inject != "" {
 			fmt.Printf(" -inject %s", *inject)
+		}
+		if *warm {
+			fmt.Printf(" -warm")
 		}
 		fmt.Println()
 		return fmt.Errorf("seed %d failed", sd)

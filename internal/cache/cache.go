@@ -18,6 +18,17 @@ import (
 // capacity and can never be stored.
 var ErrTooLarge = errors.New("cache: document larger than cache capacity")
 
+// Durable is the disk tier the cache mirrors itself into when one is
+// attached: every admission/refresh is persisted and every removal —
+// including capacity evictions — is tombstoned, so a restart recovers
+// exactly the set that was resident (no resurrection of evicted entries).
+// Implemented by *durable.Store; kept as an interface here so the cache
+// package stays free of filesystem concerns.
+type Durable interface {
+	Put(cp document.Copy) error
+	Delete(url string) error
+}
+
 // accessHalfLife is the half-life (in time units) of the exponentially
 // weighted access/eviction monitors. One hour of trace time.
 const accessHalfLife = 60
@@ -40,6 +51,12 @@ type Cache struct {
 	evictBytes *loadstats.EWRate // bytes evicted per unit (disk contention)
 	hits       int64
 	misses     int64
+
+	// durable mirrors mutations to the disk tier when attached; nil for
+	// memory-only caches. Persistence errors are counted, never surfaced:
+	// the in-memory cache keeps serving while durability degrades.
+	durable     Durable
+	durableErrs int64
 }
 
 // New creates an edge cache with LRU replacement. capacity is the disk
@@ -71,6 +88,45 @@ func (c *Cache) Capacity() int64 { return c.capacity }
 
 // Replacement returns the replacement policy kind.
 func (c *Cache) Replacement() ReplacementKind { return c.kind }
+
+// SetDurable attaches the disk tier. Attach it after any warm-boot load
+// (and after compacting the log to the surviving set), so recovery itself
+// is not re-appended. Pass nil to detach.
+func (c *Cache) SetDurable(d Durable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.durable = d
+}
+
+// DurableErrors returns how many disk-tier mutations failed. The cache
+// keeps serving through persistence failures; this counter is the signal
+// that durability has degraded.
+func (c *Cache) DurableErrors() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.durableErrs
+}
+
+// persist mirrors an admission/refresh to the disk tier. Caller holds the
+// lock.
+func (c *Cache) persist(cp document.Copy) {
+	if c.durable == nil {
+		return
+	}
+	if err := c.durable.Put(cp); err != nil {
+		c.durableErrs++
+	}
+}
+
+// tombstone mirrors a removal to the disk tier. Caller holds the lock.
+func (c *Cache) tombstone(url string) {
+	if c.durable == nil {
+		return
+	}
+	if err := c.durable.Delete(url); err != nil {
+		c.durableErrs++
+	}
+}
 
 // Used returns the bytes currently stored.
 func (c *Cache) Used() int64 {
@@ -138,6 +194,7 @@ func (c *Cache) Put(cp document.Copy, now int64) ([]document.Document, error) {
 	}
 	c.entries[cp.Doc.URL] = cp
 	c.policy.onInsert(cp.Doc.URL, size)
+	c.persist(cp)
 	return c.makeRoom(cp.Doc.URL, now), nil
 }
 
@@ -177,6 +234,7 @@ func (c *Cache) removeLocked(url string) {
 	c.policy.onRemove(url)
 	c.used -= cp.Doc.Size
 	delete(c.entries, url)
+	c.tombstone(url)
 }
 
 // ApplyUpdate refreshes the stored copy to the new document version if the
@@ -197,6 +255,7 @@ func (c *Cache) ApplyUpdate(doc document.Document, now int64) bool {
 	cp.Doc = doc
 	cp.FetchedAt = now
 	c.entries[doc.URL] = cp
+	c.persist(cp)
 	// A grown update can overflow the budget.
 	c.makeRoom(doc.URL, now)
 	return true

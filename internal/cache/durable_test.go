@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/durable"
+)
+
+func dcopy(url string, version uint64, size int64) document.Copy {
+	return document.Copy{
+		Doc:       document.Document{URL: url, Size: size, Version: document.Version(version)},
+		FetchedAt: int64(version),
+	}
+}
+
+func logState(t *testing.T, s *durable.Store) map[string]uint64 {
+	t.Helper()
+	out := make(map[string]uint64)
+	for _, e := range s.Entries() {
+		out[e.Doc.URL] = uint64(e.Doc.Version)
+	}
+	return out
+}
+
+// TestEvictionTombstonesDurable drives each replacement policy past
+// capacity with the durable tier attached and asserts the log always
+// mirrors residency: evicted entries are tombstoned at eviction time and
+// do not resurrect when the log is reopened.
+func TestEvictionTombstonesDurable(t *testing.T) {
+	for _, kind := range []ReplacementKind{LRU, LFU, GreedyDualSize} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewWithReplacement("c0", 300, kind)
+			c.SetDurable(st)
+			var evictedEver []string
+			for i := 0; i < 12; i++ {
+				url := fmt.Sprintf("/doc%d", i)
+				evicted, err := c.Put(dcopy(url, uint64(i+1), 100), int64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range evicted {
+					evictedEver = append(evictedEver, d.URL)
+				}
+			}
+			if len(evictedEver) == 0 {
+				t.Fatal("capacity 300 never evicted across 12 puts of 100B")
+			}
+			// The log's live index must be exactly the resident set.
+			resident := make(map[string]bool)
+			for _, url := range c.Documents() {
+				resident[url] = true
+			}
+			state := logState(t, st)
+			if len(state) != len(resident) {
+				t.Fatalf("log holds %d entries, cache holds %d", len(state), len(resident))
+			}
+			for url := range state {
+				if !resident[url] {
+					t.Fatalf("log holds %q which the cache evicted", url)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Reopen: nothing evicted may resurrect.
+			re, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = re.Close() }()
+			recovered := logState(t, re)
+			for _, url := range evictedEver {
+				if resident[url] {
+					continue // re-admitted later; residency wins
+				}
+				if _, back := recovered[url]; back {
+					t.Fatalf("evicted %q resurrected on restart", url)
+				}
+			}
+			for url := range recovered {
+				if !resident[url] {
+					t.Fatalf("recovered %q was not resident at crash", url)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveAndUpdateMirrorDurable checks the other mutation paths:
+// explicit Remove tombstones, ApplyUpdate persists the refreshed version.
+func TestRemoveAndUpdateMirrorDurable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("c0", 0)
+	c.SetDurable(st)
+	if _, err := c.Put(dcopy("/a", 1, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(dcopy("/b", 1, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ApplyUpdate(document.Document{URL: "/a", Size: 12, Version: 5}, 1) {
+		t.Fatal("ApplyUpdate missed a held document")
+	}
+	if !c.Remove("/b") {
+		t.Fatal("Remove missed /b")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	got := logState(t, re)
+	if len(got) != 1 || got["/a"] != 5 {
+		t.Fatalf("recovered %v, want {/a: 5}", got)
+	}
+}
+
+// TestDurableErrorsDegradeGracefully verifies the cache keeps serving
+// when the disk tier rejects writes (closed store), only counting the
+// failures.
+func TestDurableErrorsDegradeGracefully(t *testing.T) {
+	st, err := durable.Open(t.TempDir(), durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("c0", 0)
+	c.SetDurable(st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(dcopy("/a", 1, 10), 0); err != nil {
+		t.Fatalf("Put must not surface durable errors: %v", err)
+	}
+	if _, ok := c.Get("/a", 1); !ok {
+		t.Fatal("cache lost the entry on a durable failure")
+	}
+	if c.DurableErrors() == 0 {
+		t.Fatal("durable failure not counted")
+	}
+	c.SetDurable(nil)
+	if _, err := c.Put(dcopy("/b", 1, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.DurableErrors() != 1 {
+		t.Fatalf("DurableErrors = %d after detach, want 1", c.DurableErrors())
+	}
+}

@@ -178,7 +178,7 @@ func TestRunByName(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 13 {
+	if len(names) != 14 {
 		t.Fatalf("names = %v", names)
 	}
 }
@@ -412,6 +412,84 @@ func TestStormSweepShape(t *testing.T) {
 	// Byte-identical at any worker count.
 	for _, workers := range []int{1, 7} {
 		r2, err := NewRunner(workers).StormSweepExperiment(testScale, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("workers=%d: result differs from default run", workers)
+		}
+	}
+}
+
+// TestRestartSweepShape checks the restart sweep's structure and the
+// durability claim it exists to demonstrate: every cell conserves its
+// books (the cell self-checks and errors otherwise), cold boots recover
+// nothing while warm boots recover the resident set minus the stale
+// fraction, a warm boot serves strictly more of the identical arrival
+// stream than its paired cold boot, and the result is byte-identical
+// across worker counts.
+func TestRestartSweepShape(t *testing.T) {
+	r, err := RestartSweepExperiment(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(r.Rows))
+	}
+	cellAt := func(mode string, rate, stale int) RestartRow {
+		for _, row := range r.Rows {
+			if row.Mode == mode && row.Rate == rate && row.StalePct == stale {
+				return row
+			}
+		}
+		t.Fatalf("missing cell %s/%d/%d", mode, rate, stale)
+		return RestartRow{}
+	}
+	for _, row := range r.Rows {
+		if row.Offered == 0 || row.Served == 0 || row.Resident == 0 {
+			t.Fatalf("vacuous cell: %+v", row)
+		}
+		switch row.Mode {
+		case "cold":
+			if row.Recovered != 0 {
+				t.Fatalf("cold boot recovered %d entries: %+v", row.Recovered, row)
+			}
+		case "warm":
+			if row.Recovered == 0 || row.Recovered > row.Resident {
+				t.Fatalf("warm recovery out of range: %+v", row)
+			}
+			if row.StalePct == 0 && row.Recovered != row.Resident {
+				t.Fatalf("warm boot with nothing stale lost entries: %+v", row)
+			}
+		default:
+			t.Fatalf("unknown mode: %+v", row)
+		}
+	}
+	// The durability payoff: on the identical arrival stream, the warm
+	// boot serves more and at a higher hit ratio than its cold pair.
+	for _, rate := range []int{16, 64} {
+		for _, stale := range []int{0, 10, 30} {
+			cold, warm := cellAt("cold", rate, stale), cellAt("warm", rate, stale)
+			if warm.Served <= cold.Served {
+				t.Fatalf("rate=%d stale=%d: warm served %d not above cold %d",
+					rate, stale, warm.Served, cold.Served)
+			}
+			if warm.HitPct <= cold.HitPct {
+				t.Fatalf("rate=%d stale=%d: warm hit%% %.1f not above cold %.1f",
+					rate, stale, warm.HitPct, cold.HitPct)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "Restart sweep") {
+		t.Fatal("format output unexpected")
+	}
+
+	// Byte-identical at any worker count.
+	for _, workers := range []int{1, 7} {
+		r2, err := NewRunner(workers).RestartSweepExperiment(testScale, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

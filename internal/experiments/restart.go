@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cachecloud/internal/admit"
+)
+
+// Restart-model constants: one cache node refilling after a process
+// restart, its misses funneled through the admission primitives to a
+// fixed-capacity origin (same shape as the storm model, smaller catalog
+// so a restart can plausibly recover most of it).
+const (
+	restartDocs       = 400 // catalog size
+	restartCacheCap   = 200 // cached documents (FIFO replacement)
+	restartOriginRate = 3   // origin fetch completions per tick
+	restartGateCap    = 64  // admission gate capacity (weight units)
+	restartLimitMax   = 12  // limiter ceiling on in-flight origin fetches
+	restartAlpha      = 0.9 // Zipf skew of document popularity
+)
+
+// RestartSweep is the result of the durability extension's restart sweep:
+// a deterministic discrete-time model of the post-restart window, run
+// once booting cold (memory-only: the cache restarts empty) and once
+// booting warm (durable tier: the resident set survives, minus the
+// fraction revalidation drops as stale). Both variants face identical
+// arrival streams through the live admission primitives — internal/
+// admit's Gate, Limiter and the coalescing discipline — so the delta in
+// origin fetches is attributable to the durable tier alone.
+type RestartSweep struct {
+	// WarmupTicks fills the cache before the restart; RecoveryTicks is the
+	// measured post-restart window (each drains to quiescence).
+	WarmupTicks   int
+	RecoveryTicks int
+	Rows          []RestartRow
+}
+
+// RestartRow is one grid cell's post-restart outcome.
+type RestartRow struct {
+	Mode     string // cold (memory-only) or warm (durable tier)
+	Rate     int    // arrivals per tick
+	StalePct int    // % of the resident set revalidation drops as stale
+	// Resident is the cache population at the restart; Recovered is what
+	// survives the boot (0 for cold, Resident minus the stale drops for
+	// warm).
+	Resident  int
+	Recovered int
+	Offered   int64
+	Served    int64
+	Shed      int64
+	// Hits are requests served straight from the recovered (or refilled)
+	// cache — the number the durable tier exists to protect.
+	Hits          int64
+	Coalesced     int64
+	OriginFetches int64
+	GoodputPct    float64
+	HitPct        float64
+	// PeakInFlight is the most fetches ever simultaneously queued at the
+	// origin during recovery; the restart storm the warm boot avoids.
+	PeakInFlight int
+}
+
+// Format writes the sweep table.
+func (s *RestartSweep) Format(w io.Writer) {
+	fmt.Fprintf(w, "Restart sweep (extension): cold vs warm boot over a %d-tick recovery window on the live admission primitives\n", s.RecoveryTicks)
+	fmt.Fprintf(w, "catalog %d, cache cap %d, origin serves %d fetches/tick; warm boots keep the resident set minus the stale%%\n",
+		restartDocs, restartCacheCap, restartOriginRate)
+	fmt.Fprintf(w, "%-5s %5s %6s %9s %10s %8s %8s %6s %8s %10s %8s %8s %5s\n",
+		"mode", "rate", "stale", "resident", "recovered", "offered", "served",
+		"shed", "hit", "coalesced", "fetches", "goodput", "peak")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-5s %5d %5d%% %9d %10d %8d %8d %6d %7.1f%% %10d %8d %7.1f%% %5d\n",
+			r.Mode, r.Rate, r.StalePct, r.Resident, r.Recovered, r.Offered, r.Served,
+			r.Shed, r.HitPct, r.Coalesced, r.OriginFetches, r.GoodputPct, r.PeakInFlight)
+	}
+}
+
+// restartCell runs one grid cell: a warmup phase fills the cache, the
+// process "restarts" (cold: everything lost; warm: the resident set minus
+// a stale fraction survives), and the recovery window is measured. The
+// cell self-checks conservation over the recovery window before
+// reporting.
+func restartCell(seed int64, warm bool, stalePct, rate, warmupTicks, recoveryTicks int) (RestartRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cum := zipfCDF(restartDocs, restartAlpha)
+	gate := admit.NewGate(admit.GateOptions{Capacity: restartGateCap})
+	lim := admit.NewLimiter(admit.LimiterOptions{Mode: admit.LimitAIMD, Max: restartLimitMax})
+
+	type flight struct {
+		doc     int
+		waiters int64
+		release func()
+	}
+	var (
+		pending = make(map[int]*flight)
+		origin  []*flight
+		cached  = make(map[int]bool)
+		fifo    []int
+		row     = RestartRow{Rate: rate, StalePct: stalePct, Mode: "cold"}
+		peak    int
+	)
+	if warm {
+		row.Mode = "warm"
+	}
+	insert := func(doc int) {
+		if cached[doc] {
+			return
+		}
+		cached[doc] = true
+		fifo = append(fifo, doc)
+		if len(fifo) > restartCacheCap {
+			delete(cached, fifo[0])
+			fifo = fifo[1:]
+		}
+	}
+
+	// phase runs `ticks` of arrivals then drains the origin to quiescence.
+	// Counting is enabled only for the recovery phase.
+	phase := func(ticks int, count bool) {
+		for now := 0; ; now++ {
+			for done := 0; len(origin) > 0 && done < restartOriginRate; done++ {
+				f := origin[0]
+				origin = origin[1:]
+				lim.Release(0, true)
+				f.release()
+				delete(pending, f.doc)
+				insert(f.doc)
+				if count {
+					row.Served += f.waiters
+					row.Coalesced += f.waiters - 1
+					row.OriginFetches++
+				}
+			}
+			if now < ticks {
+				for i := 0; i < rate; i++ {
+					if count {
+						row.Offered++
+					}
+					doc := sampleZipf(rng, cum)
+					if cached[doc] {
+						if rel, ok := gate.TryAcquire(admit.Hit); ok {
+							rel()
+							if count {
+								row.Served++
+								row.Hits++
+							}
+						} else if count {
+							row.Shed++
+						}
+						continue
+					}
+					if f, ok := pending[doc]; ok {
+						f.waiters++
+						continue
+					}
+					grel, ok := gate.TryAcquire(admit.Miss)
+					if !ok {
+						if count {
+							row.Shed++
+						}
+						continue
+					}
+					if !lim.TryAcquire() {
+						grel()
+						if count {
+							row.Shed++
+						}
+						continue
+					}
+					f := &flight{doc: doc, waiters: 1, release: grel}
+					pending[doc] = f
+					origin = append(origin, f)
+				}
+			}
+			if count && len(origin) > peak {
+				peak = len(origin)
+			}
+			if now >= ticks && len(origin) == 0 {
+				break
+			}
+		}
+	}
+
+	phase(warmupTicks, false)
+
+	// The restart: memory state is gone. A cold boot starts empty; a warm
+	// boot recovers the resident set from the durable tier, minus the
+	// stale fraction revalidation drops.
+	row.Resident = len(cached)
+	survivors := fifo
+	cached = make(map[int]bool)
+	fifo = nil
+	if warm {
+		for _, doc := range survivors {
+			if rng.Intn(100) < stalePct {
+				continue // refreshed while down: revalidation drops it
+			}
+			insert(doc)
+		}
+	}
+	row.Recovered = len(cached)
+
+	phase(recoveryTicks, true)
+
+	if row.Served+row.Shed != row.Offered {
+		return row, fmt.Errorf("experiments: restartsweep %s rate=%d stale=%d: served %d + shed %d != offered %d",
+			row.Mode, rate, stalePct, row.Served, row.Shed, row.Offered)
+	}
+	if gate.InFlight() != 0 || lim.InFlight() != 0 || len(pending) != 0 {
+		return row, fmt.Errorf("experiments: restartsweep %s rate=%d stale=%d: not quiescent (gate %d, limiter %d, pending %d)",
+			row.Mode, rate, stalePct, gate.InFlight(), lim.InFlight(), len(pending))
+	}
+	if row.Offered > 0 {
+		row.GoodputPct = 100 * float64(row.Served) / float64(row.Offered)
+	}
+	if row.Served > 0 {
+		row.HitPct = 100 * float64(row.Hits) / float64(row.Served)
+	}
+	row.PeakInFlight = peak
+	return row, nil
+}
+
+// RestartSweepExperiment runs the restart grid on this Runner's pool:
+// every (mode, rate, stale) cell is an independent deterministic run
+// collected by index, so the sweep is byte-identical at any worker count.
+// Paired cold/warm cells share one seed, so both face the same arrival
+// stream.
+func (r *Runner) RestartSweepExperiment(scale float64, seed int64) (*RestartSweep, error) {
+	warmup := int(scaleDuration(160, scale))
+	recovery := int(scaleDuration(160, scale))
+	rates := []int{16, 64}
+	stales := []int{0, 10, 30}
+	type cell struct {
+		warm     bool
+		rate     int
+		stalePct int
+	}
+	var cells []cell
+	for _, warm := range []bool{false, true} {
+		for _, rate := range rates {
+			for _, st := range stales {
+				cells = append(cells, cell{warm, rate, st})
+			}
+		}
+	}
+	out := &RestartSweep{WarmupTicks: warmup, RecoveryTicks: recovery, Rows: make([]RestartRow, len(cells))}
+	err := r.Map(len(cells), func(i int) error {
+		c := cells[i]
+		// Pair cold and warm on the same seed: i%(len(rates)*len(stales))
+		// identifies the (rate, stale) point independent of mode.
+		cellSeed := seed + int64(i%(len(rates)*len(stales)))*7919
+		row, err := restartCell(cellSeed, c.warm, c.stalePct, c.rate, warmup, recovery)
+		if err != nil {
+			return err
+		}
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RestartSweepExperiment runs the restart sweep on a default-sized Runner.
+func RestartSweepExperiment(scale float64, seed int64) (*RestartSweep, error) {
+	return NewRunner(0).RestartSweepExperiment(scale, seed)
+}

@@ -13,6 +13,7 @@ import (
 	"cachecloud/internal/admit"
 	"cachecloud/internal/cache"
 	"cachecloud/internal/document"
+	"cachecloud/internal/durable"
 	"cachecloud/internal/loadstats"
 	"cachecloud/internal/obs"
 	"cachecloud/internal/placement"
@@ -97,6 +98,15 @@ type CacheNode struct {
 	originFetches *obs.Counter // actual origin wire fetches, post-coalescing
 	coalescedMiss *obs.Counter // misses that joined an in-flight fetch
 	shedByClass   [admit.NumClasses]*obs.Counter
+
+	// Durable tier (see durable.go): nil for memory-only nodes. warmBoot
+	// and warmRecovered are set once at construction; the revalidation
+	// counters advance when WarmRevalidate runs.
+	durable         *durable.Store
+	warmBoot        bool
+	warmRecovered   int
+	warmRevalidated atomic.Int64
+	warmDropped     atomic.Int64
 }
 
 // NewCacheNode constructs a live cache node. The node starts with the equal
@@ -132,9 +142,13 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 		down:        make(map[string]bool),
 		loads:       make(map[int][]int64),
 	}
+	n.tracer = cfg.Tracer
 	n.publishAssign()
 	n.initAdmission()
 	n.initMetrics()
+	if err := n.initDurable(); err != nil {
+		return nil, err
+	}
 	n.tp = NewHTTPTransport(TransportOptions{OnBreakerOpen: n.noteCircuitOpen, Clock: clock})
 	return n, nil
 }
@@ -1040,7 +1054,7 @@ func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
 	records, downPeers := len(n.records), len(n.down)
 	n.mu.Unlock()
 	ad := n.Admission()
-	writeJSON(w, http.StatusOK, CacheStats{
+	st := CacheStats{
 		Node:          n.name,
 		StoredDocs:    n.store.Len(),
 		UsedBytes:     n.store.Used(),
@@ -1060,7 +1074,20 @@ func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
 		OriginFetches: ad.OriginFetches,
 		Coalesced:     ad.Coalesced,
 		LimitNow:      ad.Limit,
-	})
+	}
+	if n.durable != nil {
+		ds := n.durable.Stats()
+		st.WarmBoot = n.warmBoot
+		st.WarmRecovered = n.warmRecovered
+		st.WarmRevalidated = n.warmRevalidated.Load()
+		st.WarmDropped = n.warmDropped.Load()
+		st.StoreTruncations = ds.Truncations
+		st.StoreCompactions = ds.Compactions
+		st.StoreSegments = ds.Segments
+		st.StoreBytes = ds.TotalBytes
+		st.DurableErrors = n.store.DurableErrors()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleMembership receives the origin's broadcast of dead peers. Dead

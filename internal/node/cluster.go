@@ -2,7 +2,11 @@ package node
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"time"
 
 	"cachecloud/internal/document"
 )
@@ -47,7 +51,10 @@ func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Doc
 		MaxInflight:      opts.MaxInflight,
 		MissQueue:        opts.MissQueue,
 		LimitMode:        opts.LimitMode,
+		StoreDir:         opts.StoreDir,
+		Fsync:            opts.Fsync,
 		Clock:            opts.Clock,
+		Tracer:           opts.Tracer,
 		Addrs:            make(map[string]string, len(nodeNames)),
 	}
 	if cfg.IntraGen == 0 {
@@ -128,9 +135,63 @@ func (lc *LocalCluster) StopNode(name string) bool {
 	return true
 }
 
-// Close shuts down every server in the cluster.
+// RestartNode brings a stopped node back on its original address with a
+// freshly constructed CacheNode — when the cluster config names a
+// StoreDir the replacement boots warm from the crashed node's log. The
+// old node object's durable tier is sealed first so the replacement can
+// reopen the same directory. Rebinding the just-released port can race
+// the kernel, so the listen is retried briefly.
+func (lc *LocalCluster) RestartNode(name string, mk TransportFactory) (*CacheNode, error) {
+	if _, running := lc.byName[name]; running {
+		return nil, fmt.Errorf("node: %q is still running", name)
+	}
+	old, ok := lc.Caches[name]
+	if !ok {
+		return nil, fmt.Errorf("node: unknown node %q", name)
+	}
+	_ = old.Close()
+	addr := strings.TrimPrefix(lc.Cfg.Addrs[name], "http://")
+	var (
+		ln  net.Listener
+		err error
+	)
+	for i := 0; i < 40; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("node: rebind %s: %w", addr, err)
+	}
+	var tp Transport
+	if mk != nil {
+		tp = mk(name)
+	}
+	cn, err := NewCacheNodeWithTransport(name, lc.Cfg, tp)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	srv := &httptest.Server{
+		Listener: ln,
+		Config:   &http.Server{Handler: cn.Handler()},
+	}
+	srv.Start()
+	lc.Caches[name] = cn
+	lc.byName[name] = srv
+	lc.servers = append(lc.servers, srv)
+	return cn, nil
+}
+
+// Close shuts down every server in the cluster and seals each node's
+// durable tier (a no-op for memory-only nodes).
 func (lc *LocalCluster) Close() {
 	for _, s := range lc.servers {
 		s.Close()
+	}
+	for _, cn := range lc.Caches {
+		_ = cn.Close()
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"net/http"
 
 	"cachecloud/internal/document"
+	"cachecloud/internal/obs"
 )
 
 // DeadlineHeader carries a request's remaining deadline budget in
@@ -83,10 +84,24 @@ type ClusterConfig struct {
 	// LimitMode selects the adaptive origin-fetch concurrency law:
 	// "aimd" (default), "gradient", or "fixed".
 	LimitMode string `json:"limitMode,omitempty"`
+	// StoreDir, when non-empty, is the directory root for the durable
+	// cache tier: each node persists its admitted documents into
+	// StoreDir/<node-name> and boots warm from it after a restart
+	// (replay + beacon revalidation instead of origin refetch). Empty
+	// keeps nodes memory-only.
+	StoreDir string `json:"storeDir,omitempty"`
+	// Fsync selects the durable tier's flush policy: "rotate" (default),
+	// "always", or "never". Ignored when StoreDir is empty.
+	Fsync string `json:"fsync,omitempty"`
 	// Clock is the time source nodes built from this config run on. Nil
 	// selects the wall clock; the deterministic simulation harness
 	// injects a virtual clock here. Never serialised.
 	Clock Clock `json:"-"`
+	// Tracer, when non-nil, receives protocol events from nodes built
+	// from this config — including durable-store recovery events that
+	// fire during construction, before SetTracer could run. Never
+	// serialised.
+	Tracer *obs.Tracer `json:"-"`
 }
 
 // Assignments carries the complete sub-range layout of all rings.
@@ -311,6 +326,28 @@ type CacheStats struct {
 	Coalesced int64 `json:"coalesced"`
 	// LimitNow is the adaptive origin-fetch concurrency limit right now.
 	LimitNow int `json:"limitNow"`
+	// WarmBoot reports that this node recovered entries from its durable
+	// tier at construction (false = cold boot or memory-only).
+	WarmBoot bool `json:"warmBoot,omitempty"`
+	// WarmRecovered is how many entries the durable tier replayed into
+	// the cache at boot.
+	WarmRecovered int `json:"warmRecovered,omitempty"`
+	// WarmRevalidated counts recovered copies confirmed fresh by the
+	// beacons (kept and re-registered); WarmDropped counts recovered
+	// copies the beacons ruled stale (dropped + tombstoned). Revalidation
+	// issues zero origin fetches.
+	WarmRevalidated int64 `json:"warmRevalidated,omitempty"`
+	WarmDropped     int64 `json:"warmDropped,omitempty"`
+	// StoreTruncations / StoreCompactions / StoreSegments / StoreBytes
+	// summarise the durable tier's log health (all zero when
+	// memory-only).
+	StoreTruncations int64 `json:"storeTruncations,omitempty"`
+	StoreCompactions int64 `json:"storeCompactions,omitempty"`
+	StoreSegments    int   `json:"storeSegments,omitempty"`
+	StoreBytes       int64 `json:"storeBytes,omitempty"`
+	// DurableErrors counts disk-tier mutations that failed (the cache
+	// keeps serving; durability degrades).
+	DurableErrors int64 `json:"durableErrors,omitempty"`
 }
 
 // OriginStats answers the origin node's GET /stats.

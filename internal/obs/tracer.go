@@ -28,6 +28,9 @@ const (
 	EvShed                     // overload layer deliberately refused work (429 + Retry-After)
 	EvCoalesced                // a miss joined an in-flight origin fetch instead of issuing its own
 	EvEpochInstall             // sharded cloud published a topology snapshot (Count = install seq)
+	EvWarmBoot                 // node recovered its cache from the durable tier (Count = entries)
+	EvStoreTruncated           // durable store cut a torn/corrupt log tail (Count = bytes lost)
+	EvStoreCompact             // durable store rewrote its log (Count = live entries kept)
 	numEventKinds
 )
 
@@ -47,6 +50,9 @@ var kindNames = [numEventKinds]string{
 	EvShed:           "shed",
 	EvCoalesced:      "coalesced",
 	EvEpochInstall:   "epoch_install",
+	EvWarmBoot:       "warm_boot",
+	EvStoreTruncated: "store_truncated",
+	EvStoreCompact:   "store_compact",
 }
 
 // String returns the JSONL wire name of the kind.

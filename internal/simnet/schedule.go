@@ -39,6 +39,14 @@ const (
 	EvCrash EventKind = "crash"
 	// EvHeal reconnects Node.
 	EvHeal EventKind = "heal"
+	// EvHealWarm restarts a crashed Node the way a real process restart
+	// would: the old node object is discarded (memory state gone), a
+	// fresh one is built over the same durable store directory, boots
+	// warm from the log, rejoins via heartbeat, and revalidates its
+	// recovered copies against the beacons — with the invariant that
+	// revalidation issues zero origin fetches. Requires Config.Warm (or
+	// an explicit StoreDir).
+	EvHealWarm EventKind = "heal-warm"
 	// EvDrop sets the network drop probability to N permille (N=0 closes
 	// the degradation window).
 	EvDrop EventKind = "drop"
@@ -58,6 +66,13 @@ const (
 	// EvCheckAccounting verifies RecordsLost/RecordsRecovered deltas
 	// against the white-box ledger taken at the preceding crash.
 	EvCheckAccounting EventKind = "check-accounting"
+	// EvCheckWarm verifies the warm-restart invariant against the ledger
+	// taken at the preceding heal-warm: the restarted node's origin
+	// fetches since the heal must not exceed the documents that were
+	// genuinely stale or never cached there (catalog − revalidated-fresh,
+	// plus any publishes inside the window) — i.e. a warm restart never
+	// degenerates into a cold-miss storm.
+	EvCheckWarm EventKind = "check-warm"
 	// EvCheck runs the quiescent invariants: view agreement, reachability,
 	// freshness (the exact-partition invariant runs after every event).
 	EvCheck EventKind = "check"
@@ -69,6 +84,11 @@ type GenConfig struct {
 	Rounds    int           // crash/recover rounds
 	Heartbeat time.Duration // node heartbeat interval
 	MissK     int           // missed beats before a node is declared dead
+	// Warm switches every round's recovery to the warm-restart shape:
+	// heal-warm instead of heal, post-heal load traffic, and a
+	// check-warm of the origin-fetch bound. Warm=false generation is
+	// byte-identical to pre-warm schedules (the rng stream is untouched).
+	Warm bool
 }
 
 // Generate builds a seeded fault schedule of Rounds crash/recover rounds.
@@ -145,10 +165,22 @@ func Generate(seed int64, cfg GenConfig) []Event {
 		t += time.Duration(cfg.MissK+2) * hb
 		add(EvCheckAccounting, victim, 0)
 
-		// Recover: heal, let it heartbeat back in, reconcile, settle.
+		// Recover: heal, let it heartbeat back in, reconcile, settle. In
+		// warm mode the heal is a full process restart over the durable
+		// store, followed by post-heal traffic and the origin-fetch bound
+		// check while the network is clean.
 		t += 50 * time.Millisecond
-		add(EvHeal, victim, 0)
-		t += 2*hb + hb/2
+		if cfg.Warm {
+			add(EvHealWarm, victim, 0)
+			t += 2*hb + hb/2
+			add(EvLoad, "", 15+rng.Intn(15))
+			t += 50 * time.Millisecond
+			add(EvCheckWarm, victim, 0)
+			t += 50 * time.Millisecond
+		} else {
+			add(EvHeal, victim, 0)
+			t += 2*hb + hb/2
+		}
 		add(EvReconcile, "", 0)
 		t += 100 * time.Millisecond
 		add(EvCheck, "", 0)
@@ -178,9 +210,9 @@ func Encode(evs []Event) string {
 // validKinds guards Decode against arbitrary input.
 var validKinds = map[EventKind]bool{
 	EvLoad: true, EvPublish: true, EvReplicate: true, EvRebalance: true,
-	EvCrash: true, EvHeal: true, EvDrop: true, EvReconcile: true,
+	EvCrash: true, EvHeal: true, EvHealWarm: true, EvDrop: true, EvReconcile: true,
 	EvBurst: true, EvHotDoc: true,
-	EvCheckAccounting: true, EvCheck: true,
+	EvCheckAccounting: true, EvCheckWarm: true, EvCheck: true,
 }
 
 // Decode parses the text format produced by Encode. Blank lines and

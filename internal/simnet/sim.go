@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/url"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -46,6 +47,14 @@ type Config struct {
 	// "heartbeat-undercount" (heartbeats under-report RecordsHeld by one,
 	// which the accounting invariant must catch).
 	Inject string
+	// Warm gives every node a durable store and switches the generated
+	// schedule's recovery phase to warm restarts (heal-warm + check-warm
+	// with the origin-fetch bound invariant).
+	Warm bool
+	// StoreDir is the durable-tier directory root for the run. Empty with
+	// Warm set (or a schedule containing heal-warm events) creates a
+	// temporary directory that is removed when the run ends.
+	StoreDir string
 	// Tracer, when non-nil, receives EvSimFault for every injected fault
 	// and EvInvariant for every invariant evaluation (Count = violations),
 	// stamped with virtual-time milliseconds so traces stay deterministic.
@@ -107,12 +116,19 @@ type sim struct {
 		PostJSON(ctx context.Context, url string, in, out any) error
 	}
 	stops []func()
+	// clcfg is the cluster config nodes were built from, retained so a
+	// warm heal can construct a replacement node over the same store
+	// directory. hbStops tracks each node's heartbeat loop so the
+	// replacement can take over the name cleanly.
+	clcfg   node.ClusterConfig
+	hbStops map[string]func()
 
 	tracer *obs.Tracer
 
 	partitioned  map[string]bool
 	dropPermille int
 	pendingCrash *crashLedger
+	pendingWarm  *warmLedger
 
 	lines    []string
 	failures []string
@@ -127,17 +143,48 @@ type crashLedger struct {
 	stored0 int   // documents the victim stored (log context)
 }
 
+// warmLedger is the white-box snapshot taken at a warm heal, consumed by
+// the check-warm invariant.
+type warmLedger struct {
+	victim    string
+	recovered int // entries the replacement node booted from the log
+	kept      int // recovered copies the beacons confirmed fresh
+	dropped   int // recovered copies ruled stale and tombstoned
+	published int // publishes inside the warm window (slack for the bound)
+}
+
 // Run executes one simulation: build the cluster on a virtual clock and
 // an in-memory transport, execute the (generated or supplied) fault
 // schedule, and check invariants between events.
 func Run(cfg Config) (Result, error) {
 	cfg.defaults()
+
+	schedule := cfg.Schedule
+	if schedule == nil {
+		schedule = Generate(cfg.Seed, GenConfig{
+			Nodes: cfg.Nodes, Rounds: cfg.Rounds,
+			Heartbeat: cfg.Heartbeat, MissK: cfg.MissK,
+			Warm: cfg.Warm,
+		})
+	}
+	// A warm run (or a replayed schedule with heal-warm events) needs a
+	// durable store directory; create a throwaway one when none was given.
+	if cfg.StoreDir == "" && (cfg.Warm || hasWarmEvents(schedule)) {
+		dir, err := os.MkdirTemp("", "simnet-warm-")
+		if err != nil {
+			return Result{}, fmt.Errorf("simnet: temp store dir: %w", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		cfg.StoreDir = dir
+	}
+
 	s := &sim{
 		cfg:         cfg,
 		clock:       NewVirtualClock(),
 		mem:         newMemNet(),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		caches:      make(map[string]*node.CacheNode),
+		hbStops:     make(map[string]func()),
 		partitioned: make(map[string]bool),
 		tracer:      cfg.Tracer,
 	}
@@ -146,14 +193,6 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer s.stop()
-
-	schedule := cfg.Schedule
-	if schedule == nil {
-		schedule = Generate(cfg.Seed, GenConfig{
-			Nodes: cfg.Nodes, Rounds: cfg.Rounds,
-			Heartbeat: cfg.Heartbeat, MissK: cfg.MissK,
-		})
-	}
 	for _, ev := range schedule {
 		s.clock.RunUntil(s.base.Add(ev.At))
 		s.checkPartitionInvariant("pre:" + string(ev.Kind))
@@ -187,6 +226,12 @@ func (s *sim) build() error {
 		IntraGen: cfg.IntraGen,
 		Addrs:    make(map[string]string, cfg.Nodes),
 		Clock:    s.clock,
+		// Warm runs give every node a durable tier. Fsync is off: the
+		// harness models crash-by-partition (the process survives), so the
+		// log is always flushed by Close before a replacement reopens it.
+		StoreDir: cfg.StoreDir,
+		Fsync:    "never",
+		Tracer:   cfg.Tracer,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("n%d", i)
@@ -233,19 +278,40 @@ func (s *sim) build() error {
 	s.net.Bind("origin", clcfg.OriginAddr)
 	s.client = s.net.Transport("client", s.mem.transport())
 
+	s.clcfg = clcfg
+
 	// Periodic machinery on the virtual clock, started in fixed order so
-	// the timer queue is identical across runs.
+	// the timer queue is identical across runs. Heartbeat stops are keyed
+	// by name so a warm heal can stop the old node's loop and install the
+	// replacement's.
 	for _, name := range s.names {
-		s.stops = append(s.stops, s.caches[name].StartHeartbeat(s.cfg.Heartbeat))
+		s.hbStops[name] = s.caches[name].StartHeartbeat(s.cfg.Heartbeat)
 	}
 	s.stops = append(s.stops, s.origin.StartFailureDetector(s.cfg.Heartbeat, s.cfg.MissK))
 	return nil
 }
 
 func (s *sim) stop() {
+	for _, stop := range s.hbStops {
+		stop()
+	}
 	for _, stop := range s.stops {
 		stop()
 	}
+	for _, name := range s.names {
+		_ = s.caches[name].Close()
+	}
+}
+
+// hasWarmEvents reports whether a schedule contains warm-restart events
+// (which require a store directory).
+func hasWarmEvents(evs []Event) bool {
+	for _, ev := range evs {
+		if ev.Kind == EvHealWarm || ev.Kind == EvCheckWarm {
+			return true
+		}
+	}
+	return false
 }
 
 // injectHook resolves a named deliberate bug to its wire-corruption hook.
@@ -345,6 +411,10 @@ func (s *sim) exec(ev Event) {
 		s.net.Heal(ev.Node)
 		s.traceFault(ev.Node, 0)
 		s.logf("heal node=%s", ev.Node)
+	case EvHealWarm:
+		s.execHealWarm(ev.Node)
+	case EvCheckWarm:
+		s.execCheckWarm(ev.Node)
 	case EvDrop:
 		s.dropPermille = ev.N
 		s.net.SetDropProb(float64(ev.N) / 1000)
@@ -405,6 +475,11 @@ func (s *sim) execPublish(n int) {
 			continue
 		}
 		s.logf("publish url=%s version=%d notified=%d", doc.URL, pr.Version, pr.Notified)
+		if s.pendingWarm != nil {
+			// Publishes inside the warm window are legitimate slack for the
+			// origin-fetch bound (a refreshed document may miss everywhere).
+			s.pendingWarm.published++
+		}
 		if s.clean() {
 			s.checkFanout(doc.URL, pr.Version)
 		}
@@ -496,6 +571,94 @@ func (s *sim) execStorm(kind, entry string, n int, pick func() document.Document
 		if n > 0 && dServed == 0 {
 			s.failf("%s: goodput collapsed to zero (shed=%d of %d)", kind, dShed, n)
 		}
+	}
+}
+
+// execHealWarm restarts a crashed victim the way a real process restart
+// would: the old node object (all memory state) is discarded, a fresh one
+// is built over the same durable store directory, boots warm from the
+// log, rejoins via its first heartbeat, and revalidates every recovered
+// copy against the beacons. Two invariants are checked inline: warm boot
+// must recover exactly what the victim had stored at the crash, and
+// revalidation must issue zero origin fetches.
+func (s *sim) execHealWarm(victim string) {
+	defer s.traceInvariant("warm-heal", len(s.failures))
+	old, ok := s.caches[victim]
+	if !ok {
+		s.failf("heal-warm: unknown node %q", victim)
+		return
+	}
+	if s.clcfg.StoreDir == "" {
+		s.failf("heal-warm: no store directory (run without Warm?)")
+		return
+	}
+	if !s.partitioned[victim] {
+		s.failf("heal-warm: %s is not crashed", victim)
+		return
+	}
+	storedAtCrash := old.StoredVersions()
+
+	// Tear the old process down: stop its heartbeat loop and seal its log
+	// so the replacement can reopen the directory.
+	s.hbStops[victim]()
+	if err := old.Close(); err != nil {
+		s.failf("heal-warm: close %s: %v", victim, err)
+		return
+	}
+	cn, err := node.NewCacheNodeWithTransport(victim, s.clcfg, s.net.Transport(victim, s.mem.transport()))
+	if err != nil {
+		s.failf("heal-warm: rebuild %s: %v", victim, err)
+		return
+	}
+	if s.tracer != nil {
+		cn.SetTracer(s.tracer)
+	}
+	s.caches[victim] = cn
+	s.mem.bindHandler(s.clcfg.Addrs[victim], cn.Handler())
+
+	warm, recovered := cn.WarmBootInfo()
+	if len(storedAtCrash) > 0 && (!warm || recovered != len(storedAtCrash)) {
+		s.failf("heal-warm: %s recovered %d entries (warm=%v), stored %d at crash",
+			victim, recovered, warm, len(storedAtCrash))
+	}
+
+	// Rejoin and revalidate. The first heartbeat is immediate and, on the
+	// in-memory transport, synchronous — the origin sees the node back
+	// before revalidation reports to the beacons.
+	delete(s.partitioned, victim)
+	s.net.Heal(victim)
+	s.hbStops[victim] = cn.StartHeartbeat(s.cfg.Heartbeat)
+	kept, dropped := cn.WarmRevalidate(context.Background())
+	if f := cn.Admission().OriginFetches; f != 0 {
+		s.failf("heal-warm: revalidation of %s issued %d origin fetches, want 0", victim, f)
+	}
+	s.pendingWarm = &warmLedger{victim: victim, recovered: recovered, kept: kept, dropped: dropped}
+	s.traceFault(victim, int64(recovered))
+	s.logf("heal-warm node=%s recovered=%d kept=%d dropped=%d", victim, recovered, kept, dropped)
+}
+
+// execCheckWarm verifies the warm-restart payoff against the ledger taken
+// at the heal: the restarted node's origin fetches since the restart must
+// not exceed the documents that could legitimately miss there — the
+// catalog minus the copies revalidation confirmed fresh, plus any
+// publishes inside the window (a refresh invalidates the copy
+// everywhere). A violation means the warm restart degenerated toward a
+// cold-miss storm.
+func (s *sim) execCheckWarm(victim string) {
+	defer s.traceInvariant("warm", len(s.failures))
+	led := s.pendingWarm
+	if led == nil || led.victim != victim {
+		s.logf("check-warm node=%s skipped (no pending warm heal)", victim)
+		return
+	}
+	s.pendingWarm = nil
+	fetches := s.caches[victim].Admission().OriginFetches
+	bound := int64(len(s.docs) - led.kept + led.published)
+	s.logf("check-warm node=%s fetches=%d bound=%d kept=%d published=%d",
+		victim, fetches, bound, led.kept, led.published)
+	if fetches > bound {
+		s.failf("warm: %s fetched %d from origin since restart, bound %d (catalog %d - revalidated %d + published %d)",
+			victim, fetches, bound, len(s.docs), led.kept, led.published)
 	}
 }
 

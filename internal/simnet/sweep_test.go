@@ -99,6 +99,107 @@ func TestPartitionConvergence(t *testing.T) {
 	}
 }
 
+// TestWarmSweep runs the warm-restart sweep: generated schedules where
+// every recovery is a full process restart over the durable store
+// (heal-warm) followed by the origin-fetch bound check (check-warm). Short
+// mode trims the seed count; CI runs the full 200 seeds.
+func TestWarmSweep(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		res, err := Run(Config{Seed: int64(seed), Warm: true, StoreDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d failed:\n%s\n--- schedule ---\n%s\n--- log ---\n%s",
+				seed, strings.Join(res.Failures, "\n"), Encode(res.Schedule), res.Log)
+		}
+		if !strings.Contains(res.Log, "heal-warm node=") {
+			t.Fatalf("seed %d: warm run executed no heal-warm:\n%s", seed, res.Log)
+		}
+		if !strings.Contains(res.Log, "check-warm node=") {
+			t.Fatalf("seed %d: warm run checked no warm invariant:\n%s", seed, res.Log)
+		}
+	}
+}
+
+// TestWarmRestartRecoversState pins the warm-restart payoff on an explicit
+// schedule: the victim caches documents, crashes, heals warm, and the
+// harness's inline invariants require boot recovery to match the stored
+// set at crash and revalidation to issue zero origin fetches. The log
+// must show a non-trivial recovery (the warm boot did real work).
+func TestWarmRestartRecoversState(t *testing.T) {
+	hb := 500 * time.Millisecond
+	victim := "n1"
+	schedule := []Event{
+		{At: 50 * time.Millisecond, Kind: EvLoad, N: 60},
+		{At: 150 * time.Millisecond, Kind: EvPublish, N: 3},
+		{At: 900 * time.Millisecond, Kind: EvReplicate},
+		{At: 950 * time.Millisecond, Kind: EvCrash, Node: victim},
+		{At: 950*time.Millisecond + 5*hb, Kind: EvCheckAccounting, Node: victim},
+		{At: 1000*time.Millisecond + 5*hb, Kind: EvHealWarm, Node: victim},
+		{At: 1000*time.Millisecond + 7*hb + hb/2, Kind: EvLoad, N: 30},
+		{At: 1100*time.Millisecond + 7*hb + hb/2, Kind: EvCheckWarm, Node: victim},
+		{At: 1150*time.Millisecond + 7*hb + hb/2, Kind: EvReconcile},
+		{At: 1250*time.Millisecond + 7*hb + hb/2, Kind: EvCheck},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(Config{Seed: seed, Schedule: schedule, StoreDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d failed:\n%s\n--- log ---\n%s",
+				seed, strings.Join(res.Failures, "\n"), res.Log)
+		}
+		if strings.Contains(res.Log, "heal-warm node="+victim+" recovered=0") {
+			t.Fatalf("seed %d: warm heal recovered nothing:\n%s", seed, res.Log)
+		}
+	}
+}
+
+// TestWarmScheduleRoundTrips checks that warm schedules survive the text
+// encoding (replay files must be able to carry heal-warm/check-warm).
+func TestWarmScheduleRoundTrips(t *testing.T) {
+	evs := Generate(7, GenConfig{Warm: true})
+	decoded, err := Decode(Encode(evs))
+	if err != nil {
+		t.Fatalf("decode warm schedule: %v", err)
+	}
+	if len(decoded) != len(evs) {
+		t.Fatalf("round trip lost events: %d != %d", len(decoded), len(evs))
+	}
+	sawWarm := false
+	for i, ev := range decoded {
+		if ev != evs[i] {
+			t.Fatalf("event %d changed: %+v != %+v", i, ev, evs[i])
+		}
+		if ev.Kind == EvHealWarm {
+			sawWarm = true
+		}
+	}
+	if !sawWarm {
+		t.Fatal("warm generation produced no heal-warm events")
+	}
+}
+
+// TestWarmGenerationBackCompat pins that Warm=false generation is
+// byte-identical to the pre-warm generator: existing replay files and the
+// cold sweep results stay valid.
+func TestWarmGenerationBackCompat(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		cold := Generate(seed, GenConfig{})
+		for _, ev := range cold {
+			if ev.Kind == EvHealWarm || ev.Kind == EvCheckWarm {
+				t.Fatalf("seed %d: cold generation emitted %s", seed, ev.Kind)
+			}
+		}
+	}
+}
+
 // TestMinimize checks the ddmin-style shrinker against a synthetic
 // predicate, then against a real failing simulation.
 func TestMinimize(t *testing.T) {
