@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cachecloud/internal/document"
 	"cachecloud/internal/loadstats"
@@ -22,8 +23,11 @@ var ErrTooLarge = errors.New("cache: document larger than cache capacity")
 // attached: every admission/refresh is persisted and every removal —
 // including capacity evictions — is tombstoned, so a restart recovers
 // exactly the set that was resident (no resurrection of evicted entries).
-// Implemented by *durable.Store; kept as an interface here so the cache
-// package stays free of filesystem concerns.
+// Mutations are delivered in commit order by a drain loop that runs
+// outside the cache lock, so a slow store operation (segment seal, log
+// compaction) never stalls the serving path. Implemented by
+// *durable.Store; kept as an interface here so the cache package stays
+// free of filesystem concerns.
 type Durable interface {
 	Put(cp document.Copy) error
 	Delete(url string) error
@@ -52,11 +56,28 @@ type Cache struct {
 	hits       int64
 	misses     int64
 
-	// durable mirrors mutations to the disk tier when attached; nil for
-	// memory-only caches. Persistence errors are counted, never surfaced:
-	// the in-memory cache keeps serving while durability degrades.
+	// The disk tier is mirrored through an ordered mutation queue rather
+	// than called under mu: mutating methods enqueue (cheap, under mu, so
+	// queue order equals commit order) and drain after releasing mu. An
+	// expensive store operation — a segment seal or a full log compaction
+	// triggered by one Put — therefore blocks only the goroutine draining
+	// the queue, never the serving path. qmu guards the queue, the
+	// flushing flag, and the durable handle; nil durable means
+	// memory-only. Persistence errors are counted, never surfaced: the
+	// in-memory cache keeps serving while durability degrades.
+	qmu         sync.Mutex
 	durable     Durable
-	durableErrs int64
+	durQueue    []durOp
+	flushing    bool
+	durableErrs atomic.Int64
+}
+
+// durOp is one queued disk-tier mutation: a tombstone when del is set,
+// otherwise a put/refresh of cp.
+type durOp struct {
+	url string
+	cp  document.Copy
+	del bool
 }
 
 // New creates an edge cache with LRU replacement. capacity is the disk
@@ -91,41 +112,72 @@ func (c *Cache) Replacement() ReplacementKind { return c.kind }
 
 // SetDurable attaches the disk tier. Attach it after any warm-boot load
 // (and after compacting the log to the surviving set), so recovery itself
-// is not re-appended. Pass nil to detach.
+// is not re-appended. Pass nil to detach; detaching discards mutations
+// queued but not yet drained.
 func (c *Cache) SetDurable(d Durable) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
 	c.durable = d
+	if d == nil {
+		c.durQueue = nil
+	}
 }
 
 // DurableErrors returns how many disk-tier mutations failed. The cache
 // keeps serving through persistence failures; this counter is the signal
 // that durability has degraded.
 func (c *Cache) DurableErrors() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.durableErrs
+	return c.durableErrs.Load()
 }
 
-// persist mirrors an admission/refresh to the disk tier. Caller holds the
-// lock.
+// persist queues an admission/refresh for the disk tier. Caller holds mu.
 func (c *Cache) persist(cp document.Copy) {
-	if c.durable == nil {
-		return
-	}
-	if err := c.durable.Put(cp); err != nil {
-		c.durableErrs++
-	}
+	c.enqueueDurable(durOp{url: cp.Doc.URL, cp: cp})
 }
 
-// tombstone mirrors a removal to the disk tier. Caller holds the lock.
+// tombstone queues a removal for the disk tier. Caller holds mu.
 func (c *Cache) tombstone(url string) {
-	if c.durable == nil {
-		return
+	c.enqueueDurable(durOp{url: url, del: true})
+}
+
+// enqueueDurable appends one mutation to the durable queue. Caller holds
+// mu, which is what makes the queue order match the in-memory commit
+// order; the mutating method drains with flushDurable after releasing mu.
+func (c *Cache) enqueueDurable(o durOp) {
+	c.qmu.Lock()
+	if c.durable != nil {
+		c.durQueue = append(c.durQueue, o)
 	}
-	if err := c.durable.Delete(url); err != nil {
-		c.durableErrs++
+	c.qmu.Unlock()
+}
+
+// flushDurable drains queued disk-tier mutations in commit order. It runs
+// without mu, so a log rotation or compaction inside the store blocks
+// only this goroutine — concurrent reads and writes proceed, and their
+// queued mutations are picked up by whichever drainer is active (the
+// loop re-checks the queue after each batch, so nothing is stranded).
+func (c *Cache) flushDurable() {
+	c.qmu.Lock()
+	for !c.flushing && len(c.durQueue) > 0 {
+		c.flushing = true
+		batch, d := c.durQueue, c.durable
+		c.durQueue = nil
+		c.qmu.Unlock()
+		for _, o := range batch {
+			var err error
+			if o.del {
+				err = d.Delete(o.url)
+			} else {
+				err = d.Put(o.cp)
+			}
+			if err != nil {
+				c.durableErrs.Add(1)
+			}
+		}
+		c.qmu.Lock()
+		c.flushing = false
 	}
+	c.qmu.Unlock()
 }
 
 // Used returns the bytes currently stored.
@@ -182,9 +234,9 @@ func (c *Cache) Has(url string) bool {
 // whole capacity are rejected with ErrTooLarge.
 func (c *Cache) Put(cp document.Copy, now int64) ([]document.Document, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	size := cp.Doc.Size
 	if c.capacity > 0 && size > c.capacity {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q is %dB, capacity %dB", ErrTooLarge, cp.Doc.URL, size, c.capacity)
 	}
 	if old, ok := c.entries[cp.Doc.URL]; ok {
@@ -195,7 +247,10 @@ func (c *Cache) Put(cp document.Copy, now int64) ([]document.Document, error) {
 	c.entries[cp.Doc.URL] = cp
 	c.policy.onInsert(cp.Doc.URL, size)
 	c.persist(cp)
-	return c.makeRoom(cp.Doc.URL, now), nil
+	evicted := c.makeRoom(cp.Doc.URL, now)
+	c.mu.Unlock()
+	c.flushDurable()
+	return evicted, nil
 }
 
 // makeRoom evicts policy victims (never the protected URL) until used fits
@@ -221,11 +276,12 @@ func (c *Cache) makeRoom(protect string, now int64) []document.Document {
 // Remove drops a document, returning whether it was present.
 func (c *Cache) Remove(url string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	_, ok := c.entries[url]
 	if ok {
 		c.removeLocked(url)
 	}
+	c.mu.Unlock()
+	c.flushDurable()
 	return ok
 }
 
@@ -243,13 +299,10 @@ func (c *Cache) removeLocked(url string) {
 // access.
 func (c *Cache) ApplyUpdate(doc document.Document, now int64) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	cp, ok := c.entries[doc.URL]
-	if !ok {
-		return false
-	}
-	if cp.Doc.Version >= doc.Version {
-		return true // already fresh
+	if !ok || cp.Doc.Version >= doc.Version {
+		c.mu.Unlock()
+		return ok // absent, or already fresh
 	}
 	c.used += doc.Size - cp.Doc.Size
 	cp.Doc = doc
@@ -258,6 +311,8 @@ func (c *Cache) ApplyUpdate(doc document.Document, now int64) bool {
 	c.persist(cp)
 	// A grown update can overflow the budget.
 	c.makeRoom(doc.URL, now)
+	c.mu.Unlock()
+	c.flushDurable()
 	return true
 }
 

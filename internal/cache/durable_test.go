@@ -2,7 +2,9 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"cachecloud/internal/document"
 	"cachecloud/internal/durable"
@@ -126,6 +128,107 @@ func TestRemoveAndUpdateMirrorDurable(t *testing.T) {
 	got := logState(t, re)
 	if len(got) != 1 || got["/a"] != 5 {
 		t.Fatalf("recovered %v, want {/a: 5}", got)
+	}
+}
+
+// blockingDurable is a Durable whose first Put parks on a channel,
+// simulating a store mid-compaction, while recording every mutation it
+// eventually applies.
+type blockingDurable struct {
+	mu      sync.Mutex
+	ops     []string
+	block   chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingDurable) Put(cp document.Copy) error {
+	b.once.Do(func() { close(b.entered) })
+	<-b.block
+	b.mu.Lock()
+	b.ops = append(b.ops, "put:"+cp.Doc.URL)
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *blockingDurable) Delete(url string) error {
+	b.mu.Lock()
+	b.ops = append(b.ops, "del:"+url)
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *blockingDurable) snapshot() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.ops...)
+}
+
+// TestDurableMirrorDoesNotBlockServing pins the disk tier inside a slow
+// write (as a rotation-triggered log compaction would) and asserts the
+// cache keeps serving: reads see the committed entry, further writers
+// return immediately (their mutations queue behind the active drain), and
+// once the store unblocks every mutation lands in commit order.
+func TestDurableMirrorDoesNotBlockServing(t *testing.T) {
+	bd := &blockingDurable{block: make(chan struct{}), entered: make(chan struct{})}
+	c := New("c0", 0)
+	c.SetDurable(bd)
+
+	slowDone := make(chan struct{})
+	go func() {
+		_, _ = c.Put(dcopy("/slow", 1, 10), 0)
+		close(slowDone)
+	}()
+	<-bd.entered // the drain goroutine is now parked inside the store
+
+	// Every serving-path call below must complete while the store write is
+	// still in flight; run each with a watchdog so a regression fails fast
+	// instead of hanging the test binary.
+	step := func(name string, fn func()) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() {
+			fn()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s blocked behind an in-flight durable write", name)
+		}
+	}
+	step("Get", func() {
+		if _, ok := c.Get("/slow", 1); !ok {
+			t.Error("committed entry invisible while its log write is in flight")
+		}
+	})
+	step("Put", func() {
+		if _, err := c.Put(dcopy("/fast", 2, 10), 1); err != nil {
+			t.Errorf("concurrent Put: %v", err)
+		}
+	})
+	step("Remove", func() {
+		if !c.Remove("/fast") {
+			t.Error("concurrent Remove missed /fast")
+		}
+	})
+
+	close(bd.block)
+	<-slowDone
+	// The first Put's drain loop picks up the mutations queued while it
+	// was parked, so by now all three are applied — in commit order.
+	want := []string{"put:/slow", "put:/fast", "del:/fast"}
+	got := bd.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("durable ops %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("durable ops %v, want %v (order must match commit order)", got, want)
+		}
+	}
+	if c.DurableErrors() != 0 {
+		t.Fatalf("DurableErrors = %d, want 0", c.DurableErrors())
 	}
 }
 

@@ -16,7 +16,10 @@
 // whose length or checksum does not verify: the torn tail is truncated in
 // place and any later segments are dropped, so the recovered index is
 // always a prefix-consistent subset of the pre-crash write sequence —
-// never a panic, never garbage served as a document.
+// never a panic, never garbage served as a document. A segment whose
+// header itself does not verify (a crash before the header reached disk)
+// is dropped entirely, so it cannot linger in the manifest as a permanent
+// corruption point that would poison every later recovery.
 //
 // Compaction rewrites the live index into a fresh segment and atomically
 // swaps the manifest, bounding log growth from overwrites and tombstones.
@@ -143,14 +146,25 @@ const (
 	manifestName = "MANIFEST"
 	opPut        = byte(1)
 	opTombstone  = byte(2)
-	// maxURLLen guards recovery against absurd frame lengths.
+	// maxRecordPayload guards recovery against absurd frame lengths.
 	maxRecordPayload = 1 << 20
+	// maxURLBytes is the longest URL the record encoding can hold: the
+	// length field is a uint16, and bounding it also keeps every payload
+	// (27 fixed bytes + URL) far below maxRecordPayload, so anything
+	// appendable is always replayable.
+	maxURLBytes = 1<<16 - 1
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by mutating calls after Close.
 var ErrClosed = errors.New("durable: store closed")
+
+// ErrURLTooLong is returned by Put for a URL the record encoding cannot
+// hold. Without this rejection the uint16 length field would wrap and the
+// record — CRC-valid but undecodable — would read as corruption at the
+// next recovery, truncating the log there.
+var ErrURLTooLong = errors.New("durable: url too long for record encoding")
 
 // manifest is the JSON document naming the live segments in replay order.
 type manifest struct {
@@ -237,12 +251,21 @@ func (s *Store) recover() error {
 		if !clean {
 			// Prefix recovery: everything after the first bad frame is
 			// unverifiable, including later segments.
-			dropped := s.segs[i+1:]
-			for _, d := range dropped {
+			drop := i + 1
+			if size == 0 {
+				// The segment has no verifiable header (a crash between
+				// segment create and header persist, or a garbage file).
+				// Keeping it would leave a permanently zero-length entry
+				// in the manifest that re-triggers prefix recovery on
+				// every future Open — silently dropping segments written
+				// after this one — so the segment itself is dropped.
+				drop = i
+			}
+			for _, d := range s.segs[drop:] {
 				_ = os.Remove(s.segPath(d))
 				s.droppedSegments++
 			}
-			s.segs = s.segs[:i+1]
+			s.segs = s.segs[:drop]
 			break
 		}
 	}
@@ -535,6 +558,9 @@ func (s *Store) append(op byte, url string, ent Entry) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if len(url) > maxURLBytes {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrURLTooLong, len(url), maxURLBytes)
+	}
 	payload := encodePayload(op, url, ent)
 	frame := make([]byte, 8, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -668,6 +694,11 @@ func (s *Store) Reset(entries []Entry) error {
 	s.recSize = make(map[string]int64)
 	s.liveBytes, s.deadBytes, s.totalBytes = 0, 0, 0
 	for _, e := range entries {
+		if len(e.Doc.URL) > maxURLBytes {
+			// The record encoding cannot hold it; dropping it here beats
+			// writing a segment recovery would read as corruption.
+			continue
+		}
 		s.index[e.Doc.URL] = e
 	}
 	return s.compactLocked()

@@ -1,10 +1,12 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cachecloud/internal/document"
@@ -223,6 +225,134 @@ func TestTornTailEveryOffset(t *testing.T) {
 		if err := s.Close(); err != nil {
 			t.Fatalf("cut=%d: Close: %v", cut, err)
 		}
+	}
+}
+
+// TestTornHeaderSegmentDropped reproduces the crash window where a
+// segment file is created but its header never reaches disk (legal under
+// FsyncOnRotate): the headerless segment must be dropped from the
+// manifest at the first recovery, not kept as a zero-length file — a kept
+// one re-reads as corruption on every later Open and silently discards
+// all segments written after the first crash. The double reopen is the
+// part TestTornTailEveryOffset cannot see.
+func TestTornHeaderSegmentDropped(t *testing.T) {
+	corruptions := map[string]func(t *testing.T, path string){
+		// Crash before any header byte persisted.
+		"zero-length": func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		},
+		// Header bytes present but garbage.
+		"garbage-header": func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("XXXXXXXX"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			// MaxSegmentBytes 1: every Put rotates, so /a is sealed into
+			// its own segment and the active segment holds only a header.
+			s, err := Open(dir, Options{Fsync: FsyncNever, MaxSegmentBytes: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(mkCopy("/a", 1, 10)); err != nil {
+				t.Fatal(err)
+			}
+			s.mu.Lock()
+			activePath := s.segPath(s.activeID)
+			s.mu.Unlock()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, activePath)
+
+			// First recovery: /a survives, the headerless segment is gone.
+			r1, err := Open(dir, Options{Fsync: FsyncNever, MaxSegmentBytes: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshotState(r1); !statesEqual(got, indexState{"/a": 1}) {
+				t.Fatalf("first recovery %v, want {/a: 1}", got)
+			}
+			if st := r1.Stats(); st.DroppedSegments != 1 {
+				t.Fatalf("headerless segment not dropped: %+v", st)
+			}
+			if _, err := os.Stat(activePath); !os.IsNotExist(err) {
+				t.Fatalf("headerless segment file still on disk: %v", err)
+			}
+			// Data written after the first recovery must survive further
+			// reopens — this is exactly what a kept zero-length segment
+			// would destroy.
+			if err := r1.Put(mkCopy("/b", 2, 20)); err != nil {
+				t.Fatal(err)
+			}
+			if err := r1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			r2, err := Open(dir, Options{Fsync: FsyncNever, MaxSegmentBytes: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = r2.Close() }()
+			want := indexState{"/a": 1, "/b": 2}
+			if got := snapshotState(r2); !statesEqual(got, want) {
+				t.Fatalf("second recovery %v, want %v — post-crash writes lost", got, want)
+			}
+			if st := r2.Stats(); st.Truncations != 0 || st.DroppedSegments != 0 {
+				t.Fatalf("clean log still recovering as corrupt: %+v", st)
+			}
+		})
+	}
+}
+
+// TestURLTooLongRejected checks that a URL the uint16 length field cannot
+// hold is rejected at Put time instead of being written as a record that
+// replays as corruption (truncating the log) at the next recovery.
+func TestURLTooLongRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("u", maxURLBytes+1)
+	if err := s.Put(mkCopy(long, 1, 10)); !errors.Is(err, ErrURLTooLong) {
+		t.Fatalf("Put(%d-byte url) = %v, want ErrURLTooLong", len(long), err)
+	}
+	// Deleting the rejected URL is the usual absent-URL no-op.
+	if err := s.Delete(long); err != nil {
+		t.Fatalf("Delete after rejected Put: %v", err)
+	}
+	// Exactly at the bound must round-trip through recovery.
+	edge := strings.Repeat("e", maxURLBytes)
+	runOps(t, s, []op{{edge, 2, 10}, {"/ok", 3, 10}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Close() }()
+	if got := snapshotState(r); !statesEqual(got, indexState{edge: 2, "/ok": 3}) {
+		t.Fatalf("recovered %d entries, want {edge: 2, /ok: 3}", len(got))
+	}
+	if st := r.Stats(); st.Truncations != 0 {
+		t.Fatalf("bound-length URL read as corruption: %+v", st)
+	}
+	// Reset must not smuggle an oversized URL past the append-time check.
+	if err := r.Reset([]Entry{
+		{Doc: document.Document{URL: long, Size: 1, Version: 9}},
+		{Doc: document.Document{URL: "/kept", Size: 1, Version: 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotState(r); !statesEqual(got, indexState{"/kept": 4}) {
+		t.Fatalf("post-reset state %v, want {/kept: 4}", got)
 	}
 }
 
