@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json2 bench-smoke figures figures-fast examples golden fuzz simsweep storm restart-chaos clean
+.PHONY: all build vet test race bench bench-json bench-json2 bench-json3 bench-smoke figures figures-fast examples golden fuzz simsweep shield-sweep storm restart-chaos clean
 
 all: build vet test
 
@@ -33,6 +33,13 @@ bench-json:
 # stays untouched as the pre-sharding baseline.
 bench-json2:
 	$(GO) run ./cmd/cloudsim -all -json -microbench -scalebench -scale 0.08 > BENCH_2.json
+
+# Two-tier benchmark report: the bench-json2 suite plus the shield-hop
+# series (cloud_lookup_shield_hop micro-benchmark and the scalebench
+# shield fetch replay through a 64-shield tier), written to BENCH_3.json.
+# BENCH_2.json stays untouched as the single-tier baseline.
+bench-json3:
+	$(GO) run ./cmd/cloudsim -all -json -microbench -scalebench -scale 0.08 > BENCH_3.json
 
 # CI smoke for the lock-free read path: one iteration of the parallel
 # lookup and contention benchmarks under the race detector. Catches data
@@ -68,6 +75,15 @@ fuzz:
 SEEDS ?= 200
 simsweep:
 	$(GO) run ./cmd/simnet -seeds $(SEEDS)
+
+# Two-tier gate: the shield node end-to-ends and the cross-tier model
+# tests under the race detector, then a simulation sweep whose generated
+# schedules add a shield-tier fault phase to every round (shield crash,
+# failover, publishes and scoped/global purges past the crashed shield)
+# with the cross-tier invariants armed.
+shield-sweep:
+	$(GO) test -race -run 'TestShield' ./internal/node ./internal/shield ./internal/experiments
+	$(GO) run ./cmd/simnet -seeds $(SEEDS) -shields 2
 
 # Overload-resilience gate: the storm chaos end-to-end and the admission
 # primitives under the race detector, then a simulation sweep whose

@@ -4,15 +4,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"cachecloud/internal/core"
 	"cachecloud/internal/core/seedref"
 	"cachecloud/internal/document"
 	"cachecloud/internal/experiments"
 	"cachecloud/internal/placement"
+	"cachecloud/internal/shield"
 	"cachecloud/internal/sim"
 	"cachecloud/internal/trace"
 )
@@ -49,6 +52,14 @@ type scaleBench struct {
 	Errors       int64   `json:"errors"`
 	ElapsedMs    float64 `json:"elapsed_ms"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Shield-hop series: sequential fetch replay through a 64-shield tier
+	// over the same seeded workload shape — the marginal cost of the extra
+	// tier per lookup, reported beside the intra-cloud read path.
+	ShieldShields      int     `json:"shield_shields"`
+	ShieldOps          int64   `json:"shield_ops"`
+	ShieldHits         int64   `json:"shield_hits"`
+	ShieldElapsedMs    float64 `json:"shield_elapsed_ms"`
+	ShieldEventsPerSec float64 `json:"shield_events_per_sec"`
 }
 
 // benchResult is one micro-benchmark's timings in testing.Benchmark units.
@@ -116,6 +127,10 @@ func runScaleBench(seed int64) (*scaleBench, error) {
 	if err != nil {
 		return nil, err
 	}
+	sOps, sHits, sElapsed, err := runShieldHopBench(seed)
+	if err != nil {
+		return nil, err
+	}
 	return &scaleBench{
 		NumDocs:      cfg.NumDocs,
 		NumCaches:    cfg.NumCaches,
@@ -128,7 +143,44 @@ func runScaleBench(seed int64) (*scaleBench, error) {
 		Errors:       res.Errors,
 		ElapsedMs:    float64(res.Elapsed.Microseconds()) / 1e3,
 		EventsPerSec: res.EventsPerSec,
+
+		ShieldShields:      64,
+		ShieldOps:          sOps,
+		ShieldHits:         sHits,
+		ShieldElapsedMs:    float64(sElapsed.Microseconds()) / 1e3,
+		ShieldEventsPerSec: float64(sOps) / sElapsed.Seconds(),
 	}, nil
+}
+
+// runShieldHopBench replays a seeded fetch stream through a 64-shield
+// tier serving 500 clouds over a 10k-document catalog: after the warm-up
+// pass nearly every fetch is a shield hit, so the run times the steady
+// state hop (ring route + shield copy serve) at scale.
+func runShieldHopBench(seed int64) (ops, hits int64, elapsed time.Duration, err error) {
+	tier, err := shield.New(shield.Config{Shields: 64, IntraGen: 1 << 16})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	const (
+		numClouds = 500
+		numDocs   = 10_000
+		numOps    = 2_000_000
+	)
+	clouds := make([]string, numClouds)
+	for i := range clouds {
+		clouds[i] = fmt.Sprintf("cloud%03d", i)
+	}
+	urls := make([]string, numDocs)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://cloud/doc/%05d", i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for i := 0; i < numOps; i++ {
+		tier.Fetch(urls[rng.Intn(numDocs)], clouds[rng.Intn(numClouds)])
+	}
+	elapsed = time.Since(start)
+	return int64(numOps), tier.Counters.ShieldHits, elapsed, nil
 }
 
 // microBenchmarks times the protocol hot paths with testing.Benchmark:
@@ -171,6 +223,24 @@ func microBenchmarks(seed int64) map[string]benchResult {
 			if _, err := cloud.Lookup(url, int64(i)); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}), 1)
+
+	// The two-tier read path: the intra-cloud lookup plus the shield hop a
+	// miss would take (ring route + warm shield serve). Comparing this
+	// series against cloud_lookup_hash prices the extra tier per lookup.
+	tier, err := shield.New(shield.Config{Shields: 4})
+	if err != nil {
+		panic(fmt.Sprintf("cloudsim: shield bench tier: %v", err))
+	}
+	tier.Fetch(url, "cloud0") // warm the owning shield: the hop is a hit
+	record("cloud_lookup_shield_hop", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cloud.LookupHash(url, h, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+			tier.Fetch(url, "cloud0")
 		}
 	}), 1)
 

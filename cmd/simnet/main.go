@@ -8,14 +8,18 @@
 // Usage:
 //
 //	simnet [-seeds 200] [-seed -1] [-nodes 4] [-ringsize 2] [-docs 40]
-//	       [-rounds 3] [-inject ""] [-schedule file] [-warm] [-v]
+//	       [-rounds 3] [-inject ""] [-schedule file] [-warm] [-shields 0] [-v]
 //
 // -seed runs a single seed (overrides -seeds). -schedule replays an
 // encoded schedule file instead of generating one. -inject plants a
-// deliberate bug (e.g. "heartbeat-undercount") to prove the harness
-// catches it. -warm gives every node a durable store and switches each
-// round's recovery to a warm process restart (heal-warm) with the
-// origin-fetch bound invariant (check-warm).
+// deliberate bug (e.g. "heartbeat-undercount" or "supdate-stale") to
+// prove the harness catches it. -warm gives every node a durable store
+// and switches each round's recovery to a warm process restart
+// (heal-warm) with the origin-fetch bound invariant (check-warm).
+// -shields N interposes a shield tier of N caches between the cloud and
+// the origin, adds a shield-tier fault phase to every round, and arms
+// the cross-tier invariants (exactly-once update delivery per shield,
+// scoped-purge completeness, shield freshness at quiescent points).
 package main
 
 import (
@@ -45,6 +49,7 @@ func run(args []string) error {
 		inject   = fs.String("inject", "", "deliberate bug to plant (heartbeat-undercount)")
 		schedule = fs.String("schedule", "", "replay an encoded schedule file instead of generating")
 		warm     = fs.Bool("warm", false, "durable stores + warm process restarts instead of plain heals")
+		shields  = fs.Int("shields", 0, "shield-tier caches between the cloud and the origin (0 = single tier)")
 		verbose  = fs.Bool("v", false, "print the event log of every run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,7 +58,7 @@ func run(args []string) error {
 
 	base := simnet.Config{
 		Nodes: *nodes, RingSize: *ringSize, Docs: *docs,
-		Rounds: *rounds, Inject: *inject, Warm: *warm,
+		Rounds: *rounds, Inject: *inject, Warm: *warm, Shields: *shields,
 	}
 	if *schedule != "" {
 		text, err := os.ReadFile(*schedule)
@@ -103,6 +108,9 @@ func run(args []string) error {
 		}
 		if *warm {
 			fmt.Printf(" -warm")
+		}
+		if *shields > 0 {
+			fmt.Printf(" -shields %d", *shields)
 		}
 		fmt.Println()
 		return fmt.Errorf("seed %d failed", sd)

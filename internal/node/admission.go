@@ -195,8 +195,7 @@ func (n *CacheNode) originFetch(ctx context.Context, url string, version documen
 			return document.Document{}, err
 		}
 		t0 := n.clock.Now()
-		var fr FetchResponse
-		ferr := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr)
+		fr, ferr := n.fetchUpstream(ctx, url, version)
 		limRelease(n.clock.Since(t0), ferr == nil)
 		if ferr != nil {
 			return document.Document{}, ferr

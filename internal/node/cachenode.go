@@ -48,10 +48,10 @@ type CacheNode struct {
 	start        time.Time
 	snapshotPath string
 
-	mu          sync.Mutex
-	assign      Assignments
-	records     map[string]*nodeRecord
-	replicas    map[string]WireRecord // sibling's records, lazily replicated
+	mu       sync.Mutex
+	assign   Assignments
+	records  map[string]*nodeRecord
+	replicas map[string]WireRecord // sibling's records, lazily replicated
 
 	// assignView is the lock-free snapshot of assign, republished on every
 	// install (the node-layer mirror of the core's epoch pointer). Paths
@@ -59,9 +59,9 @@ type CacheNode struct {
 	// re-evaluation, metrics gauges — read it without touching n.mu, so an
 	// install or a long record hand-off never stalls them. An Assignments
 	// value is immutable once published: installs replace the whole value.
-	assignView atomic.Pointer[Assignments]
-	replicaFrom map[string]string     // url → sibling that pushed the replica
-	down        map[string]bool       // peers the origin declared dead
+	assignView  atomic.Pointer[Assignments]
+	replicaFrom map[string]string // url → sibling that pushed the replica
+	down        map[string]bool   // peers the origin declared dead
 	// loads[ring] is a dense per-IrH-value load counter for ranges this
 	// node owns in that ring (it only ever has entries for its own ring,
 	// but indexing by ring keeps the wire format uniform).
@@ -99,6 +99,18 @@ type CacheNode struct {
 	coalescedMiss *obs.Counter // misses that joined an in-flight fetch
 	shedByClass   [admit.NumClasses]*obs.Counter
 
+	// Shield tier (two-tier mode; see shieldnode.go). A nil router means
+	// single-tier: upstream fetches go straight to the origin. degradedURLs
+	// tracks copies fetched directly from the origin while every shield was
+	// unreachable — such copies carry no shield subscription, so no publish
+	// can refresh them until the next reconcile pass re-attaches them.
+	shieldRouter   *ShieldRouter
+	degradedURLs   map[string]bool // guarded by mu
+	shieldFetches  *obs.Counter
+	shieldHits     *obs.Counter
+	shieldFailover *obs.Counter
+	shieldDegraded *obs.Counter
+
 	// Durable tier (see durable.go): nil for memory-only nodes. warmBoot
 	// and warmRecovered are set once at construction; the revalidation
 	// counters advance when WarmRevalidate runs.
@@ -129,19 +141,25 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 	}
 	clock := clockOrReal(cfg.Clock)
 	n := &CacheNode{
-		name:        name,
-		cfg:         cfg,
-		store:       cache.New(name, cfg.CapacityBytes),
-		policy:      pol,
-		clock:       clock,
-		start:       clock.Now(),
-		assign:      equalSplit(cfg),
-		records:     make(map[string]*nodeRecord),
-		replicas:    make(map[string]WireRecord),
-		replicaFrom: make(map[string]string),
-		down:        make(map[string]bool),
-		loads:       make(map[int][]int64),
+		name:         name,
+		cfg:          cfg,
+		store:        cache.New(name, cfg.CapacityBytes),
+		policy:       pol,
+		clock:        clock,
+		start:        clock.Now(),
+		assign:       equalSplit(cfg),
+		records:      make(map[string]*nodeRecord),
+		replicas:     make(map[string]WireRecord),
+		replicaFrom:  make(map[string]string),
+		down:         make(map[string]bool),
+		loads:        make(map[int][]int64),
+		degradedURLs: make(map[string]bool),
 	}
+	router, err := NewShieldRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.shieldRouter = router
 	n.tracer = cfg.Tracer
 	n.publishAssign()
 	n.initAdmission()
@@ -166,6 +184,10 @@ func (n *CacheNode) initMetrics() {
 	n.failedOver = reg.Counter("failed_over_total")
 	n.degraded = reg.Counter("degraded_total")
 	n.circuitOpen = reg.Counter("circuit_open_total")
+	n.shieldFetches = reg.Counter("shield_fetch_total")
+	n.shieldHits = reg.Counter("shield_hit_total")
+	n.shieldFailover = reg.Counter("shield_failover_total")
+	n.shieldDegraded = reg.Counter("shield_degraded_total")
 	bounds := obs.DefaultLatencyBounds()
 	n.reqMs = reg.Histogram("request_ms", bounds)
 	n.lookupMs = reg.Histogram("lookup_ms", bounds)
@@ -265,6 +287,8 @@ func (n *CacheNode) Handler() http.Handler {
 	mux.HandleFunc("GET /fetch", n.handleFetch)
 	mux.HandleFunc("POST /update", n.handleUpdate)
 	mux.HandleFunc("POST /apply", n.handleApply)
+	mux.HandleFunc("POST /purge", n.handlePurge)
+	mux.HandleFunc("POST /drop", n.handleDrop)
 	mux.HandleFunc("POST /subranges", n.handleSubranges)
 	mux.HandleFunc("POST /records/import", n.handleRecordsImport)
 	mux.HandleFunc("POST /records/replica", n.handleRecordsReplica)
@@ -839,6 +863,87 @@ func (n *CacheNode) handleApply(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, applyResponse{Held: n.applyLocal(req)})
 }
 
+// dropResponse is the body of a /drop reply.
+type dropResponse struct {
+	Dropped bool `json:"dropped"`
+}
+
+// dropLocal removes every trace of a document from this node: the stored
+// copy, the owned lookup record, the sibling replica, and the degraded
+// mark. Replicas must go too — otherwise a later /subranges install could
+// promote a replica of the purged record and resurrect stale holder lists.
+func (n *CacheNode) dropLocal(url string) bool {
+	dropped := n.store.Remove(url)
+	n.mu.Lock()
+	delete(n.records, url)
+	delete(n.replicas, url)
+	delete(n.replicaFrom, url)
+	delete(n.degradedURLs, url)
+	n.mu.Unlock()
+	return dropped
+}
+
+// handlePurge is the beacon receiving a scoped invalidation (from a shield
+// in two-tier mode, from the origin directly in single-tier mode). The
+// purge is broadcast as /drop to every live peer — not just the recorded
+// holders — so unregistered copies and sibling replicas of the record
+// cannot resurrect the document after the purge.
+func (n *CacheNode) handlePurge(w http.ResponseWriter, r *http.Request) {
+	var req PurgeRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.URL == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
+		return
+	}
+	n.chargeBeaconLoadLocked(req.URL)
+	n.mu.Lock()
+	peers := make([]string, 0, len(n.cfg.Addrs))
+	for name := range n.cfg.Addrs {
+		if name != n.name && !n.down[name] {
+			peers = append(peers, name)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(peers) // deterministic broadcast order
+	dropped := 0
+	if n.dropLocal(req.URL) {
+		dropped++
+	}
+	for _, p := range peers {
+		base, ok := n.cfg.Addrs[p]
+		if !ok {
+			continue
+		}
+		var dr dropResponse
+		if err := n.tp.PostJSON(r.Context(), base+"/drop", req, &dr); err == nil && dr.Dropped {
+			dropped++
+		}
+	}
+	writeJSON(w, http.StatusOK, PurgeResponse{Dropped: dropped})
+}
+
+// handleDrop removes this node's copy (and any record or replica traces)
+// of a purged document.
+func (n *CacheNode) handleDrop(w http.ResponseWriter, r *http.Request) {
+	var req PurgeRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dropResponse{Dropped: n.dropLocal(req.URL)})
+}
+
+// chargeBeaconLoadLocked wraps chargeBeaconLoad in n.mu for callers that
+// do not already hold it.
+func (n *CacheNode) chargeBeaconLoadLocked(url string) {
+	n.mu.Lock()
+	n.chargeBeaconLoad(url)
+	n.mu.Unlock()
+}
+
 // handleSubranges installs a new assignment and hands off the lookup
 // records this node no longer owns. Records for newly owned sub-ranges
 // that are missing locally are promoted from the sibling replicas — this
@@ -1075,6 +1180,12 @@ func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     ad.Coalesced,
 		LimitNow:      ad.Limit,
 	}
+	if n.shieldRouter != nil {
+		st.ShieldFetches = n.shieldFetches.Value()
+		st.ShieldHits = n.shieldHits.Value()
+		st.ShieldFailover = n.shieldFailover.Value()
+		st.ShieldDegraded = n.shieldDegraded.Value()
+	}
 	if n.durable != nil {
 		ds := n.durable.Stats()
 		st.WarmBoot = n.warmBoot
@@ -1179,6 +1290,7 @@ func (n *CacheNode) reconcileEntries(holder string, entries []ReconcileEntry) []
 // copies are retried on the next pass. Returns how many copies were
 // reported and how many were dropped as stale.
 func (n *CacheNode) Reconcile(ctx context.Context) (reported, dropped int) {
+	n.resubscribeDegraded(ctx)
 	urls := n.store.Documents()
 	sort.Strings(urls) // deterministic report order
 	type group struct {
@@ -1294,6 +1406,17 @@ func (n *CacheNode) StoredVersions() map[string]document.Version {
 		}
 	}
 	return out
+}
+
+// ShieldDegraded returns how many upstream fetches bypassed an
+// unreachable shield tier and went straight to the origin (white-box
+// accessor for the deterministic harness: such copies carry no shield
+// subscription until the next reconcile re-attaches them).
+func (n *CacheNode) ShieldDegraded() int64 {
+	if n.shieldDegraded == nil {
+		return 0
+	}
+	return n.shieldDegraded.Value()
 }
 
 // AssignmentsView returns this node's current view of the sub-range

@@ -19,6 +19,7 @@ type LocalCluster struct {
 	Cfg     ClusterConfig
 	Origin  *OriginNode
 	Caches  map[string]*CacheNode
+	Shields map[string]*ShieldNode
 	servers []*httptest.Server
 	byName  map[string]*httptest.Server
 }
@@ -55,7 +56,12 @@ func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Doc
 		Fsync:            opts.Fsync,
 		Clock:            opts.Clock,
 		Tracer:           opts.Tracer,
+		Shields:          opts.Shields,
+		CloudID:          opts.CloudID,
 		Addrs:            make(map[string]string, len(nodeNames)),
+	}
+	if len(cfg.Shields) > 0 {
+		cfg.ShieldAddrs = make(map[string]string, len(cfg.Shields))
 	}
 	if cfg.IntraGen == 0 {
 		cfg.IntraGen = 1000
@@ -92,6 +98,34 @@ func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Doc
 	originSrv := httptest.NewUnstartedServer(nil)
 	cfg.OriginAddr = "http://" + originSrv.Listener.Addr().String()
 	lc.servers = append(lc.servers, originSrv)
+
+	// Shield-tier listeners are reserved before any node is constructed so
+	// the cache nodes' shield routers see the full address map.
+	var shieldPendings []pending
+	for _, name := range cfg.Shields {
+		srv := httptest.NewUnstartedServer(nil)
+		cfg.ShieldAddrs[name] = "http://" + srv.Listener.Addr().String()
+		shieldPendings = append(shieldPendings, pending{name: name, srv: srv})
+		lc.servers = append(lc.servers, srv)
+		lc.byName[name] = srv
+	}
+	if len(cfg.Shields) > 0 {
+		lc.Shields = make(map[string]*ShieldNode, len(cfg.Shields))
+	}
+	for _, p := range shieldPendings {
+		var tp Transport
+		if mk != nil {
+			tp = mk(p.name)
+		}
+		sn, err := NewShieldNodeWithTransport(p.name, cfg, tp)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.Shields[p.name] = sn
+		p.srv.Config.Handler = sn.Handler()
+		p.srv.Start()
+	}
 
 	for _, p := range pendings {
 		var tp Transport
@@ -194,4 +228,54 @@ func (lc *LocalCluster) Close() {
 	for _, cn := range lc.Caches {
 		_ = cn.Close()
 	}
+	for _, sn := range lc.Shields {
+		_ = sn.Close()
+	}
+}
+
+// RestartShield brings a stopped shield back on its original address with
+// a freshly constructed ShieldNode — with a StoreDir configured it boots
+// warm from the crashed shield's durable log.
+func (lc *LocalCluster) RestartShield(name string, mk TransportFactory) (*ShieldNode, error) {
+	if _, running := lc.byName[name]; running {
+		return nil, fmt.Errorf("node: shield %q is still running", name)
+	}
+	old, ok := lc.Shields[name]
+	if !ok {
+		return nil, fmt.Errorf("node: unknown shield %q", name)
+	}
+	_ = old.Close()
+	addr := strings.TrimPrefix(lc.Cfg.ShieldAddrs[name], "http://")
+	var (
+		ln  net.Listener
+		err error
+	)
+	for i := 0; i < 40; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("node: rebind shield %s: %w", addr, err)
+	}
+	var tp Transport
+	if mk != nil {
+		tp = mk(name)
+	}
+	sn, err := NewShieldNodeWithTransport(name, lc.Cfg, tp)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	srv := &httptest.Server{
+		Listener: ln,
+		Config:   &http.Server{Handler: sn.Handler()},
+	}
+	srv.Start()
+	lc.Shields[name] = sn
+	lc.byName[name] = srv
+	lc.servers = append(lc.servers, srv)
+	return sn, nil
 }

@@ -521,3 +521,38 @@ func TestMetricsEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// A store-backed node must expose the durable-tier gauges; their closures
+// only run at render time, so an actual scrape is the test.
+func TestDurableMetricsExposition(t *testing.T) {
+	lc := startCluster(t, 2, 2, ClusterConfig{StoreDir: t.TempDir()})
+	client := &http.Client{Timeout: 5 * time.Second}
+	getDoc(t, client, lc.Cfg.Addrs["live-00"], "http://live/doc/1")
+
+	resp, err := client.Get(lc.Cfg.Addrs["live-00"] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"cachecloud_node_store_segments{node=\"live-00\"} 1",
+		"cachecloud_node_store_bytes",
+		"cachecloud_node_store_dead_bytes",
+		"cachecloud_node_store_truncations_total",
+		"cachecloud_node_store_compactions_total",
+		"cachecloud_node_warm_boot{node=\"live-00\"} 0",
+		"cachecloud_node_warm_recovered",
+		"cachecloud_node_warm_revalidated_total",
+		"cachecloud_node_warm_dropped_total",
+		"cachecloud_node_durable_errors_total{node=\"live-00\"} 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("durable metrics missing %q:\n%s", want, text)
+		}
+	}
+}

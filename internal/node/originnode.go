@@ -34,6 +34,7 @@ type OriginNode struct {
 
 	mu          sync.Mutex
 	docs        map[string]document.Document
+	purgeGen    map[string]int64 // per-URL global purge generation (monotonic)
 	assign      Assignments
 	down        map[string]bool      // nodes declared dead (probe or heartbeat)
 	lastSeen    map[string]time.Time // last heartbeat arrival per node
@@ -75,6 +76,7 @@ func NewOriginNode(cfg ClusterConfig, docs []document.Document) (*OriginNode, er
 		tp:          NewHTTPTransport(TransportOptions{}),
 		clock:       clock,
 		docs:        make(map[string]document.Document, len(docs)),
+		purgeGen:    make(map[string]int64),
 		assign:      equalSplit(cfg),
 		down:        make(map[string]bool),
 		lastSeen:    make(map[string]time.Time),
@@ -177,7 +179,9 @@ func NewOriginNodeWithTransport(cfg ClusterConfig, docs []document.Document, tp 
 func (o *OriginNode) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /fetch", o.handleFetch)
+	mux.HandleFunc("GET /versions", o.handleVersions)
 	mux.HandleFunc("POST /publish", o.handlePublish)
+	mux.HandleFunc("POST /purge", o.handlePurge)
 	mux.HandleFunc("POST /rebalance", o.handleRebalance)
 	mux.HandleFunc("POST /replicate", o.handleReplicate)
 	mux.HandleFunc("POST /repair", o.handleRepair)
@@ -207,6 +211,7 @@ func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 	u := r.URL.Query().Get("url")
 	o.mu.Lock()
 	d, ok := o.docs[u]
+	gen := o.purgeGen[u]
 	o.mu.Unlock()
 	if ok {
 		o.fetches.Inc()
@@ -216,7 +221,25 @@ func (o *OriginNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown document %q", u))
 		return
 	}
-	writeJSON(w, http.StatusOK, FetchResponse{Doc: d})
+	writeJSON(w, http.StatusOK, FetchResponse{Doc: d, PurgeGen: gen})
+}
+
+// handleVersions serves the full catalog's version and purge-generation
+// maps — the anti-entropy feed shields reconcile against.
+func (o *OriginNode) handleVersions(w http.ResponseWriter, r *http.Request) {
+	o.mu.Lock()
+	vr := VersionsResponse{
+		Versions: make(map[string]document.Version, len(o.docs)),
+		PurgeGen: make(map[string]int64, len(o.purgeGen)),
+	}
+	for url, d := range o.docs {
+		vr.Versions[url] = d.Version
+	}
+	for url, g := range o.purgeGen {
+		vr.PurgeGen[url] = g
+	}
+	o.mu.Unlock()
+	writeJSON(w, http.StatusOK, vr)
 }
 
 func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
@@ -240,6 +263,26 @@ func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
 	o.mu.Unlock()
 	o.updates.Inc()
 	o.bytesOut.Add(d.Size)
+	if len(o.cfg.Shields) > 0 {
+		// Two-tier mode: the origin sends exactly one versioned update per
+		// shield, regardless of how many clouds subscribe — the O(clouds) →
+		// O(shields) collapse. Each shield fans the update to its clouds.
+		notified, shields := 0, 0
+		for _, name := range sortedShieldNames(o.cfg) {
+			base, ok := o.cfg.ShieldAddrs[name]
+			if !ok {
+				continue
+			}
+			var sur ShieldUpdateResponse
+			if e := o.tp.PostJSON(r.Context(), base+"/supdate", UpdateRequest{Doc: d}, &sur); e != nil {
+				continue // crashed shield catches up at its next resync
+			}
+			shields++
+			notified += sur.CloudsNotified
+		}
+		writeJSON(w, http.StatusOK, PublishResponse{Version: d.Version, Notified: notified, ShieldsNotified: shields})
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -263,6 +306,97 @@ func (o *OriginNode) handlePublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, PublishResponse{Version: d.Version, Notified: ur.Notified})
+}
+
+// sortedShieldNames returns the configured shield names in fixed order so
+// every multi-shield pass (publish fan-out, purge forwarding, installs) is
+// deterministic.
+func sortedShieldNames(cfg ClusterConfig) []string {
+	out := append([]string(nil), cfg.Shields...)
+	sort.Strings(out)
+	return out
+}
+
+// handlePurge invalidates a document across the hierarchy. Scope "global"
+// bumps the URL's purge generation and tells every shield to drop its copy
+// and purge every subscribed cloud; scope "cloud" forwards a purge of one
+// cloud's copies without touching shield state. In single-tier mode the
+// purge goes straight to the document's beacon point.
+func (o *OriginNode) handlePurge(w http.ResponseWriter, r *http.Request) {
+	var req PurgeRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Scope != PurgeScopeGlobal && req.Scope != PurgeScopeCloud {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown purge scope %q", req.Scope))
+		return
+	}
+	o.mu.Lock()
+	if _, ok := o.docs[req.URL]; !ok {
+		o.mu.Unlock()
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown document %q", req.URL))
+		return
+	}
+	if req.Scope == PurgeScopeGlobal {
+		o.purgeGen[req.URL]++
+		req.Gen = o.purgeGen[req.URL]
+	}
+	beacon, ownErr := o.assign.ownerOf(req.URL, o.cfg.IntraGen)
+	o.mu.Unlock()
+
+	var resp PurgeResponse
+	if len(o.cfg.Shields) > 0 {
+		for _, name := range sortedShieldNames(o.cfg) {
+			base, ok := o.cfg.ShieldAddrs[name]
+			if !ok {
+				continue
+			}
+			var pr PurgeResponse
+			if e := o.tp.PostJSON(r.Context(), base+"/spurge", req, &pr); e != nil {
+				continue // crashed shield applies the generation at resync
+			}
+			resp.ShieldsNotified++
+			resp.Dropped += pr.Dropped
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if ownErr != nil {
+		writeErr(w, http.StatusInternalServerError, ownErr)
+		return
+	}
+	base, okAddr := o.cfg.Addrs[beacon]
+	if !okAddr {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("no address for beacon %q", beacon))
+		return
+	}
+	var pr PurgeResponse
+	pushErr := o.tp.PostJSON(r.Context(), base+"/purge", req, &pr)
+	if pushErr != nil {
+		if sibBase, ok := o.siblingAddr(beacon); ok {
+			pushErr = o.tp.PostJSON(r.Context(), sibBase+"/purge", req, &pr)
+		}
+	}
+	if pushErr != nil {
+		writeErr(w, http.StatusBadGateway, pushErr)
+		return
+	}
+	resp.Dropped = pr.Dropped
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PurgeGens returns the current global purge generation of every URL that
+// has ever been globally purged (white-box accessor for the simulation
+// harness's scoped-purge completeness checks).
+func (o *OriginNode) PurgeGens() map[string]int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, len(o.purgeGen))
+	for url, g := range o.purgeGen {
+		out[url] = g
+	}
+	return out
 }
 
 // siblingAddr returns the address of another live member of the beacon's
@@ -396,6 +530,16 @@ func (o *OriginNode) installAssignments(ctx context.Context, next Assignments) (
 			continue
 		}
 		promoted += sr.Promoted
+	}
+	// Shields route their fan-out through the same beacon layout, so the
+	// install reaches them too (an unreachable shield re-learns the layout
+	// implicitly: its stale view still names live nodes after merges).
+	for _, name := range sortedShieldNames(o.cfg) {
+		base, ok := o.cfg.ShieldAddrs[name]
+		if !ok {
+			continue
+		}
+		_ = o.tp.PostJSON(ctx, base+"/subranges", next, nil)
 	}
 	return promoted, err
 }

@@ -93,6 +93,19 @@ type ClusterConfig struct {
 	// Fsync selects the durable tier's flush policy: "rotate" (default),
 	// "always", or "never". Ignored when StoreDir is empty.
 	Fsync string `json:"fsync,omitempty"`
+	// Shields lists the shield-tier cache names, in no particular order
+	// (routing sorts them). Empty runs the classic single-tier layout:
+	// cache misses and origin updates go straight between the cloud and
+	// the origin. Non-empty interposes the shield tier: cloud misses
+	// resolve cloud → shield → origin and the origin fans one update per
+	// shield instead of one per cloud.
+	Shields []string `json:"shields,omitempty"`
+	// ShieldAddrs maps shield name to base URL.
+	ShieldAddrs map[string]string `json:"shieldAddrs,omitempty"`
+	// CloudID names this cache cloud inside the shield tier. Shield-ring
+	// placement hashes it exactly as a URL hashes into a beacon ring
+	// (default "cloud0"). Ignored when Shields is empty.
+	CloudID string `json:"cloudID,omitempty"`
 	// Clock is the time source nodes built from this config run on. Nil
 	// selects the wall clock; the deterministic simulation harness
 	// injects a virtual clock here. Never serialised.
@@ -181,6 +194,10 @@ type RegisterRequest struct {
 // FetchResponse answers GET /fetch.
 type FetchResponse struct {
 	Doc document.Document `json:"doc"`
+	// PurgeGen is the origin's purge generation for the URL at serve
+	// time. Shields record it so a later /versions comparison can tell a
+	// legitimately re-fetched copy from one that missed a global purge.
+	PurgeGen int64 `json:"purgeGen,omitempty"`
 }
 
 // UpdateRequest is the body of POST /update and /apply. On /apply the
@@ -281,6 +298,87 @@ type PublishRequest struct {
 type PublishResponse struct {
 	Version  document.Version `json:"version"`
 	Notified int              `json:"notified"`
+	// ShieldsNotified counts shields the update reached — exactly one
+	// versioned update per reachable shield per publish (0 in the
+	// single-tier layout).
+	ShieldsNotified int `json:"shieldsNotified,omitempty"`
+}
+
+// Shield-tier wire protocol. The shield tier reuses the beacon-ring
+// machinery recursively: shields form their own ring whose intra-ring
+// hash range is keyed by cloud IDs, so each cloud has an owning shield
+// and failover walks the ring order.
+
+// Purge scopes accepted by POST /purge and /spurge.
+const (
+	// PurgeScopeGlobal evicts the document from every shield and every
+	// cloud (a global-edge purge).
+	PurgeScopeGlobal = "global"
+	// PurgeScopeCloud evicts one cloud's copies and cancels its
+	// subscriptions; the shield tier keeps serving everyone else.
+	PurgeScopeCloud = "cloud"
+)
+
+// ShieldFetchResponse answers a shield's GET /sfetch.
+type ShieldFetchResponse struct {
+	Doc document.Document `json:"doc"`
+	// ShieldHit reports whether the shield served from its own copy
+	// without an origin round trip.
+	ShieldHit bool `json:"shieldHit,omitempty"`
+}
+
+// ShieldUpdateResponse answers a shield's POST /supdate.
+type ShieldUpdateResponse struct {
+	// Held reports whether the shield held (and refreshed) a copy.
+	Held bool `json:"held"`
+	// CloudsNotified sums the holder notifications of every cloud beacon
+	// this shield fanned the update to.
+	CloudsNotified int `json:"cloudsNotified"`
+}
+
+// PurgeRequest is the body of the origin's POST /purge, a shield's POST
+// /spurge, and a cache node's POST /purge and /drop.
+type PurgeRequest struct {
+	URL string `json:"url"`
+	// Scope is PurgeScopeGlobal or PurgeScopeCloud.
+	Scope string `json:"scope"`
+	// Cloud names the target cloud for PurgeScopeCloud.
+	Cloud string `json:"cloud,omitempty"`
+	// Gen is the origin's purge generation for the URL (global purges);
+	// shields record it so a missed purge is reconciled after heal.
+	Gen int64 `json:"gen,omitempty"`
+}
+
+// PurgeResponse answers the purge endpoints.
+type PurgeResponse struct {
+	// ShieldsNotified counts shields the origin forwarded the purge to.
+	ShieldsNotified int `json:"shieldsNotified,omitempty"`
+	// Dropped counts edge copies actually evicted downstream.
+	Dropped int `json:"dropped"`
+}
+
+// VersionsResponse answers the origin's GET /versions: the ground-truth
+// document versions and per-URL global purge generations shields resync
+// against (the tier-level analogue of /reconcile).
+type VersionsResponse struct {
+	Versions map[string]document.Version `json:"versions"`
+	PurgeGen map[string]int64            `json:"purgeGen,omitempty"`
+}
+
+// ShieldStats answers a shield's GET /stats.
+type ShieldStats struct {
+	Shield        string `json:"shield"`
+	HeldDocs      int    `json:"heldDocs"`
+	Subscriptions int    `json:"subscriptions"`
+	Fetches       int64  `json:"fetches"`
+	ShieldHits    int64  `json:"shieldHits"`
+	OriginFetches int64  `json:"originFetches"`
+	UpdatesIn     int64  `json:"updatesIn"`
+	UpdatesFanned int64  `json:"updatesFanned"`
+	Purges        int64  `json:"purges"`
+	ResyncDrops   int64  `json:"resyncDrops"`
+	WarmBoot      bool   `json:"warmBoot,omitempty"`
+	WarmRecovered int    `json:"warmRecovered,omitempty"`
 }
 
 // RebalanceResponse answers the origin's POST /rebalance.
@@ -348,6 +446,15 @@ type CacheStats struct {
 	// DurableErrors counts disk-tier mutations that failed (the cache
 	// keeps serving; durability degrades).
 	DurableErrors int64 `json:"durableErrors,omitempty"`
+	// ShieldFetches counts upstream misses resolved through the shield
+	// tier; ShieldHits the subset the shield answered from its own copy.
+	// ShieldFailover counts fetches served by a non-owner shield after
+	// ring-order failover, ShieldDegraded direct-origin fetches taken
+	// while every shield was unreachable. All zero in single-tier runs.
+	ShieldFetches  int64 `json:"shieldFetches,omitempty"`
+	ShieldHits     int64 `json:"shieldHits,omitempty"`
+	ShieldFailover int64 `json:"shieldFailover,omitempty"`
+	ShieldDegraded int64 `json:"shieldDegraded,omitempty"`
 }
 
 // OriginStats answers the origin node's GET /stats.

@@ -1,0 +1,752 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cachecloud/internal/document"
+	"cachecloud/internal/durable"
+	"cachecloud/internal/obs"
+	"cachecloud/internal/ring"
+)
+
+// ShieldRouter resolves which shield serves a cloud — the recursive reuse
+// of the beacon-ring machinery: the shields form a ring (internal/ring)
+// and the cloud ID hashes into its intra-ring range exactly as a URL
+// hashes into a beacon ring. Failover walks the ring order from the
+// owner, the same sibling discipline beacon rings use.
+type ShieldRouter struct {
+	order []string // sorted shield names
+	start int      // ring position of this cloud's owning shield
+	addrs map[string]string
+}
+
+// NewShieldRouter builds the cloud-side router from the cluster config.
+// Returns (nil, nil) when no shield tier is configured.
+func NewShieldRouter(cfg ClusterConfig) (*ShieldRouter, error) {
+	if len(cfg.Shields) == 0 {
+		return nil, nil
+	}
+	order := append([]string(nil), cfg.Shields...)
+	sort.Strings(order)
+	members := make([]ring.Member, len(order))
+	for i, id := range order {
+		members[i] = ring.Member{ID: id, Capability: 1}
+	}
+	rg, err := ring.New(ring.Config{IntraGen: cfg.IntraGen}, members)
+	if err != nil {
+		return nil, fmt.Errorf("node: shield ring: %w", err)
+	}
+	cloudID := cfg.CloudID
+	if cloudID == "" {
+		cloudID = "cloud0"
+	}
+	owner, err := rg.BeaconFor(document.HashURL(cloudID).IrH(cfg.IntraGen))
+	if err != nil {
+		return nil, fmt.Errorf("node: shield ring: %w", err)
+	}
+	r := &ShieldRouter{order: order, addrs: cfg.ShieldAddrs}
+	for i, id := range order {
+		if id == owner {
+			r.start = i
+		}
+	}
+	return r, nil
+}
+
+// Owner returns this cloud's owning shield.
+func (r *ShieldRouter) Owner() string { return r.order[r.start] }
+
+// Walk returns the shields' base URLs in failover order: the cloud's
+// owner first, then the rest of the ring in order.
+func (r *ShieldRouter) Walk() []string {
+	out := make([]string, 0, len(r.order))
+	for i := 0; i < len(r.order); i++ {
+		name := r.order[(r.start+i)%len(r.order)]
+		if base, ok := r.addrs[name]; ok {
+			out = append(out, base)
+		}
+	}
+	return out
+}
+
+// shieldFetch retrieves a document through the shield ring, walking it in
+// failover order from this cloud's owner. The cloud's current version (the
+// staleness hint) rides along so a stale shield refreshes from the origin
+// before answering — cloud versions never regress across shield failover.
+// The fetch also (re-)subscribes this cloud to the serving shield's
+// fan-out. Fails only when every shield is unreachable.
+func (n *CacheNode) shieldFetch(ctx context.Context, url string, version document.Version) (FetchResponse, error) {
+	cloudID := n.cfg.CloudID
+	if cloudID == "" {
+		cloudID = "cloud0"
+	}
+	q := "/sfetch?url=" + queryEscape(url) + "&cloud=" + queryEscape(cloudID) +
+		"&v=" + strconv.FormatUint(uint64(version), 10)
+	var lastErr error
+	for i, base := range n.shieldRouter.Walk() {
+		var sr ShieldFetchResponse
+		if err := n.tp.GetJSON(ctx, base+q, &sr); err != nil {
+			lastErr = err
+			continue
+		}
+		n.shieldFetches.Inc()
+		if i > 0 {
+			n.shieldFailover.Inc()
+		}
+		if sr.ShieldHit {
+			n.shieldHits.Inc()
+		}
+		return FetchResponse{Doc: sr.Doc}, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("node: no shield addresses configured")
+	}
+	return FetchResponse{}, lastErr
+}
+
+// fetchUpstream retrieves a document from the next tier up: the shield
+// ring in two-tier mode, the origin directly otherwise. When every shield
+// is unreachable the fetch degrades to a direct origin hit and the URL is
+// marked degraded — the copy has no shield subscription, so the next
+// reconcile pass re-attaches it (see resubscribeDegraded).
+func (n *CacheNode) fetchUpstream(ctx context.Context, url string, version document.Version) (FetchResponse, error) {
+	if n.shieldRouter == nil {
+		var fr FetchResponse
+		err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr)
+		return fr, err
+	}
+	fr, err := n.shieldFetch(ctx, url, version)
+	if err == nil {
+		return fr, nil
+	}
+	if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+		return FetchResponse{}, err
+	}
+	n.shieldDegraded.Inc()
+	n.mu.Lock()
+	n.degradedURLs[url] = true
+	n.mu.Unlock()
+	return fr, nil
+}
+
+// resubscribeDegraded re-attaches copies fetched while the whole shield
+// tier was unreachable. A degraded fetch bypassed the shields, so no
+// shield carries a subscription for the copy and no publish can refresh
+// it. Re-fetching through the ring with the stored version as the hint
+// re-subscribes the cloud and refreshes the copy if it went stale; shields
+// still unreachable leave the mark in place for the next pass.
+func (n *CacheNode) resubscribeDegraded(ctx context.Context) {
+	if n.shieldRouter == nil {
+		return
+	}
+	n.mu.Lock()
+	urls := make([]string, 0, len(n.degradedURLs))
+	for u := range n.degradedURLs {
+		urls = append(urls, u)
+	}
+	n.mu.Unlock()
+	sort.Strings(urls)
+	for _, url := range urls {
+		cp, ok := n.store.Peek(url)
+		if !ok {
+			n.mu.Lock()
+			delete(n.degradedURLs, url)
+			n.mu.Unlock()
+			continue
+		}
+		fr, err := n.shieldFetch(ctx, url, cp.Doc.Version)
+		if err != nil {
+			continue
+		}
+		if fr.Doc.Version > cp.Doc.Version {
+			n.store.ApplyUpdate(fr.Doc, n.now())
+		}
+		n.mu.Lock()
+		delete(n.degradedURLs, url)
+		n.mu.Unlock()
+	}
+}
+
+// ShieldNode is one live shield-tier cache: a cache interposed between the
+// edge clouds and the origin. Cloud misses resolve cloud → shield → origin
+// (GET /sfetch), the origin pushes exactly one versioned update per shield
+// per publish (POST /supdate) which the shield fans out once per subscribed
+// cloud through the cloud's beacon machinery, and purges arrive scoped
+// (POST /spurge): global-edge purges evict the shield copy and every
+// subscribed cloud, per-cloud purges evict one cloud and cancel its
+// subscription while the shield keeps serving everyone else.
+//
+// The shield tier reuses the beacon-ring machinery recursively: shields
+// form their own ring (internal/ring) whose intra-ring range is keyed by
+// cloud IDs — see ShieldRouter on the cache-node side. Shield-side
+// anti-entropy (Reconcile against the origin's GET /versions) plays the
+// role /reconcile plays inside a cloud, and the same internal/durable hook
+// cache nodes use persists the shield's copies across restarts.
+type ShieldNode struct {
+	name  string
+	cfg   ClusterConfig
+	tp    Transport
+	clock Clock
+	start time.Time
+
+	mu   sync.Mutex
+	docs map[string]document.Copy
+	// subs maps URL → the set of cloud IDs subscribed for update pushes;
+	// a subscription is created by the fetch that served the cloud and
+	// cancelled by purges or a fan-out that finds no holders left.
+	subs map[string]map[string]bool
+	// purgeSeen maps URL → the origin purge generation this shield has
+	// applied; Reconcile drops held copies whose generation is stale (a
+	// global purge that landed while this shield was unreachable).
+	purgeSeen map[string]int64
+	// assign is the cloud's beacon sub-range layout, installed by the
+	// origin's POST /subranges exactly as on cache nodes: the shield
+	// routes its fan-out through the document's current beacon point.
+	assign Assignments
+
+	durable       *durable.Store
+	warmBoot      bool
+	warmRecovered int
+
+	reg           *obs.Registry
+	fetches       *obs.Counter
+	shieldHits    *obs.Counter
+	originFetches *obs.Counter
+	updatesIn     *obs.Counter
+	updatesFanned *obs.Counter
+	purgesCtr     *obs.Counter
+	resyncDrops   *obs.Counter
+}
+
+// NewShieldNode constructs a live shield node. Its name must appear in the
+// cluster config's ShieldAddrs.
+func NewShieldNode(name string, cfg ClusterConfig) (*ShieldNode, error) {
+	if _, ok := cfg.ShieldAddrs[name]; !ok {
+		return nil, fmt.Errorf("node: shield %q missing from shield addresses", name)
+	}
+	if cfg.IntraGen <= 0 {
+		return nil, fmt.Errorf("node: IntraGen must be positive")
+	}
+	clock := clockOrReal(cfg.Clock)
+	sn := &ShieldNode{
+		name:      name,
+		cfg:       cfg,
+		clock:     clock,
+		start:     clock.Now(),
+		docs:      make(map[string]document.Copy),
+		subs:      make(map[string]map[string]bool),
+		purgeSeen: make(map[string]int64),
+		assign:    equalSplit(cfg),
+	}
+	sn.initMetrics()
+	if err := sn.initDurable(); err != nil {
+		return nil, err
+	}
+	sn.tp = NewHTTPTransport(TransportOptions{Clock: clock})
+	return sn, nil
+}
+
+// NewShieldNodeWithTransport constructs a shield node whose outbound calls
+// go through the given transport (the simulation harness injects the chaos
+// transport here).
+func NewShieldNodeWithTransport(name string, cfg ClusterConfig, tp Transport) (*ShieldNode, error) {
+	sn, err := NewShieldNode(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tp != nil {
+		sn.tp = tp
+	}
+	return sn, nil
+}
+
+// Name returns the shield's name.
+func (sn *ShieldNode) Name() string { return sn.name }
+
+func (sn *ShieldNode) initMetrics() {
+	reg := obs.NewRegistry("cachecloud_shield", map[string]string{"shield": sn.name})
+	sn.reg = reg
+	sn.fetches = reg.Counter("fetches_total")
+	sn.shieldHits = reg.Counter("shield_hits_total")
+	sn.originFetches = reg.Counter("origin_fetch_total")
+	sn.updatesIn = reg.Counter("updates_in_total")
+	sn.updatesFanned = reg.Counter("updates_fanned_total")
+	sn.purgesCtr = reg.Counter("purges_total")
+	sn.resyncDrops = reg.Counter("resync_drops_total")
+	reg.GaugeFunc("held_documents", func() float64 {
+		sn.mu.Lock()
+		defer sn.mu.Unlock()
+		return float64(len(sn.docs))
+	})
+	reg.GaugeFunc("subscriptions", func() float64 {
+		sn.mu.Lock()
+		defer sn.mu.Unlock()
+		n := 0
+		for _, m := range sn.subs {
+			n += len(m)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("uptime_seconds", func() float64 {
+		return float64(sn.clock.Since(sn.start) / time.Second)
+	})
+}
+
+// initDurable opens the shield's durable tier under the same store-root
+// convention cache nodes use (StoreDir/<name>) and replays the recovered
+// index so a restarted shield resumes holding its copies — possibly stale,
+// which Reconcile and fetch staleness hints repair — instead of funnelling
+// a cold-miss storm at the origin.
+func (sn *ShieldNode) initDurable() error {
+	if sn.cfg.StoreDir == "" {
+		return nil
+	}
+	st, err := durable.Open(filepath.Join(sn.cfg.StoreDir, sn.name), durable.Options{
+		Fsync:  durable.ParseFsync(sn.cfg.Fsync),
+		Tracer: sn.cfg.Tracer,
+	})
+	if err != nil {
+		return err
+	}
+	sn.durable = st
+	for _, e := range st.Entries() {
+		sn.docs[e.Doc.URL] = document.Copy{Doc: e.Doc, FetchedAt: e.FetchedAt}
+	}
+	sn.warmRecovered = len(sn.docs)
+	sn.warmBoot = sn.warmRecovered > 0
+	return nil
+}
+
+// Close seals the durable tier (no-op for memory-only shields).
+func (sn *ShieldNode) Close() error {
+	if sn.durable == nil {
+		return nil
+	}
+	return sn.durable.Close()
+}
+
+// persist writes one copy through the durable hook (best-effort: the
+// shield keeps serving if the disk tier degrades).
+func (sn *ShieldNode) persist(cp document.Copy) {
+	if sn.durable != nil {
+		_ = sn.durable.Put(cp)
+	}
+}
+
+// unpersist tombstones one URL in the durable log.
+func (sn *ShieldNode) unpersist(url string) {
+	if sn.durable != nil {
+		_ = sn.durable.Delete(url)
+	}
+}
+
+// Handler returns the shield's HTTP handler.
+func (sn *ShieldNode) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /sfetch", sn.handleFetch)
+	mux.HandleFunc("POST /supdate", sn.handleUpdate)
+	mux.HandleFunc("POST /spurge", sn.handlePurge)
+	mux.HandleFunc("POST /subranges", sn.handleSubranges)
+	mux.HandleFunc("GET /healthz", sn.handleHealthz)
+	mux.HandleFunc("GET /stats", sn.handleStats)
+	mux.HandleFunc("GET /metrics", sn.handleMetrics)
+	return mux
+}
+
+func (sn *ShieldNode) now() int64 { return int64(sn.clock.Since(sn.start) / time.Second) }
+
+// handleFetch resolves one cloud miss: serve the held copy when it is at
+// least as fresh as the cloud's staleness hint (v=), otherwise refresh
+// from the origin first — so a shield that healed after missing a publish
+// never moves a cloud's served version backwards. The serving fetch
+// subscribes the cloud for this URL's update pushes.
+func (sn *ShieldNode) handleFetch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	url := q.Get("url")
+	cloudID := q.Get("cloud")
+	if url == "" || cloudID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing url or cloud"))
+		return
+	}
+	var hint document.Version
+	if v := q.Get("v"); v != "" {
+		if hv, err := strconv.ParseUint(v, 10, 64); err == nil {
+			hint = document.Version(hv)
+		}
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	sn.fetches.Inc()
+
+	sn.mu.Lock()
+	cp, held := sn.docs[url]
+	sn.mu.Unlock()
+	hit := held && cp.Doc.Version >= hint
+	if !hit {
+		var fr FetchResponse
+		if err := sn.tp.GetJSON(ctx, sn.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+			writeErr(w, http.StatusBadGateway, err)
+			return
+		}
+		sn.originFetches.Inc()
+		cp = document.Copy{Doc: fr.Doc, FetchedAt: sn.now()}
+		sn.mu.Lock()
+		// Keep the newer copy if an update overtook this fetch.
+		if old, ok := sn.docs[url]; !ok || cp.Doc.Version >= old.Doc.Version {
+			sn.docs[url] = cp
+			sn.persist(cp)
+		} else {
+			cp = old
+		}
+		sn.purgeSeen[url] = fr.PurgeGen
+	} else {
+		sn.shieldHits.Inc()
+		sn.mu.Lock()
+	}
+	m, ok := sn.subs[url]
+	if !ok {
+		m = make(map[string]bool)
+		sn.subs[url] = m
+	}
+	m[cloudID] = true
+	sn.mu.Unlock()
+	writeJSON(w, http.StatusOK, ShieldFetchResponse{Doc: cp.Doc, ShieldHit: hit})
+}
+
+// cloudBeacon resolves the beacon base URL a fan-out for url goes to
+// inside the named cloud. The live layer runs one cloud (cfg.CloudID) per
+// cluster config; subscriptions from other cloud IDs have no route and
+// are pruned.
+func (sn *ShieldNode) cloudBeacon(url, cloudID string) (string, bool) {
+	if cloudID != sn.cloudID() {
+		return "", false
+	}
+	sn.mu.Lock()
+	owner, err := sn.assign.ownerOf(url, sn.cfg.IntraGen)
+	sn.mu.Unlock()
+	if err != nil {
+		return "", false
+	}
+	base, ok := sn.cfg.Addrs[owner]
+	return base, ok
+}
+
+func (sn *ShieldNode) cloudID() string {
+	if sn.cfg.CloudID != "" {
+		return sn.cfg.CloudID
+	}
+	return "cloud0"
+}
+
+// handleUpdate receives the origin's versioned update push. A held copy is
+// refreshed and fanned out exactly once per subscribed cloud, through the
+// document's beacon point (the beacon then pushes /apply to its holders,
+// the intra-cloud half of the protocol). A fan-out that reaches a beacon
+// listing no holders prunes the subscription — deliveries refresh, they
+// never store. A shield that does not hold the document acknowledges
+// without fanning (nothing downstream can be subscribed).
+func (sn *ShieldNode) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sn.updatesIn.Inc()
+	url := req.Doc.URL
+
+	sn.mu.Lock()
+	old, held := sn.docs[url]
+	if held && req.Doc.Version > old.Doc.Version {
+		cp := document.Copy{Doc: req.Doc, FetchedAt: sn.now()}
+		sn.docs[url] = cp
+		sn.persist(cp)
+	}
+	clouds := sn.sortedSubs(url)
+	sn.mu.Unlock()
+
+	if !held {
+		writeJSON(w, http.StatusOK, ShieldUpdateResponse{Held: false})
+		return
+	}
+	notified := 0
+	for _, cid := range clouds {
+		base, ok := sn.cloudBeacon(url, cid)
+		if !ok {
+			sn.dropSub(url, cid)
+			continue
+		}
+		sn.updatesFanned.Inc()
+		var ur UpdateResponse
+		if err := sn.tp.PostJSON(r.Context(), base+"/update", UpdateRequest{Doc: req.Doc}, &ur); err != nil {
+			// Unreachable beacon: keep the subscription; Reconcile re-fans
+			// once the cloud is reachable again.
+			continue
+		}
+		notified += ur.Notified
+		if ur.Notified == 0 {
+			// The cloud holds no copies anymore: cancel its subscription so
+			// the next publish skips it (it re-subscribes on its next miss).
+			sn.dropSub(url, cid)
+		}
+	}
+	writeJSON(w, http.StatusOK, ShieldUpdateResponse{Held: true, CloudsNotified: notified})
+}
+
+// sortedSubs returns the subscribed cloud IDs for a URL in sorted order —
+// the deterministic fan-out order. Caller holds sn.mu.
+func (sn *ShieldNode) sortedSubs(url string) []string {
+	m := sn.subs[url]
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (sn *ShieldNode) dropSub(url, cloudID string) {
+	sn.mu.Lock()
+	if m, ok := sn.subs[url]; ok {
+		delete(m, cloudID)
+		if len(m) == 0 {
+			delete(sn.subs, url)
+		}
+	}
+	sn.mu.Unlock()
+}
+
+// handlePurge applies a scoped purge. Global: drop the shield's copy,
+// record the purge generation, and forward the purge into every
+// subscribed cloud. Cloud-scoped: forward to that one cloud and cancel
+// its subscription; the shield keeps its copy and keeps serving everyone
+// else.
+func (sn *ShieldNode) handlePurge(w http.ResponseWriter, r *http.Request) {
+	var req PurgeRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sn.purgesCtr.Inc()
+	dropped := 0
+	forward := func(cid string) {
+		base, ok := sn.cloudBeacon(req.URL, cid)
+		if !ok {
+			return
+		}
+		var pr PurgeResponse
+		if err := sn.tp.PostJSON(r.Context(), base+"/purge", PurgeRequest{URL: req.URL, Scope: PurgeScopeCloud, Cloud: cid}, &pr); err == nil {
+			dropped += pr.Dropped
+		}
+	}
+	switch req.Scope {
+	case PurgeScopeGlobal:
+		sn.mu.Lock()
+		_, held := sn.docs[req.URL]
+		delete(sn.docs, req.URL)
+		sn.purgeSeen[req.URL] = req.Gen
+		clouds := sn.sortedSubs(req.URL)
+		delete(sn.subs, req.URL)
+		sn.mu.Unlock()
+		if held {
+			sn.unpersist(req.URL)
+		}
+		for _, cid := range clouds {
+			forward(cid)
+		}
+	case PurgeScopeCloud:
+		sn.mu.Lock()
+		subscribed := sn.subs[req.URL][req.Cloud]
+		sn.mu.Unlock()
+		if subscribed {
+			forward(req.Cloud)
+			sn.dropSub(req.URL, req.Cloud)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown purge scope %q", req.Scope))
+		return
+	}
+	writeJSON(w, http.StatusOK, PurgeResponse{Dropped: dropped})
+}
+
+// handleSubranges installs the cloud's beacon assignment, exactly as cache
+// nodes receive it — the shield needs the current layout to route its
+// fan-out through the right beacon point.
+func (sn *ShieldNode) handleSubranges(w http.ResponseWriter, r *http.Request) {
+	var req Assignments
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sn.mu.Lock()
+	sn.assign = req
+	sn.mu.Unlock()
+	writeJSON(w, http.StatusOK, SubrangesResponse{})
+}
+
+func (sn *ShieldNode) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "shield": sn.name})
+}
+
+func (sn *ShieldNode) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sn.Stats())
+}
+
+func (sn *ShieldNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(sn.reg.Render()))
+}
+
+// Stats returns the shield's accounting snapshot.
+func (sn *ShieldNode) Stats() ShieldStats {
+	sn.mu.Lock()
+	held := len(sn.docs)
+	subCount := 0
+	for _, m := range sn.subs {
+		subCount += len(m)
+	}
+	sn.mu.Unlock()
+	return ShieldStats{
+		Shield:        sn.name,
+		HeldDocs:      held,
+		Subscriptions: subCount,
+		Fetches:       sn.fetches.Value(),
+		ShieldHits:    sn.shieldHits.Value(),
+		OriginFetches: sn.originFetches.Value(),
+		UpdatesIn:     sn.updatesIn.Value(),
+		UpdatesFanned: sn.updatesFanned.Value(),
+		Purges:        sn.purgesCtr.Value(),
+		ResyncDrops:   sn.resyncDrops.Value(),
+		WarmBoot:      sn.warmBoot,
+		WarmRecovered: sn.warmRecovered,
+	}
+}
+
+// Reconcile runs the shield-side anti-entropy pass against the origin's
+// GET /versions — the tier-level analogue of the holder /reconcile pass
+// inside a cloud. Held copies whose global purge generation is stale (the
+// purge landed while this shield was unreachable) are dropped and the
+// purge is forwarded to the clouds this shield delivered to; held copies
+// older than the origin's version are refreshed and the delta re-fanned to
+// subscribers. Returns (refreshed, purged) counts.
+func (sn *ShieldNode) Reconcile(ctx context.Context) (refreshed, purged int) {
+	var vr VersionsResponse
+	if err := sn.tp.GetJSON(ctx, sn.cfg.OriginAddr+"/versions", &vr); err != nil {
+		return 0, 0
+	}
+	sn.mu.Lock()
+	urls := make([]string, 0, len(sn.docs))
+	for url := range sn.docs {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	sn.mu.Unlock()
+
+	for _, url := range urls {
+		sn.mu.Lock()
+		cp, held := sn.docs[url]
+		seen := sn.purgeSeen[url]
+		sn.mu.Unlock()
+		if !held {
+			continue
+		}
+		if gen := vr.PurgeGen[url]; gen > seen {
+			sn.mu.Lock()
+			delete(sn.docs, url)
+			sn.purgeSeen[url] = gen
+			clouds := sn.sortedSubs(url)
+			delete(sn.subs, url)
+			sn.mu.Unlock()
+			sn.unpersist(url)
+			sn.resyncDrops.Inc()
+			purged++
+			for _, cid := range clouds {
+				base, ok := sn.cloudBeacon(url, cid)
+				if !ok {
+					continue
+				}
+				var pr PurgeResponse
+				_ = sn.tp.PostJSON(ctx, base+"/purge", PurgeRequest{URL: url, Scope: PurgeScopeCloud, Cloud: cid}, &pr)
+			}
+			continue
+		}
+		ov, known := vr.Versions[url]
+		if !known || cp.Doc.Version >= ov {
+			continue
+		}
+		var fr FetchResponse
+		if err := sn.tp.GetJSON(ctx, sn.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+			continue
+		}
+		sn.originFetches.Inc()
+		fresh := document.Copy{Doc: fr.Doc, FetchedAt: sn.now()}
+		sn.mu.Lock()
+		sn.docs[url] = fresh
+		sn.persist(fresh)
+		sn.purgeSeen[url] = fr.PurgeGen
+		clouds := sn.sortedSubs(url)
+		sn.mu.Unlock()
+		refreshed++
+		for _, cid := range clouds {
+			base, ok := sn.cloudBeacon(url, cid)
+			if !ok {
+				sn.dropSub(url, cid)
+				continue
+			}
+			sn.updatesFanned.Inc()
+			var ur UpdateResponse
+			if err := sn.tp.PostJSON(ctx, base+"/update", UpdateRequest{Doc: fr.Doc}, &ur); err == nil && ur.Notified == 0 {
+				sn.dropSub(url, cid)
+			}
+		}
+	}
+	return refreshed, purged
+}
+
+// --- white-box inspection accessors (deterministic simulation harness) ---
+
+// HeldVersions returns the URL → version map of this shield's copies.
+func (sn *ShieldNode) HeldVersions() map[string]document.Version {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	out := make(map[string]document.Version, len(sn.docs))
+	for url, cp := range sn.docs {
+		out[url] = cp.Doc.Version
+	}
+	return out
+}
+
+// PurgeSeen returns this shield's applied purge generation for a URL.
+func (sn *ShieldNode) PurgeSeen(url string) int64 {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.purgeSeen[url]
+}
+
+// Subscribers returns the sorted cloud IDs subscribed for a URL.
+func (sn *ShieldNode) Subscribers(url string) []string {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.sortedSubs(url)
+}
+
+// UpdatesIn returns the count of origin update pushes this shield has
+// received — the exactly-once-per-publish delivery counter the simulation
+// harness checks.
+func (sn *ShieldNode) UpdatesIn() int64 { return sn.updatesIn.Value() }
+
+// WarmBootInfo reports whether this shield booted warm and how many
+// entries its durable tier recovered.
+func (sn *ShieldNode) WarmBootInfo() (warm bool, recovered int) {
+	return sn.warmBoot, sn.warmRecovered
+}
+
+// Metrics exposes the shield's metrics registry.
+func (sn *ShieldNode) Metrics() *obs.Registry { return sn.reg }

@@ -76,6 +76,22 @@ const (
 	// EvCheck runs the quiescent invariants: view agreement, reachability,
 	// freshness (the exact-partition invariant runs after every event).
 	EvCheck EventKind = "check"
+	// EvShieldCrash partitions shield Node away from everyone (two-tier
+	// runs only). Cloud fetches fail over along the shield ring; publishes
+	// and purges while the shield is down are caught up at its next
+	// reconcile.
+	EvShieldCrash EventKind = "shield-crash"
+	// EvShieldHeal reconnects shield Node.
+	EvShieldHeal EventKind = "shield-heal"
+	// EvPurgeScoped purges one seeded document's edge copies in cloud
+	// scope: caches drop the copy, shields keep theirs, so the next miss is
+	// absorbed by the shield tier. Completeness is checked immediately when
+	// the whole hierarchy is reachable.
+	EvPurgeScoped EventKind = "purge-scoped"
+	// EvPurgeGlobal purges one seeded document everywhere: the origin bumps
+	// the URL's purge generation and both tiers drop their copies; a shield
+	// that missed the purge applies the generation at its next reconcile.
+	EvPurgeGlobal EventKind = "purge-global"
 )
 
 // GenConfig tunes the schedule generator.
@@ -89,6 +105,12 @@ type GenConfig struct {
 	// check-warm of the origin-fetch bound. Warm=false generation is
 	// byte-identical to pre-warm schedules (the rng stream is untouched).
 	Warm bool
+	// Shields, when positive, appends a shield-tier fault phase to every
+	// round: one shield crashes, traffic fails over along the shield ring,
+	// publishes and purges land past it, and it heals before the round's
+	// closing reconcile. Shields==0 generation is byte-identical to
+	// single-tier schedules (the rng stream is untouched).
+	Shields int
 }
 
 // Generate builds a seeded fault schedule of Rounds crash/recover rounds.
@@ -181,6 +203,40 @@ func Generate(seed int64, cfg GenConfig) []Event {
 			add(EvHeal, victim, 0)
 			t += 2*hb + hb/2
 		}
+		// Shield-tier fault phase (two-tier runs only — the extra rng draws
+		// live entirely inside this branch, so Shields==0 schedules are
+		// untouched). One shield crashes while the cache tier is healthy,
+		// loads fail over along the shield ring, publishes and purges land
+		// past the crashed shield, then it heals — the round's closing
+		// reconcile catches it up before the quiescent check.
+		if cfg.Shields > 0 {
+			shieldVictim := fmt.Sprintf("s%d", rng.Intn(cfg.Shields))
+			add(EvShieldCrash, shieldVictim, 0)
+			t += 50 * time.Millisecond
+			add(EvLoad, "", 10+rng.Intn(10))
+			t += 50 * time.Millisecond
+			add(EvPublish, "", 1+rng.Intn(2))
+			t += 50 * time.Millisecond
+			if rng.Intn(2) == 0 {
+				add(EvPurgeScoped, "", 0)
+				t += 30 * time.Millisecond
+			}
+			if rng.Intn(3) == 0 {
+				add(EvPurgeGlobal, "", 0)
+				t += 30 * time.Millisecond
+			}
+			add(EvShieldHeal, shieldVictim, 0)
+			t += 50 * time.Millisecond
+			// Post-heal traffic and purges with the full tier live: these
+			// run under the strict cross-tier checks (exactly-once delivery
+			// per shield, scoped-purge completeness).
+			add(EvPurgeScoped, "", 0)
+			t += 30 * time.Millisecond
+			if rng.Intn(2) == 0 {
+				add(EvPurgeGlobal, "", 0)
+				t += 30 * time.Millisecond
+			}
+		}
 		add(EvReconcile, "", 0)
 		t += 100 * time.Millisecond
 		add(EvCheck, "", 0)
@@ -213,6 +269,8 @@ var validKinds = map[EventKind]bool{
 	EvCrash: true, EvHeal: true, EvHealWarm: true, EvDrop: true, EvReconcile: true,
 	EvBurst: true, EvHotDoc: true,
 	EvCheckAccounting: true, EvCheckWarm: true, EvCheck: true,
+	EvShieldCrash: true, EvShieldHeal: true,
+	EvPurgeScoped: true, EvPurgeGlobal: true,
 }
 
 // Decode parses the text format produced by Encode. Blank lines and

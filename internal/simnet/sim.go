@@ -51,6 +51,14 @@ type Config struct {
 	// schedule's recovery phase to warm restarts (heal-warm + check-warm
 	// with the origin-fetch bound invariant).
 	Warm bool
+	// Shields interposes a shield tier of that many caches between the
+	// cloud and the origin: cloud misses resolve cloud → shield → origin,
+	// publishes fan origin → shield → subscribed clouds, and purges carry a
+	// global/cloud scope. The generated schedule gains a shield-tier fault
+	// phase per round and the cross-tier invariants (exactly-once update
+	// delivery per shield, scoped-purge completeness, shield freshness at
+	// quiescent points) are armed. 0 (the default) is single-tier.
+	Shields int
 	// StoreDir is the durable-tier directory root for the run. Empty with
 	// Warm set (or a schedule containing heal-warm events) creates a
 	// temporary directory that is removed when the run ends.
@@ -111,7 +119,18 @@ type sim struct {
 	caches map[string]*node.CacheNode
 	names  []string
 	docs   []document.Document
-	client interface {
+	// Shield-tier state (two-tier runs only). shieldDown tracks crashed
+	// shields; shieldsStale is armed when a publish or purge lands while
+	// the tier is impaired (or a cloud fetched around it, detected via the
+	// degraded-counter delta) and cleared by a reconcile with the whole
+	// hierarchy healthy — the strict cross-tier checks only run between a
+	// clearing reconcile and the next impairment.
+	shields      map[string]*node.ShieldNode
+	shieldNames  []string
+	shieldDown   map[string]bool
+	shieldsStale bool
+	degraded0    int64
+	client       interface {
 		GetJSON(ctx context.Context, url string, out any) error
 		PostJSON(ctx context.Context, url string, in, out any) error
 	}
@@ -164,7 +183,7 @@ func Run(cfg Config) (Result, error) {
 		schedule = Generate(cfg.Seed, GenConfig{
 			Nodes: cfg.Nodes, Rounds: cfg.Rounds,
 			Heartbeat: cfg.Heartbeat, MissK: cfg.MissK,
-			Warm: cfg.Warm,
+			Warm: cfg.Warm, Shields: cfg.Shields,
 		})
 	}
 	// A warm run (or a replayed schedule with heal-warm events) needs a
@@ -184,6 +203,8 @@ func Run(cfg Config) (Result, error) {
 		mem:         newMemNet(),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		caches:      make(map[string]*node.CacheNode),
+		shields:     make(map[string]*node.ShieldNode),
+		shieldDown:  make(map[string]bool),
 		hbStops:     make(map[string]func()),
 		partitioned: make(map[string]bool),
 		tracer:      cfg.Tracer,
@@ -238,6 +259,19 @@ func (s *sim) build() error {
 		s.names = append(s.names, name)
 		clcfg.Addrs[name] = fmt.Sprintf("http://%s.sim", name)
 	}
+	// The shield config is part of clcfg before any cache node is built:
+	// the nodes' shield routers derive the failover ring from it.
+	if cfg.Shields > 0 {
+		clcfg.CloudID = "cloud0"
+		clcfg.Shields = make([]string, cfg.Shields)
+		clcfg.ShieldAddrs = make(map[string]string, cfg.Shields)
+		for i := 0; i < cfg.Shields; i++ {
+			name := fmt.Sprintf("s%d", i)
+			clcfg.Shields[i] = name
+			s.shieldNames = append(s.shieldNames, name)
+			clcfg.ShieldAddrs[name] = fmt.Sprintf("http://%s.sim", name)
+		}
+	}
 	numRings := cfg.Nodes / cfg.RingSize
 	if numRings < 1 {
 		numRings = 1
@@ -254,6 +288,15 @@ func (s *sim) build() error {
 		s.docs[i] = document.Document{URL: fmt.Sprintf("http://cloud/doc/%03d", i), Size: int64(1000 + i)}
 	}
 
+	for _, name := range s.shieldNames {
+		sn, err := node.NewShieldNodeWithTransport(name, clcfg, s.net.Transport(name, s.mem.transport()))
+		if err != nil {
+			return err
+		}
+		s.shields[name] = sn
+		s.mem.bindHandler(clcfg.ShieldAddrs[name], sn.Handler())
+		s.net.Bind(name, clcfg.ShieldAddrs[name])
+	}
 	for _, name := range s.names {
 		cn, err := node.NewCacheNodeWithTransport(name, clcfg, s.net.Transport(name, s.mem.transport()))
 		if err != nil {
@@ -301,6 +344,9 @@ func (s *sim) stop() {
 	for _, name := range s.names {
 		_ = s.caches[name].Close()
 	}
+	for _, name := range s.shieldNames {
+		_ = s.shields[name].Close()
+	}
 }
 
 // hasWarmEvents reports whether a schedule contains warm-restart events
@@ -328,6 +374,25 @@ func injectHook(name string) (func(method, path string, body []byte) []byte, err
 			}
 			hb.RecordsHeld--
 			mutated, err := json.Marshal(hb)
+			if err != nil {
+				return nil
+			}
+			return mutated
+		}, nil
+	case "supdate-stale":
+		// Origin→shield update pushes carry a decremented version, so the
+		// shield tier silently serves stale documents — the cross-tier
+		// fan-out invariant must catch it.
+		return func(method, path string, body []byte) []byte {
+			if method != "POST" || path != "/supdate" {
+				return nil
+			}
+			var ur node.UpdateRequest
+			if err := json.Unmarshal(body, &ur); err != nil || ur.Doc.Version == 0 {
+				return nil
+			}
+			ur.Doc.Version--
+			mutated, err := json.Marshal(ur)
 			if err != nil {
 				return nil
 			}
@@ -391,6 +456,43 @@ func (s *sim) livePeers() []string {
 	return out
 }
 
+// liveShields returns the shield names not currently crashed, sorted.
+func (s *sim) liveShields() []string {
+	out := make([]string, 0, len(s.shieldNames))
+	for _, name := range s.shieldNames {
+		if !s.shieldDown[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// degradedTotal sums the clouds' shield-bypass counters: a non-zero delta
+// since the last healthy reconcile means some copy was fetched straight
+// from the origin and carries no shield subscription.
+func (s *sim) degradedTotal() int64 {
+	var total int64
+	for _, name := range s.names {
+		total += s.caches[name].ShieldDegraded()
+	}
+	return total
+}
+
+// shieldsOK reports whether the strict cross-tier checks are valid right
+// now: shields configured, clean network, full shield tier live, and no
+// unrepaired staleness. A fresh degraded-fetch delta is folded in here —
+// it arms shieldsStale exactly like an impaired-tier publish would.
+func (s *sim) shieldsOK() bool {
+	if len(s.shieldNames) == 0 {
+		return false
+	}
+	if d := s.degradedTotal(); d != s.degraded0 {
+		s.degraded0 = d
+		s.shieldsStale = true
+	}
+	return s.clean() && len(s.shieldDown) == 0 && !s.shieldsStale
+}
+
 // exec runs one schedule event.
 func (s *sim) exec(ev Event) {
 	switch ev.Kind {
@@ -434,6 +536,17 @@ func (s *sim) exec(ev Event) {
 		s.checkAccounting(ev.Node)
 	case EvCheck:
 		s.checkQuiescent()
+	case EvShieldCrash:
+		s.execShieldCrash(ev.Node)
+	case EvShieldHeal:
+		delete(s.shieldDown, ev.Node)
+		s.net.Heal(ev.Node)
+		s.traceFault(ev.Node, 0)
+		s.logf("shield-heal node=%s", ev.Node)
+	case EvPurgeScoped:
+		s.execPurge(node.PurgeScopeCloud)
+	case EvPurgeGlobal:
+		s.execPurge(node.PurgeScopeGlobal)
 	default:
 		s.failf("unknown event kind %q", ev.Kind)
 	}
@@ -464,24 +577,175 @@ func (s *sim) execLoad(n int) {
 
 // execPublish publishes n seeded updates through the origin. In a clean
 // network the fan-out invariant is checked per publish: every holder the
-// beacon still lists must store exactly the published version.
+// beacon still lists must store exactly the published version. With a
+// shield tier the publish resolves origin → shields → subscribed clouds,
+// and the healthy-tier checks add exactly-once delivery per shield (one
+// /supdate each, regardless of how many clouds subscribe) on top of the
+// cross-tier fan-out.
 func (s *sim) execPublish(n int) {
 	for i := 0; i < n; i++ {
 		doc := s.docs[s.rng.Intn(len(s.docs))]
+		shieldMode := len(s.shieldNames) > 0
+		strict := false
+		var updates0 map[string]int64
+		if shieldMode {
+			strict = s.shieldsOK()
+			if strict {
+				updates0 = make(map[string]int64, len(s.shieldNames))
+				for _, name := range s.shieldNames {
+					updates0[name] = s.shields[name].UpdatesIn()
+				}
+			}
+		}
 		var pr node.PublishResponse
 		err := s.client.PostJSON(context.Background(), "http://origin.sim/publish", node.PublishRequest{URL: doc.URL}, &pr)
+		if shieldMode && !strict {
+			// The update may have missed a crashed shield (or raced a fault
+			// window); its subscribers stay stale until the next reconcile.
+			s.shieldsStale = true
+		}
 		if err != nil {
 			s.logf("publish url=%s err=true", doc.URL)
+			if shieldMode {
+				s.shieldsStale = true
+			}
 			continue
 		}
-		s.logf("publish url=%s version=%d notified=%d", doc.URL, pr.Version, pr.Notified)
+		if shieldMode {
+			s.logf("publish url=%s version=%d notified=%d shields=%d", doc.URL, pr.Version, pr.Notified, pr.ShieldsNotified)
+		} else {
+			s.logf("publish url=%s version=%d notified=%d", doc.URL, pr.Version, pr.Notified)
+		}
 		if s.pendingWarm != nil {
 			// Publishes inside the warm window are legitimate slack for the
 			// origin-fetch bound (a refreshed document may miss everywhere).
 			s.pendingWarm.published++
 		}
-		if s.clean() {
+		switch {
+		case strict:
+			if pr.ShieldsNotified != len(s.shieldNames) {
+				s.failf("publish %s: %d of %d shields notified on a healthy tier",
+					doc.URL, pr.ShieldsNotified, len(s.shieldNames))
+			}
+			for _, name := range s.shieldNames {
+				if d := s.shields[name].UpdatesIn() - updates0[name]; d != 1 {
+					s.failf("publish %s: shield %s received %d updates, want exactly one", doc.URL, name, d)
+				}
+			}
+			s.checkShieldFanout(doc.URL, pr.Version)
+		case !shieldMode && s.clean():
 			s.checkFanout(doc.URL, pr.Version)
+		}
+	}
+}
+
+// checkShieldFanout verifies one healthy-tier publish end to end: every
+// shield still holding the URL serves exactly the published version, and
+// the cloud-side fan-out (beacon record + holders) matches it too. A
+// missing beacon record is vacuous (the document was never fetched or was
+// purged); an empty holder list skips the version comparison because the
+// shield prunes a cloud's subscription when a fan-out finds no holders
+// left.
+func (s *sim) checkShieldFanout(docURL string, version document.Version) {
+	for _, name := range s.shieldNames {
+		if v, held := s.shields[name].HeldVersions()[docURL]; held && v != version {
+			s.failf("shieldfanout %s: shield %s serves version %d, published %d", docURL, name, v, version)
+		}
+	}
+	owner, err := s.origin.Assignments().Owner(docURL, s.cfg.IntraGen)
+	if err != nil {
+		s.failf("shieldfanout %s: no owner: %v", docURL, err)
+		return
+	}
+	rec, ok := findRecord(s.caches[owner].Records(), docURL)
+	if !ok {
+		return // never fetched, or purged: no cloud fan-out expected
+	}
+	if len(rec.Holders) == 0 {
+		return // subscription pruned with the last holder
+	}
+	if rec.Version != version {
+		s.failf("shieldfanout %s: beacon %s at version %d, published %d", docURL, owner, rec.Version, version)
+	}
+	for _, h := range rec.Holders {
+		cn, ok := s.caches[h]
+		if !ok {
+			s.failf("shieldfanout %s: beacon %s lists unknown holder %s", docURL, owner, h)
+			continue
+		}
+		if v, stored := cn.StoredVersions()[docURL]; !stored || v != version {
+			s.failf("shieldfanout %s: holder %s stores version %d (stored=%v), published %d",
+				docURL, h, v, stored, version)
+		}
+	}
+}
+
+// execShieldCrash partitions one shield away from everyone. Cloud fetches
+// fail over along the shield ring; the strict cross-tier checks stand
+// down until the shield heals and a reconcile repairs what it missed.
+func (s *sim) execShieldCrash(victim string) {
+	sn, ok := s.shields[victim]
+	if !ok {
+		s.failf("shield-crash: unknown shield %q", victim)
+		return
+	}
+	held := len(sn.HeldVersions())
+	s.shieldDown[victim] = true
+	s.net.Kill(victim)
+	s.traceFault(victim, int64(held))
+	s.logf("shield-crash node=%s held=%d", victim, held)
+}
+
+// execPurge invalidates one seeded document through the origin. Global
+// scope must empty both tiers (the origin bumps the URL's purge
+// generation so a crashed shield catches up at reconcile); cloud scope
+// drops the edge copies while shields keep theirs. Completeness is
+// checked immediately when the whole hierarchy is reachable; copies are
+// the unit of completeness — a beacon lookup record minted by a shed
+// fetch may legitimately survive with no holders and no subscription.
+func (s *sim) execPurge(scope string) {
+	doc := s.docs[s.rng.Intn(len(s.docs))]
+	shieldMode := len(s.shieldNames) > 0
+	strict := false
+	if shieldMode {
+		strict = s.shieldsOK()
+	} else {
+		strict = s.clean()
+	}
+	req := node.PurgeRequest{URL: doc.URL, Scope: scope}
+	if scope == node.PurgeScopeCloud {
+		req.Cloud = "cloud0"
+	}
+	var pr node.PurgeResponse
+	err := s.client.PostJSON(context.Background(), "http://origin.sim/purge", req, &pr)
+	if err != nil {
+		s.logf("purge url=%s scope=%s err=true", doc.URL, scope)
+		if shieldMode {
+			s.shieldsStale = true
+		}
+		return
+	}
+	s.logf("purge url=%s scope=%s shields=%d dropped=%d", doc.URL, scope, pr.ShieldsNotified, pr.Dropped)
+	if !strict {
+		if shieldMode {
+			// A crashed shield may still hold the copy (and its subscribers'
+			// edge copies survive a cloud-scoped purge); repaired at the next
+			// reconcile via the purge generation.
+			s.shieldsStale = true
+		}
+		return
+	}
+	defer s.traceInvariant("purge", len(s.failures))
+	for _, name := range s.names {
+		if _, stored := s.caches[name].StoredVersions()[doc.URL]; stored {
+			s.failf("purge[%s] %s: cache %s still stores a copy", scope, doc.URL, name)
+		}
+	}
+	if scope == node.PurgeScopeGlobal {
+		for _, name := range s.shieldNames {
+			if _, held := s.shields[name].HeldVersions()[doc.URL]; held {
+				s.failf("purge[global] %s: shield %s still holds a copy", doc.URL, name)
+			}
 		}
 	}
 }
@@ -663,13 +927,32 @@ func (s *sim) execCheckWarm(victim string) {
 }
 
 // execReconcile runs one anti-entropy pass on every live node, in name
-// order.
+// order. With a shield tier the shields reconcile first (each resyncs
+// held versions and purge generations against the origin and re-fans
+// repairs into the cloud), then the caches (beacon pass plus degraded
+// re-subscription) — so one pass repairs cross-tier staleness top-down.
+// A pass with the whole hierarchy healthy stands the strict checks back
+// up.
 func (s *sim) execReconcile() {
+	sRefreshed, sPurged := 0, 0
+	for _, name := range s.liveShields() {
+		r, p := s.shields[name].Reconcile(context.Background())
+		sRefreshed += r
+		sPurged += p
+	}
 	reported, dropped := 0, 0
 	for _, name := range s.livePeers() {
 		r, d := s.caches[name].Reconcile(context.Background())
 		reported += r
 		dropped += d
+	}
+	if len(s.shieldNames) > 0 {
+		if s.clean() && len(s.shieldDown) == 0 {
+			s.shieldsStale = false
+			s.degraded0 = s.degradedTotal()
+		}
+		s.logf("reconcile reported=%d dropped=%d srefreshed=%d spurged=%d", reported, dropped, sRefreshed, sPurged)
+		return
 	}
 	s.logf("reconcile reported=%d dropped=%d", reported, dropped)
 }
@@ -809,6 +1092,10 @@ func (s *sim) checkQuiescent() {
 		recordsOf[name] = m
 	}
 	versions := s.origin.DocVersions()
+	// In shield mode the freshness comparison is only exact while the tier
+	// is healthy and fully reconciled — a copy subscribed on a crashed
+	// shield is legitimately stale until that shield resyncs.
+	freshOK := len(s.shieldNames) == 0 || s.shieldsOK()
 	checked, stale := 0, 0
 	for _, name := range live {
 		for docURL, v := range s.caches[name].StoredVersions() {
@@ -839,9 +1126,28 @@ func (s *sim) checkQuiescent() {
 
 			// Freshness: no stored copy staler than the origin's version
 			// survives a settle (reconcile drops stale copies).
-			if want, known := versions[docURL]; known && v != want {
+			if want, known := versions[docURL]; freshOK && known && v != want {
 				stale++
 				s.failf("freshness: %s stores %s at version %d, origin at %d", name, docURL, v, want)
+			}
+		}
+	}
+	// Shield-tier freshness at quiescent points: while the tier is healthy
+	// every live shield's held copies match the origin's ground truth, and
+	// no shield is behind a URL's purge generation (a behind shield would
+	// resurrect a globally purged document to every cloud it serves).
+	if freshOK && len(s.shieldNames) > 0 {
+		gens := s.origin.PurgeGens()
+		for _, name := range s.shieldNames {
+			sn := s.shields[name]
+			for docURL, v := range sn.HeldVersions() {
+				if want, known := versions[docURL]; known && v != want {
+					s.failf("shield-freshness: %s holds %s at version %d, origin at %d", name, docURL, v, want)
+				}
+				if g := gens[docURL]; g > sn.PurgeSeen(docURL) {
+					s.failf("shield-purge: %s holds %s behind purge generation %d (seen %d)",
+						name, docURL, g, sn.PurgeSeen(docURL))
+				}
 			}
 		}
 	}
