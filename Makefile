@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json2 bench-json3 bench-smoke figures figures-fast examples golden fuzz simsweep shield-sweep storm restart-chaos clean
+.PHONY: all build vet test race bench bench-json bench-json2 bench-json3 bench-smoke figures figures-fast examples golden fuzz simsweep shield-sweep storm restart-chaos tenant-sweep clean
 
 all: build vet test
 
@@ -102,6 +102,18 @@ restart-chaos:
 	$(GO) test -race ./internal/durable/...
 	$(GO) test -race -run 'TestEvictionTombstonesDurable|TestRemoveAndUpdateMirrorDurable' ./internal/cache
 	$(GO) run ./cmd/simnet -seeds $(SEEDS) -warm
+
+# Tenancy gate: the cross-tenant isolation property test and the
+# noisy-neighbor chaos end-to-end under the race detector, the tenant
+# quota-law unit suites, the tenantsweep experiment's shape checks, then
+# a simulation sweep whose generated schedules land a multi-tenant storm
+# each round with the per-tenant byte-quota invariant armed between
+# events and per-tenant conservation at quiescence.
+tenant-sweep:
+	$(GO) test -race -count=2 -run 'TestTenantIsolationProperty|TestChaosNoisyNeighborTenantStorm|TestTenantHeaderValidation' ./internal/node
+	$(GO) test -race ./internal/tenant/...
+	$(GO) test -race -run 'TestTenant' ./internal/cache ./internal/experiments
+	$(GO) run ./cmd/simnet -seeds $(SEEDS) -tenants 3
 
 examples:
 	$(GO) run ./examples/quickstart

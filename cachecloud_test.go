@@ -61,7 +61,7 @@ func TestFacadeSimulateAndExperiments(t *testing.T) {
 	if res.Requests == 0 {
 		t.Fatal("empty simulation")
 	}
-	if len(cachecloud.ExperimentNames()) != 15 {
+	if len(cachecloud.ExperimentNames()) != 16 {
 		t.Fatalf("experiments = %v", cachecloud.ExperimentNames())
 	}
 	var buf bytes.Buffer

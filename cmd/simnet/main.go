@@ -8,7 +8,8 @@
 // Usage:
 //
 //	simnet [-seeds 200] [-seed -1] [-nodes 4] [-ringsize 2] [-docs 40]
-//	       [-rounds 3] [-inject ""] [-schedule file] [-warm] [-shields 0] [-v]
+//	       [-rounds 3] [-inject ""] [-schedule file] [-warm] [-shields 0]
+//	       [-tenants 0] [-v]
 //
 // -seed runs a single seed (overrides -seeds). -schedule replays an
 // encoded schedule file instead of generating one. -inject plants a
@@ -50,6 +51,7 @@ func run(args []string) error {
 		schedule = fs.String("schedule", "", "replay an encoded schedule file instead of generating")
 		warm     = fs.Bool("warm", false, "durable stores + warm process restarts instead of plain heals")
 		shields  = fs.Int("shields", 0, "shield-tier caches between the cloud and the origin (0 = single tier)")
+		tenants  = fs.Int("tenants", 0, "registered tenants with weighted quotas (0 = single tenant)")
 		verbose  = fs.Bool("v", false, "print the event log of every run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +61,7 @@ func run(args []string) error {
 	base := simnet.Config{
 		Nodes: *nodes, RingSize: *ringSize, Docs: *docs,
 		Rounds: *rounds, Inject: *inject, Warm: *warm, Shields: *shields,
+		Tenants: *tenants,
 	}
 	if *schedule != "" {
 		text, err := os.ReadFile(*schedule)
@@ -111,6 +114,9 @@ func run(args []string) error {
 		}
 		if *shields > 0 {
 			fmt.Printf(" -shields %d", *shields)
+		}
+		if *tenants > 0 {
+			fmt.Printf(" -tenants %d", *tenants)
 		}
 		fmt.Println()
 		return fmt.Errorf("seed %d failed", sd)

@@ -69,6 +69,9 @@ const (
 	ReasonQueueDeadline = "queue-deadline"
 	// ReasonLimit: the adaptive limiter refused new in-flight work.
 	ReasonLimit = "limit"
+	// ReasonTenantShare: the tenant exhausted its weighted fair share of
+	// the node's admission capacity (other tenants still have headroom).
+	ReasonTenantShare = "tenant-share"
 )
 
 // ShedError reports that work was deliberately refused by the overload
@@ -79,9 +82,15 @@ type ShedError struct {
 	Class      Class
 	Reason     string
 	RetryAfter time.Duration
+	// Tenant is the tenant whose quota or fair share triggered the shed;
+	// empty when the refusal was tenant-agnostic (global overload).
+	Tenant string
 }
 
 func (e *ShedError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("admit: shed %s for tenant %q (%s, retry after %v)", e.Class, e.Tenant, e.Reason, e.RetryAfter)
+	}
 	return fmt.Sprintf("admit: shed %s (%s, retry after %v)", e.Class, e.Reason, e.RetryAfter)
 }
 

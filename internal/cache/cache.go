@@ -47,6 +47,12 @@ type Cache struct {
 	policy   replacementPolicy
 	kind     ReplacementKind
 
+	// Multi-tenant residency: resident bytes per tenant (derived from the
+	// tenant-folded keys) and the optional quota table enforced on every
+	// Put/ApplyUpdate. A tenant over its cap evicts only its own entries.
+	tenantUsed map[string]int64
+	quotas     TenantQuotas
+
 	// monitors tracks access rates per document URL, including documents
 	// that are not currently stored — the paper's placement scheme decides
 	// using patterns "collected through continued monitoring".
@@ -239,15 +245,23 @@ func (c *Cache) Put(cp document.Copy, now int64) ([]document.Document, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q is %dB, capacity %dB", ErrTooLarge, cp.Doc.URL, size, c.capacity)
 	}
+	tenant := tenantOf(cp.Doc.URL)
+	if err := c.checkTenantFit(tenant, size); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
 	if old, ok := c.entries[cp.Doc.URL]; ok {
 		c.used += size - old.Doc.Size
+		c.noteTenantBytes(tenant, size-old.Doc.Size)
 	} else {
 		c.used += size
+		c.noteTenantBytes(tenant, size)
 	}
 	c.entries[cp.Doc.URL] = cp
 	c.policy.onInsert(cp.Doc.URL, size)
 	c.persist(cp)
-	evicted := c.makeRoom(cp.Doc.URL, now)
+	evicted := c.makeTenantRoom(tenant, c.tenantQuotaOf(tenant), cp.Doc.URL, now)
+	evicted = append(evicted, c.makeRoom(cp.Doc.URL, now)...)
 	c.mu.Unlock()
 	c.flushDurable()
 	return evicted, nil
@@ -289,6 +303,7 @@ func (c *Cache) removeLocked(url string) {
 	cp := c.entries[url]
 	c.policy.onRemove(url)
 	c.used -= cp.Doc.Size
+	c.noteTenantBytes(tenantOf(url), -cp.Doc.Size)
 	delete(c.entries, url)
 	c.tombstone(url)
 }
@@ -304,12 +319,24 @@ func (c *Cache) ApplyUpdate(doc document.Document, now int64) bool {
 		c.mu.Unlock()
 		return ok // absent, or already fresh
 	}
+	tenant := tenantOf(doc.URL)
+	if c.checkTenantFit(tenant, doc.Size) != nil {
+		// The update grew the document past its tenant's whole quota: the
+		// copy can no longer be resident, so drop it and report not-held
+		// (the core then prunes this cache from the holder list).
+		c.removeLocked(doc.URL)
+		c.mu.Unlock()
+		c.flushDurable()
+		return false
+	}
 	c.used += doc.Size - cp.Doc.Size
+	c.noteTenantBytes(tenant, doc.Size-cp.Doc.Size)
 	cp.Doc = doc
 	cp.FetchedAt = now
 	c.entries[doc.URL] = cp
 	c.persist(cp)
-	// A grown update can overflow the budget.
+	// A grown update can overflow the tenant quota or the byte budget.
+	c.makeTenantRoom(tenant, c.tenantQuotaOf(tenant), doc.URL, now)
 	c.makeRoom(doc.URL, now)
 	c.mu.Unlock()
 	c.flushDurable()

@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+
+	"cachecloud/internal/document"
+)
+
+// quotaTable is a mutable TenantQuotas for tests (shrinking a quota is
+// just a map write).
+type quotaTable map[string]int64
+
+func (q quotaTable) ByteQuota(tenant string) int64 { return q[tenant] }
+
+func putDoc(t *testing.T, c *Cache, tenant, url string, size int64, now int64) []document.Document {
+	t.Helper()
+	key := document.TenantKey(tenant, url)
+	ev, err := c.Put(document.Copy{Doc: document.Document{URL: key, Size: size, Version: 1}, FetchedAt: now}, now)
+	if err != nil {
+		t.Fatalf("put %s/%s: %v", tenant, url, err)
+	}
+	return ev
+}
+
+// TestTenantQuotaLaws drives the cache-side quota-law edge cases from a
+// table: a zero-storage quota admits nothing, an over-quota tenant evicts
+// only its own entries in replacement order, the uncapped default tenant
+// rides along untouched, and exact per-tenant byte accounting holds
+// through replaces and removes.
+func TestTenantQuotaLaws(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"zero storage quota admits nothing", func(t *testing.T) {
+			c := New("e0", 0)
+			c.SetTenantQuotas(quotaTable{"boxed": 1})
+			key := document.TenantKey("boxed", "http://o/a")
+			_, err := c.Put(document.Copy{Doc: document.Document{URL: key, Size: 100, Version: 1}}, 0)
+			if !errors.Is(err, ErrTenantQuota) {
+				t.Fatalf("err = %v, want ErrTenantQuota", err)
+			}
+			if c.Len() != 0 || c.TenantUsed("boxed") != 0 {
+				t.Fatalf("rejected put left residue: len=%d used=%d", c.Len(), c.TenantUsed("boxed"))
+			}
+		}},
+		{"over-quota tenant evicts only itself in LRU order", func(t *testing.T) {
+			c := New("e0", 0)
+			c.SetTenantQuotas(quotaTable{"acme": 250})
+			putDoc(t, c, "acme", "http://o/a", 100, 1)
+			putDoc(t, c, "acme", "http://o/b", 100, 2)
+			putDoc(t, c, "", "http://o/a", 100, 3) // default tenant, same URL
+			ev := putDoc(t, c, "acme", "http://o/c", 100, 4)
+			if len(ev) != 1 || ev[0].URL != document.TenantKey("acme", "http://o/a") {
+				t.Fatalf("evicted %v, want acme's LRU doc a", ev)
+			}
+			if got := c.TenantUsed("acme"); got != 200 {
+				t.Fatalf("acme resident = %d, want 200", got)
+			}
+			if !c.Has("http://o/a") {
+				t.Fatal("default tenant's copy was evicted by acme's quota")
+			}
+		}},
+		{"single doc at exactly quota is admitted", func(t *testing.T) {
+			c := New("e0", 0)
+			c.SetTenantQuotas(quotaTable{"acme": 100})
+			putDoc(t, c, "acme", "http://o/a", 100, 1)
+			ev := putDoc(t, c, "acme", "http://o/b", 100, 2)
+			if len(ev) != 1 || ev[0].URL != document.TenantKey("acme", "http://o/a") {
+				t.Fatalf("evicted %v, want exactly the prior copy", ev)
+			}
+		}},
+		{"uncapped tenants ignore the quota table", func(t *testing.T) {
+			c := New("e0", 0)
+			c.SetTenantQuotas(quotaTable{"acme": 100})
+			for i := 0; i < 5; i++ {
+				putDoc(t, c, "", "http://o/a", 400, int64(i))
+				putDoc(t, c, "globex", "http://o/b", 400, int64(i))
+			}
+			if c.TenantUsed("") != 400 || c.TenantUsed("globex") != 400 {
+				t.Fatalf("uncapped tenants capped: %v", c.TenantUsage())
+			}
+		}},
+		{"accounting exact through replace and remove", func(t *testing.T) {
+			c := New("e0", 0)
+			putDoc(t, c, "acme", "http://o/a", 100, 1)
+			putDoc(t, c, "acme", "http://o/a", 250, 2) // replace in place
+			putDoc(t, c, "globex", "http://o/a", 70, 3)
+			if got := c.TenantUsed("acme"); got != 250 {
+				t.Fatalf("acme resident = %d after replace, want 250", got)
+			}
+			c.Remove(document.TenantKey("acme", "http://o/a"))
+			usage := c.TenantUsage()
+			if _, ok := usage["acme"]; ok {
+				t.Fatalf("acme still in usage after remove: %v", usage)
+			}
+			var sum int64
+			for _, b := range usage {
+				sum += b
+			}
+			if sum != c.Used() {
+				t.Fatalf("per-tenant bytes sum %d != Used %d", sum, c.Used())
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestTenantQuotaShrink shrinks a quota below the tenant's residency and
+// checks the sweep evicts that tenant's documents — in LRU order, nothing
+// else — and that the evicted set is reported for deregistration.
+func TestTenantQuotaShrink(t *testing.T) {
+	c := New("e0", 0)
+	q := quotaTable{"acme": 1000}
+	c.SetTenantQuotas(q)
+	for i, url := range []string{"http://o/a", "http://o/b", "http://o/c"} {
+		putDoc(t, c, "acme", url, 300, int64(i))
+		putDoc(t, c, "globex", url, 300, int64(i))
+	}
+	q["acme"] = 350 // shrink below the 900B residency
+	ev := c.EnforceTenantQuotas(10)
+	if len(ev) != 2 {
+		t.Fatalf("evicted %d docs, want 2: %v", len(ev), ev)
+	}
+	wantGone := []string{document.TenantKey("acme", "http://o/a"), document.TenantKey("acme", "http://o/b")}
+	for i, want := range wantGone {
+		if ev[i].URL != want {
+			t.Fatalf("eviction %d = %q, want LRU-ordered %q", i, ev[i].URL, want)
+		}
+	}
+	if got := c.TenantUsed("acme"); got != 300 {
+		t.Fatalf("acme resident = %d after shrink, want 300", got)
+	}
+	if got := c.TenantUsed("globex"); got != 900 {
+		t.Fatalf("globex resident = %d, want untouched 900", got)
+	}
+}
+
+// TestTenantQuotaApplyUpdate covers updates interacting with quotas: a
+// grown update evicts the tenant's other LRU entries, and an update grown
+// past the whole quota drops the copy (reported not-held so the holder
+// registration is pruned).
+func TestTenantQuotaApplyUpdate(t *testing.T) {
+	c := New("e0", 0)
+	c.SetTenantQuotas(quotaTable{"acme": 300})
+	putDoc(t, c, "acme", "http://o/a", 100, 1)
+	putDoc(t, c, "acme", "http://o/b", 100, 2)
+	keyA := document.TenantKey("acme", "http://o/a")
+	keyB := document.TenantKey("acme", "http://o/b")
+
+	if !c.ApplyUpdate(document.Document{URL: keyB, Size: 250, Version: 2}, 3) {
+		t.Fatal("grown update within quota should be held")
+	}
+	if c.Has(keyA) {
+		t.Fatal("grown update should have evicted the tenant's LRU entry")
+	}
+	if got := c.TenantUsed("acme"); got != 250 {
+		t.Fatalf("acme resident = %d, want 250", got)
+	}
+
+	if c.ApplyUpdate(document.Document{URL: keyB, Size: 500, Version: 3}, 4) {
+		t.Fatal("update grown past the whole quota must report not-held")
+	}
+	if c.Has(keyB) || c.TenantUsed("acme") != 0 {
+		t.Fatalf("oversized update left residue: has=%v used=%d", c.Has(keyB), c.TenantUsed("acme"))
+	}
+}

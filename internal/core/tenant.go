@@ -1,0 +1,35 @@
+package core
+
+import "cachecloud/internal/document"
+
+// Tenant-scoped entry points: each folds the tenant ID into the document
+// key before hashing (document.TenantKey), so every tenant's lookup
+// records live in a disjoint region of the key space — a lookup, update,
+// or holder registration by one tenant can never touch another tenant's
+// record, even for the same URL. The default (empty) tenant resolves to
+// the unscoped key, byte-identical to the non-tenant API.
+
+// LookupTenant is Lookup over the tenant-scoped key.
+func (c *Cloud) LookupTenant(tenant, url string, now int64) (LookupResult, error) {
+	key := document.TenantKey(tenant, url)
+	return c.lookupHash(key, document.HashURL(key), now, false, true)
+}
+
+// RegisterHolderTenant is RegisterHolder over the tenant-scoped key.
+func (c *Cloud) RegisterHolderTenant(tenant, url, cacheID string) error {
+	key := document.TenantKey(tenant, url)
+	return c.RegisterHolderHash(key, document.HashURL(key), cacheID)
+}
+
+// DeregisterHolderTenant is DeregisterHolder over the tenant-scoped key.
+func (c *Cloud) DeregisterHolderTenant(tenant, url, cacheID string) error {
+	key := document.TenantKey(tenant, url)
+	return c.DeregisterHolderHash(key, document.HashURL(key), cacheID)
+}
+
+// UpdateTenant is Update over the tenant-scoped key: the document's URL
+// is folded before fan-out so only the tenant's own holders see it.
+func (c *Cloud) UpdateTenant(tenant string, doc document.Document, now int64) (UpdateResult, error) {
+	doc.URL = document.TenantKey(tenant, doc.URL)
+	return c.Update(doc, now)
+}

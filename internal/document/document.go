@@ -54,6 +54,42 @@ func HashURL(url string) Hash {
 	return Hash(binary.BigEndian.Uint64(sum[:8]))
 }
 
+// TenantSep separates the tenant ID from the URL inside a tenant-scoped
+// key. The unit separator cannot appear in a valid tenant ID (see
+// internal/tenant's ValidID) and never appears in well-formed URLs, which
+// makes TenantKey injective: no (tenant, url) pair collides with another.
+const TenantSep = "\x1f"
+
+// TenantKey folds a tenant ID into a document URL, producing the scoped
+// key all per-tenant cache, record, and hash operations use. The empty
+// tenant (the default tenant) maps to the URL unchanged, so single-tenant
+// deployments hash, store, and serialize exactly as before.
+func TenantKey(tenant, url string) string {
+	if tenant == "" {
+		return url
+	}
+	return tenant + TenantSep + url
+}
+
+// SplitTenantKey inverts TenantKey: a key carrying a tenant prefix splits
+// into (tenant, url); any other key belongs to the default tenant.
+func SplitTenantKey(key string) (tenant, url string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == TenantSep[0] {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
+}
+
+// HashURLTenant computes the document hash of the tenant-scoped key —
+// the tenant ID is folded into the MD5 input, so two tenants can never
+// collide on a record even for the same URL. The empty tenant hashes
+// identically to HashURL(url).
+func HashURLTenant(tenant, url string) Hash {
+	return HashURL(TenantKey(tenant, url))
+}
+
 // RingIndex maps the hash onto one of numRings beacon rings using the
 // static random hash of the paper's two-step beacon discovery process.
 func (h Hash) RingIndex(numRings int) int {

@@ -238,7 +238,7 @@ func (p *PlacementSweep) table(w io.Writer, series map[string][]float64, cellFmt
 // Names lists the runnable experiment identifiers for CLI help
 // ("scaleout" is an extension experiment beyond the paper's figures).
 func Names() []string {
-	names := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "scaleout", "latency", "capability", "resilience", "crashsweep", "stormsweep", "restartsweep", "shieldsweep"}
+	names := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "scaleout", "latency", "capability", "resilience", "crashsweep", "stormsweep", "restartsweep", "shieldsweep", "tenantsweep"}
 	sort.Strings(names)
 	return names
 }

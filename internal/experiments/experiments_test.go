@@ -178,7 +178,7 @@ func TestRunByName(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
+	if len(names) != 16 {
 		t.Fatalf("names = %v", names)
 	}
 }

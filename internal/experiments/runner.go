@@ -409,6 +409,8 @@ func (r *Runner) Result(name string, scale float64, seed int64) (Formatter, erro
 		return r.RestartSweepExperiment(scale, seed)
 	case "shieldsweep":
 		return r.ShieldSweepExperiment(scale, seed)
+	case "tenantsweep":
+		return r.TenantSweepExperiment(scale, seed)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}

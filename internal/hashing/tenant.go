@@ -1,0 +1,12 @@
+package hashing
+
+import "cachecloud/internal/document"
+
+// BeaconForTenant resolves a tenant-scoped beacon assignment under any
+// Assigner baseline: the tenant ID is folded into the key before hashing
+// (document.TenantKey), so each tenant's documents spread over the nodes
+// independently and no two tenants ever share a record identity. The
+// default (empty) tenant resolves exactly as BeaconFor(url).
+func BeaconForTenant(a Assigner, tenant, url string) (string, error) {
+	return a.BeaconFor(document.TenantKey(tenant, url))
+}

@@ -1,0 +1,47 @@
+package hashing
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBeaconForTenant checks that tenant folding threads through both
+// assigner baselines: the default tenant resolves identically to the
+// unscoped call, and distinct tenants spread the same URL independently
+// (over many URLs at least one assignment must differ — the fold really
+// changes the hashed identity).
+func TestBeaconForTenant(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	for name, a := range map[string]Assigner{
+		"static":     NewStatic(nodes),
+		"consistent": NewConsistent(nodes, 50),
+	} {
+		t.Run(name, func(t *testing.T) {
+			diverged := false
+			for i := 0; i < 200; i++ {
+				url := fmt.Sprintf("http://cloud/doc/%03d", i)
+				plain, err := a.BeaconFor(url)
+				if err != nil {
+					t.Fatal(err)
+				}
+				def, err := BeaconForTenant(a, "", url)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if def != plain {
+					t.Fatalf("default tenant diverged for %q: %s vs %s", url, def, plain)
+				}
+				scoped, err := BeaconForTenant(a, "acme", url)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if scoped != plain {
+					diverged = true
+				}
+			}
+			if !diverged {
+				t.Fatal("tenant fold never changed any assignment — tenant not part of the hash")
+			}
+		})
+	}
+}

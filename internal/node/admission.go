@@ -112,11 +112,15 @@ func writeShed(w http.ResponseWriter, se *admit.ShedError) {
 	}
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	w.Header().Set(RetryAfterMsHeader, strconv.FormatInt(int64(ra/time.Millisecond), 10))
-	writeJSON(w, http.StatusTooManyRequests, map[string]string{
+	body := map[string]string{
 		"error":  se.Error(),
 		"class":  se.Class.String(),
 		"reason": se.Reason,
-	})
+	}
+	if se.Tenant != "" {
+		body["tenant"] = se.Tenant
+	}
+	writeJSON(w, http.StatusTooManyRequests, body)
 }
 
 // noteShed counts one shed decision of class c and traces it.
@@ -143,17 +147,20 @@ func shedOf(err error, class admit.Class) (*admit.ShedError, bool) {
 }
 
 // refuseDoc terminates a /doc request on an admission or retrieval
-// error, keeping the conservation counters exact: a shed answers 429
-// (counted as Shed), a caller-deadline expiry answers 504 and anything
-// else 502 (both counted as Failed).
-func (n *CacheNode) refuseDoc(w http.ResponseWriter, url string, class admit.Class, err error) {
+// error, keeping the conservation counters exact — node-wide and for the
+// requesting tenant: a shed answers 429 (counted as Shed), a
+// caller-deadline expiry answers 504 and anything else 502 (both counted
+// as Failed).
+func (n *CacheNode) refuseDoc(w http.ResponseWriter, tid, url string, class admit.Class, err error) {
 	if se, ok := shedOf(err, class); ok {
 		n.docShed.Inc()
+		n.tenantCounts.shed(tid)
 		n.noteShed(class, url)
 		writeShed(w, se)
 		return
 	}
 	n.docFailed.Inc()
+	n.tenantCounts.failed(tid)
 	status := http.StatusBadGateway
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		status = http.StatusGatewayTimeout

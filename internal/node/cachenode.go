@@ -17,6 +17,7 @@ import (
 	"cachecloud/internal/loadstats"
 	"cachecloud/internal/obs"
 	"cachecloud/internal/placement"
+	"cachecloud/internal/tenant"
 )
 
 var errNotFound = errors.New("node: not found")
@@ -99,6 +100,12 @@ type CacheNode struct {
 	coalescedMiss *obs.Counter // misses that joined an in-flight fetch
 	shedByClass   [admit.NumClasses]*obs.Counter
 
+	// Multi-tenant layer (see tenancy.go): all nil when cfg.Tenants is
+	// empty — the single-tenant request path is untouched.
+	tenants      *tenant.Registry
+	fair         *tenant.FairShare
+	tenantCounts *tenantCounters
+
 	// Shield tier (two-tier mode; see shieldnode.go). A nil router means
 	// single-tier: upstream fetches go straight to the origin. degradedURLs
 	// tracks copies fetched directly from the origin while every shield was
@@ -163,6 +170,11 @@ func NewCacheNode(name string, cfg ClusterConfig) (*CacheNode, error) {
 	n.tracer = cfg.Tracer
 	n.publishAssign()
 	n.initAdmission()
+	// Tenancy precedes the durable warm boot so replayed entries land
+	// under their tenants' byte quotas.
+	if err := n.initTenancy(); err != nil {
+		return nil, err
+	}
 	n.initMetrics()
 	if err := n.initDurable(); err != nil {
 		return nil, err
@@ -396,21 +408,42 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
 		return
 	}
+	tid, terr := tenantFromRequest(r)
+	if terr != nil {
+		writeErr(w, http.StatusBadRequest, terr)
+		return
+	}
 	n.docRequests.Inc()
+	n.tenantCounts.request(tid)
+	// The weighted fair share is charged for the whole request: one unit
+	// per in-flight /doc per tenant, shed immediately at the share so an
+	// aggressor tenant saturates only its own slice of MaxInflight.
+	fairRelease, ok := n.tenantAcquire(tid)
+	if !ok {
+		n.refuseTenantShed(w, tid, url)
+		return
+	}
+	defer fairRelease()
+	// All storage, routing, and cooperation below run on the
+	// tenant-folded key: each tenant's copies and lookup records live in
+	// a disjoint key space.
+	url = document.TenantKey(tid, url)
 	t0 := n.clock.Now()
 	defer func() { n.reqMs.Observe(n.msSince(t0)) }()
 	ctx, cancel := requestContext(r)
 	defer cancel()
+	ctx = withoutTenant(ctx)
 	now := n.now()
 	if cp, ok := n.store.Get(url, now); ok {
 		release, err := n.gate.Acquire(ctx, admit.Hit)
 		if err != nil {
-			n.refuseDoc(w, url, admit.Hit, err)
+			n.refuseDoc(w, tid, url, admit.Hit, err)
 			return
 		}
 		defer release()
 		n.localHits.Inc()
 		n.docServed.Inc()
+		n.tenantCounts.served(tid)
 		writeJSON(w, http.StatusOK, DocResponse{Doc: cp.Doc, Source: "local", Stored: true})
 		return
 	}
@@ -420,7 +453,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	// slow origin work is charged to the miss class alone.
 	lookupRelease, err := n.gate.Acquire(ctx, admit.Lookup)
 	if err != nil {
-		n.refuseDoc(w, url, admit.Lookup, err)
+		n.refuseDoc(w, tid, url, admit.Lookup, err)
 		return
 	}
 	defer lookupRelease()
@@ -429,6 +462,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	beaconName, beaconBase, err := n.beaconURL(url)
 	if err != nil {
 		n.docFailed.Inc()
+		n.tenantCounts.failed(tid)
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -473,13 +507,14 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 		lookupRelease()
 		doc, err := n.originFetch(ctx, url, 0)
 		if err != nil {
-			n.refuseDoc(w, url, admit.Miss, err)
+			n.refuseDoc(w, tid, url, admit.Miss, err)
 			return
 		}
 		n.originMZ.Inc()
 		n.degraded.Inc()
 		stored := n.place(ctx, doc, "", "", LookupResponse{}, now)
 		n.docServed.Inc()
+		n.tenantCounts.served(tid)
 		writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: "origin", Stored: stored, Degraded: true})
 		return
 	}
@@ -496,7 +531,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		doc, err = n.originFetch(ctx, url, lr.Version)
 		if err != nil {
-			n.refuseDoc(w, url, admit.Miss, err)
+			n.refuseDoc(w, tid, url, admit.Miss, err)
 			return
 		}
 		n.originMZ.Inc()
@@ -505,6 +540,7 @@ func (n *CacheNode) handleDoc(w http.ResponseWriter, r *http.Request) {
 	n.fetchMs.Observe(n.msSince(tFetch))
 	stored := n.place(ctx, doc, beaconName, beaconBase, lr, now)
 	n.docServed.Inc()
+	n.tenantCounts.served(tid)
 	writeJSON(w, http.StatusOK, DocResponse{Doc: doc, Source: source, Stored: stored, FailedOver: failedOver})
 }
 
@@ -637,6 +673,13 @@ func (n *CacheNode) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing url"))
 		return
 	}
+	// Peer calls pass already-scoped keys with no header; a direct client
+	// lookup carries the tenant header and gets its URL folded here.
+	url, terr := foldTenantParam(r, url)
+	if terr != nil {
+		writeErr(w, http.StatusBadRequest, terr)
+		return
+	}
 	ctx, cancel := requestContext(r)
 	defer cancel()
 	release, err := n.gate.Acquire(ctx, admit.Lookup)
@@ -725,6 +768,11 @@ func (n *CacheNode) handleDeregister(w http.ResponseWriter, r *http.Request) {
 // so an overloaded holder still relieves its peers.
 func (n *CacheNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
+	url, terr := foldTenantParam(r, url)
+	if terr != nil {
+		writeErr(w, http.StatusBadRequest, terr)
+		return
+	}
 	ctx, cancel := requestContext(r)
 	defer cancel()
 	release, err := n.gate.Acquire(ctx, admit.Hit)
@@ -1198,6 +1246,7 @@ func (n *CacheNode) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.StoreBytes = ds.TotalBytes
 		st.DurableErrors = n.store.DurableErrors()
 	}
+	st.Tenants = n.TenantAdmission()
 	writeJSON(w, http.StatusOK, st)
 }
 

@@ -58,6 +58,7 @@ func StartLocalClusterWith(nodeNames []string, ringSize int, docs []document.Doc
 		Tracer:           opts.Tracer,
 		Shields:          opts.Shields,
 		CloudID:          opts.CloudID,
+		Tenants:          opts.Tenants,
 		Addrs:            make(map[string]string, len(nodeNames)),
 	}
 	if len(cfg.Shields) > 0 {

@@ -1,15 +1,21 @@
 package node
 
-import "net/http"
+import (
+	"net/http"
+	"strings"
+)
 
 // handleMetrics exposes cache-node operational metrics at GET /metrics in
 // the Prometheus text format. The registry snapshots every series under
 // its own lock and renders outside it, so a slow client never stalls the
-// request path.
+// request path. Per-tenant series (tenant-labelled) are appended after
+// the registry body when multi-tenant admission is on.
 func (n *CacheNode) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	body := n.reg.Render()
+	var b strings.Builder
+	b.WriteString(n.reg.Render())
+	n.renderTenantMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(body))
+	_, _ = w.Write([]byte(b.String()))
 }
 
 // ownedSubrangeLen sums the IrH values the named node owns under an

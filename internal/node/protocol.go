@@ -37,6 +37,7 @@ import (
 
 	"cachecloud/internal/document"
 	"cachecloud/internal/obs"
+	"cachecloud/internal/tenant"
 )
 
 // DeadlineHeader carries a request's remaining deadline budget in
@@ -49,6 +50,13 @@ const DeadlineHeader = "X-Cachecloud-Deadline-Ms"
 // RetryAfterMsHeader carries a sub-second Retry-After hint on 429 shed
 // replies, alongside the standard whole-second Retry-After header.
 const RetryAfterMsHeader = "X-Cachecloud-Retry-After-Ms"
+
+// TenantHeader carries the requesting tenant's ID on client-facing
+// endpoints. The transport stamps it from the caller's context (see
+// WithTenant) and handlers fold it into the document key, so every
+// tenant's copies, lookup records, and update fan-outs live in a
+// disjoint key space. Absent or empty means the default tenant.
+const TenantHeader = "X-Cachecloud-Tenant"
 
 // Subrange is one beacon point's inclusive IrH interval on the wire.
 type Subrange struct {
@@ -106,6 +114,12 @@ type ClusterConfig struct {
 	// placement hashes it exactly as a URL hashes into a beacon ring
 	// (default "cloud0"). Ignored when Shields is empty.
 	CloudID string `json:"cloudID,omitempty"`
+	// Tenants, when non-empty, turns on multi-tenant admission and
+	// residency quotas: each entry maps a tenant ID to its weighted fair
+	// share of MaxInflight and its resident-byte cap. Tenants absent from
+	// the map are admitted within leftover capacity and store without a
+	// byte cap; the default (empty-ID) tenant is always uncapped.
+	Tenants map[string]tenant.Quota `json:"tenants,omitempty"`
 	// Clock is the time source nodes built from this config run on. Nil
 	// selects the wall clock; the deterministic simulation harness
 	// injects a virtual clock here. Never serialised.
@@ -455,6 +469,24 @@ type CacheStats struct {
 	ShieldHits     int64 `json:"shieldHits,omitempty"`
 	ShieldFailover int64 `json:"shieldFailover,omitempty"`
 	ShieldDegraded int64 `json:"shieldDegraded,omitempty"`
+	// Tenants breaks the conservation counters down per tenant when
+	// multi-tenant admission is configured. Conservation holds per tenant:
+	// Requests == Served + Shed + Failed at quiescence for every entry.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's slice of a cache node's /stats.
+type TenantStats struct {
+	// Requests/Served/Shed/Failed are the per-tenant conservation
+	// counters over client /doc requests.
+	Requests int64 `json:"requests"`
+	Served   int64 `json:"served"`
+	Shed     int64 `json:"shed"`
+	Failed   int64 `json:"failed"`
+	// Share is the tenant's current weighted fair share of MaxInflight.
+	Share int `json:"share"`
+	// ResidentBytes is the tenant's resident bytes in this node's cache.
+	ResidentBytes int64 `json:"residentBytes"`
 }
 
 // OriginStats answers the origin node's GET /stats.

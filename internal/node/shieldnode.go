@@ -119,15 +119,14 @@ func (n *CacheNode) shieldFetch(ctx context.Context, url string, version documen
 // reconcile pass re-attaches it (see resubscribeDegraded).
 func (n *CacheNode) fetchUpstream(ctx context.Context, url string, version document.Version) (FetchResponse, error) {
 	if n.shieldRouter == nil {
-		var fr FetchResponse
-		err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr)
-		return fr, err
+		return originFetchJSON(ctx, n.tp, n.cfg.OriginAddr, url)
 	}
 	fr, err := n.shieldFetch(ctx, url, version)
 	if err == nil {
 		return fr, nil
 	}
-	if err := n.tp.GetJSON(ctx, n.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+	fr, err = originFetchJSON(ctx, n.tp, n.cfg.OriginAddr, url)
+	if err != nil {
 		return FetchResponse{}, err
 	}
 	n.shieldDegraded.Inc()
@@ -391,8 +390,8 @@ func (sn *ShieldNode) handleFetch(w http.ResponseWriter, r *http.Request) {
 	sn.mu.Unlock()
 	hit := held && cp.Doc.Version >= hint
 	if !hit {
-		var fr FetchResponse
-		if err := sn.tp.GetJSON(ctx, sn.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+		fr, err := originFetchJSON(ctx, sn.tp, sn.cfg.OriginAddr, url)
+		if err != nil {
 			writeErr(w, http.StatusBadGateway, err)
 			return
 		}
@@ -657,7 +656,10 @@ func (sn *ShieldNode) Reconcile(ctx context.Context) (refreshed, purged int) {
 		if !held {
 			continue
 		}
-		if gen := vr.PurgeGen[url]; gen > seen {
+		// Held keys may be tenant-scoped; the origin's version and purge
+		// tables are keyed by the plain URL.
+		_, plain := document.SplitTenantKey(url)
+		if gen := vr.PurgeGen[plain]; gen > seen {
 			sn.mu.Lock()
 			delete(sn.docs, url)
 			sn.purgeSeen[url] = gen
@@ -677,12 +679,12 @@ func (sn *ShieldNode) Reconcile(ctx context.Context) (refreshed, purged int) {
 			}
 			continue
 		}
-		ov, known := vr.Versions[url]
+		ov, known := vr.Versions[plain]
 		if !known || cp.Doc.Version >= ov {
 			continue
 		}
-		var fr FetchResponse
-		if err := sn.tp.GetJSON(ctx, sn.cfg.OriginAddr+"/fetch?url="+queryEscape(url), &fr); err != nil {
+		fr, err := originFetchJSON(ctx, sn.tp, sn.cfg.OriginAddr, url)
+		if err != nil {
 			continue
 		}
 		sn.originFetches.Inc()

@@ -1,0 +1,36 @@
+package node
+
+import "context"
+
+// tenantCtxKey keys the tenant ID inside a request context.
+type tenantCtxKey struct{}
+
+// WithTenant returns a context carrying the tenant ID. Every transport
+// stamps it onto outbound requests as the TenantHeader, so a client call
+// made under this context is served entirely inside that tenant's key
+// space. The empty ID is the default tenant and adds nothing.
+func WithTenant(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantCtxKey{}, id)
+}
+
+// TenantFromContext extracts the tenant ID set by WithTenant ("" when
+// unset — the default tenant).
+func TenantFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(tenantCtxKey{}).(string)
+	return id
+}
+
+// withoutTenant clears any tenant carried by the context. Handlers call
+// it after folding the tenant into the document key: every downstream
+// peer call then travels on the already-scoped key alone, so an
+// in-process transport that passes contexts through verbatim (the
+// simulation harness) cannot re-stamp the header and double-fold.
+func withoutTenant(ctx context.Context) context.Context {
+	if TenantFromContext(ctx) == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantCtxKey{}, "")
+}

@@ -405,6 +405,9 @@ func doJSON(ctx context.Context, client *http.Client, method, rawurl string, bod
 			req.Header.Set(DeadlineHeader, strconv.FormatInt(int64(ms), 10))
 		}
 	}
+	if tid := TenantFromContext(ctx); tid != "" {
+		req.Header.Set(TenantHeader, tid)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("node: %s %s: %w", method, rawurl, err)

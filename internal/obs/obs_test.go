@@ -222,7 +222,7 @@ func TestEventKindNames(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if len(seen) != 17 {
-		t.Fatalf("expected 17 event kinds, got %d", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 event kinds, got %d", len(seen))
 	}
 }

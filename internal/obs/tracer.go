@@ -31,6 +31,7 @@ const (
 	EvWarmBoot                 // node recovered its cache from the durable tier (Count = entries)
 	EvStoreTruncated           // durable store cut a torn/corrupt log tail (Count = bytes lost)
 	EvStoreCompact             // durable store rewrote its log (Count = live entries kept)
+	EvTenantShed               // weighted fair admission refused a tenant's work at its share
 	numEventKinds
 )
 
@@ -53,6 +54,7 @@ var kindNames = [numEventKinds]string{
 	EvWarmBoot:       "warm_boot",
 	EvStoreTruncated: "store_truncated",
 	EvStoreCompact:   "store_compact",
+	EvTenantShed:     "tenant_shed",
 }
 
 // String returns the JSONL wire name of the kind.
@@ -78,12 +80,13 @@ func EventKinds() []EventKind {
 // and reproducible under the parallel experiment runner. Cycle is the
 // rebalance-cycle index the event fell into, stamped by the tracer.
 type Event struct {
-	Cycle int64
-	Time  int64
-	Kind  EventKind
-	Node  string // cache or beacon involved, "" when not applicable
-	URL   string // document, "" when not applicable
-	Count int64  // kind-specific magnitude (fanout size, records moved); 0 means 1
+	Cycle  int64
+	Time   int64
+	Kind   EventKind
+	Node   string // cache or beacon involved, "" when not applicable
+	URL    string // document, "" when not applicable
+	Tenant string // tenant the event is scoped to, "" for the default tenant
+	Count  int64  // kind-specific magnitude (fanout size, records moved); 0 means 1
 }
 
 // Tracer collects protocol events into a fixed-size ring buffer and,
@@ -264,6 +267,10 @@ func appendEventJSON(b []byte, ev Event) []byte {
 	if ev.URL != "" {
 		b = append(b, `,"url":`...)
 		b = strconv.AppendQuote(b, ev.URL)
+	}
+	if ev.Tenant != "" {
+		b = append(b, `,"tenant":`...)
+		b = strconv.AppendQuote(b, ev.Tenant)
 	}
 	if ev.Count != 0 {
 		b = append(b, `,"n":`...)

@@ -22,6 +22,8 @@ func FuzzScheduleDecode(f *testing.F) {
 	f.Add(Encode(Generate(1, GenConfig{Nodes: 4, Shields: 2})))
 	f.Add("at=1s kind=shield-crash node=s0\nat=2s kind=shield-heal node=s0")
 	f.Add("at=1s kind=purge-scoped\nat=2s kind=purge-global\nat=3s kind=check")
+	f.Add(Encode(Generate(2, GenConfig{Nodes: 4, Tenants: 3})))
+	f.Add("at=1s kind=tenant-storm n=9\nat=2s kind=check")
 	f.Add("at=1s kind=bogus")
 	f.Add("at=1s at=2s kind=load")
 	f.Add("at=-1s kind=load")

@@ -92,6 +92,12 @@ const (
 	// the URL's purge generation and both tiers drop their copies; a shield
 	// that missed the purge applies the generation at its next reconcile.
 	EvPurgeGlobal EventKind = "purge-global"
+	// EvTenantStorm issues N client requests spread over seeded tenants,
+	// entry nodes, and documents (multi-tenant runs only). Per-tenant
+	// conservation is checked on the counter deltas, a zero-weight tenant
+	// must be shed entirely, and the per-tenant byte-quota invariant runs
+	// after the event like after every other.
+	EvTenantStorm EventKind = "tenant-storm"
 )
 
 // GenConfig tunes the schedule generator.
@@ -111,6 +117,11 @@ type GenConfig struct {
 	// closing reconcile. Shields==0 generation is byte-identical to
 	// single-tier schedules (the rng stream is untouched).
 	Shields int
+	// Tenants, when positive, adds a tenant-storm phase to every round:
+	// seeded multi-tenant traffic under the per-tenant quota and
+	// conservation invariants. Tenants==0 generation is byte-identical to
+	// single-tenant schedules (the rng stream is untouched).
+	Tenants int
 }
 
 // Generate builds a seeded fault schedule of Rounds crash/recover rounds.
@@ -167,6 +178,13 @@ func Generate(seed int64, cfg GenConfig) []Event {
 		}
 		if rng.Intn(2) == 0 {
 			add(EvHotDoc, "", 10+rng.Intn(20))
+			t += 30 * time.Millisecond
+		}
+		// Multi-tenant storm phase (tenant-aware runs only — the extra rng
+		// draws live entirely inside this branch, so Tenants==0 schedules
+		// are byte-identical to single-tenant generation).
+		if cfg.Tenants > 0 {
+			add(EvTenantStorm, "", 12+rng.Intn(16))
 			t += 30 * time.Millisecond
 		}
 		add(EvPublish, "", 2+rng.Intn(3))
@@ -271,6 +289,7 @@ var validKinds = map[EventKind]bool{
 	EvCheckAccounting: true, EvCheckWarm: true, EvCheck: true,
 	EvShieldCrash: true, EvShieldHeal: true,
 	EvPurgeScoped: true, EvPurgeGlobal: true,
+	EvTenantStorm: true,
 }
 
 // Decode parses the text format produced by Encode. Blank lines and

@@ -15,6 +15,7 @@ import (
 	"cachecloud/internal/node"
 	"cachecloud/internal/node/chaos"
 	"cachecloud/internal/obs"
+	"cachecloud/internal/tenant"
 )
 
 // Config parameterises one simulation run. The zero value of every field
@@ -59,6 +60,14 @@ type Config struct {
 	// delivery per shield, scoped-purge completeness, shield freshness at
 	// quiescent points) are armed. 0 (the default) is single-tier.
 	Shields int
+	// Tenants, when positive, registers that many tenants (t0, t1, …)
+	// with deterministic weighted quotas, adds a tenant-storm phase to
+	// every generated round, and arms the multi-tenant invariants: every
+	// tenant's resident bytes stay within its byte quota on every node
+	// after every event, per-tenant conservation is exact, and a
+	// zero-weight tenant is shed entirely. 0 (the default) is
+	// single-tenant and byte-identical to previous runs.
+	Tenants int
 	// StoreDir is the durable-tier directory root for the run. Empty with
 	// Warm set (or a schedule containing heal-warm events) creates a
 	// temporary directory that is removed when the run ends.
@@ -119,6 +128,11 @@ type sim struct {
 	caches map[string]*node.CacheNode
 	names  []string
 	docs   []document.Document
+	// tenantNames are the registered tenant IDs (multi-tenant runs only);
+	// tenantQuotas is the quota table nodes were configured with, retained
+	// for the per-event byte-quota invariant.
+	tenantNames  []string
+	tenantQuotas map[string]tenant.Quota
 	// Shield-tier state (two-tier runs only). shieldDown tracks crashed
 	// shields; shieldsStale is armed when a publish or purge lands while
 	// the tier is impaired (or a cloud fetched around it, detected via the
@@ -183,7 +197,7 @@ func Run(cfg Config) (Result, error) {
 		schedule = Generate(cfg.Seed, GenConfig{
 			Nodes: cfg.Nodes, Rounds: cfg.Rounds,
 			Heartbeat: cfg.Heartbeat, MissK: cfg.MissK,
-			Warm: cfg.Warm, Shields: cfg.Shields,
+			Warm: cfg.Warm, Shields: cfg.Shields, Tenants: cfg.Tenants,
 		})
 	}
 	// A warm run (or a replayed schedule with heal-warm events) needs a
@@ -217,8 +231,10 @@ func Run(cfg Config) (Result, error) {
 	for _, ev := range schedule {
 		s.clock.RunUntil(s.base.Add(ev.At))
 		s.checkPartitionInvariant("pre:" + string(ev.Kind))
+		s.checkTenantQuotaInvariant("pre:" + string(ev.Kind))
 		s.exec(ev)
 		s.checkPartitionInvariant("post:" + string(ev.Kind))
+		s.checkTenantQuotaInvariant("post:" + string(ev.Kind))
 	}
 	return Result{
 		Seed:     cfg.Seed,
@@ -271,6 +287,24 @@ func (s *sim) build() error {
 			s.shieldNames = append(s.shieldNames, name)
 			clcfg.ShieldAddrs[name] = fmt.Sprintf("http://%s.sim", name)
 		}
+	}
+	// Tenant registration happens in clcfg before any node is built so
+	// every node boots with the same quota table. Weights alternate, the
+	// byte quotas step up per tenant (all smaller than the catalog so
+	// tenant-fair eviction actually engages), and runs with at least three
+	// tenants get one zero-weight tenant whose every request must shed.
+	if cfg.Tenants > 0 {
+		clcfg.Tenants = make(map[string]tenant.Quota, cfg.Tenants)
+		for i := 0; i < cfg.Tenants; i++ {
+			name := fmt.Sprintf("t%d", i)
+			w := 1 + i%2
+			if cfg.Tenants >= 3 && i == cfg.Tenants-1 {
+				w = 0
+			}
+			clcfg.Tenants[name] = tenant.Quota{Weight: w, Bytes: int64(2500 + 1500*i)}
+			s.tenantNames = append(s.tenantNames, name)
+		}
+		s.tenantQuotas = clcfg.Tenants
 	}
 	numRings := cfg.Nodes / cfg.RingSize
 	if numRings < 1 {
@@ -547,6 +581,8 @@ func (s *sim) exec(ev Event) {
 		s.execPurge(node.PurgeScopeCloud)
 	case EvPurgeGlobal:
 		s.execPurge(node.PurgeScopeGlobal)
+	case EvTenantStorm:
+		s.execTenantStorm(ev.N)
 	default:
 		s.failf("unknown event kind %q", ev.Kind)
 	}
@@ -834,6 +870,110 @@ func (s *sim) execStorm(kind, entry string, n int, pick func() document.Document
 		}
 		if n > 0 && dServed == 0 {
 			s.failf("%s: goodput collapsed to zero (shed=%d of %d)", kind, dShed, n)
+		}
+	}
+}
+
+// tenantTotals folds every node's per-tenant snapshot into one table
+// (partitioned nodes included: they are still in-process and their
+// counters must stay consistent).
+func (s *sim) tenantTotals() map[string]node.TenantStats {
+	out := make(map[string]node.TenantStats, len(s.tenantNames))
+	for _, name := range s.names {
+		for tid, ts := range s.caches[name].TenantAdmission() {
+			agg := out[tid]
+			agg.Requests += ts.Requests
+			agg.Served += ts.Served
+			agg.Shed += ts.Shed
+			agg.Failed += ts.Failed
+			out[tid] = agg
+		}
+	}
+	return out
+}
+
+// execTenantStorm drives n client requests spread over seeded tenants,
+// entry nodes, and documents, and checks the multi-tenant conservation
+// laws on the counter deltas: per tenant, every request that reached a
+// node is exactly one of served, shed, or failed; on a clean network all
+// n offered requests arrive and a zero-weight tenant is shed entirely
+// (its weighted fair share is zero, so its requests never displace
+// anyone else's).
+func (s *sim) execTenantStorm(n int) {
+	if len(s.tenantNames) == 0 {
+		s.failf("tenant-storm: no tenants configured (run without Tenants?)")
+		return
+	}
+	defer s.traceInvariant("tenant-storm", len(s.failures))
+	before := s.tenantTotals()
+	ok, failed := 0, 0
+	for i := 0; i < n; i++ {
+		tid := s.tenantNames[s.rng.Intn(len(s.tenantNames))]
+		entry := s.names[s.rng.Intn(len(s.names))]
+		doc := s.docs[s.rng.Intn(len(s.docs))]
+		target := fmt.Sprintf("http://%s.sim/doc?url=%s", entry, url.QueryEscape(doc.URL))
+		var dr node.DocResponse
+		if err := s.client.GetJSON(node.WithTenant(context.Background(), tid), target, &dr); err != nil {
+			failed++
+			continue
+		}
+		ok++
+	}
+	after := s.tenantTotals()
+	var dReq, dServed, dShed, dFailed int64
+	var perTenant []string
+	for _, tid := range s.tenantNames {
+		b, a := before[tid], after[tid]
+		req := a.Requests - b.Requests
+		served := a.Served - b.Served
+		shed := a.Shed - b.Shed
+		nodeFailed := a.Failed - b.Failed
+		dReq += req
+		dServed += served
+		dShed += shed
+		dFailed += nodeFailed
+		perTenant = append(perTenant, fmt.Sprintf("%s:%d/%d/%d/%d", tid, req, served, shed, nodeFailed))
+		if served+shed+nodeFailed != req {
+			s.failf("tenant-storm: tenant %s served %d + shed %d + failed %d != requests %d",
+				tid, served, shed, nodeFailed, req)
+		}
+		if s.tenantQuotas[tid].Weight == 0 && served != 0 {
+			s.failf("tenant-storm: zero-weight tenant %s was served %d requests", tid, served)
+		}
+	}
+	s.logf("tenant-storm n=%d ok=%d failed=%d req=%d served=%d shed=%d nodefailed=%d tenants=[%s]",
+		n, ok, failed, dReq, dServed, dShed, dFailed, strings.Join(perTenant, " "))
+	if s.clean() {
+		if dReq != int64(n) {
+			s.failf("tenant-storm: %d of %d offered requests reached a node on a clean network", dReq, n)
+		}
+		if dFailed != 0 {
+			s.failf("tenant-storm: %d node-side failures on a clean network (must shed, not error)", dFailed)
+		}
+	}
+}
+
+// checkTenantQuotaInvariant verifies the always-true multi-tenant law
+// before and after every event: on every node (partitioned ones
+// included), every registered tenant's resident cache bytes stay within
+// its byte quota — an aggressor's flash crowd, a publish fan-out grow,
+// or a durable replay must never push a tenant past its envelope.
+func (s *sim) checkTenantQuotaInvariant(where string) {
+	if len(s.tenantNames) == 0 {
+		return
+	}
+	defer s.traceInvariant("tenant-quota", len(s.failures))
+	for _, name := range s.names {
+		stats := s.caches[name].TenantAdmission()
+		for _, tid := range s.tenantNames {
+			q := s.tenantQuotas[tid]
+			if q.Bytes <= 0 {
+				continue
+			}
+			if rb := stats[tid].ResidentBytes; rb > q.Bytes {
+				s.failf("tenant-quota[%s]: %s holds %d resident bytes for %s, quota %d",
+					where, name, rb, tid, q.Bytes)
+			}
 		}
 	}
 }
@@ -1165,6 +1305,16 @@ func (s *sim) checkQuiescent() {
 			st.LimiterQueued != 0 || st.FlightsActive != 0 {
 			s.failf("admission: %s not drained at quiescence: inflight=%d queued=%d limiter=%d/%d flights=%d",
 				name, st.GateInFlight, st.GateQueued, st.LimiterInFlight, st.LimiterQueued, st.FlightsActive)
+		}
+		// Per-tenant conservation (multi-tenant runs only): the same
+		// identity, sliced by tenant, on the same nodes.
+		tstats := s.caches[name].TenantAdmission()
+		for _, tid := range s.tenantNames {
+			ts := tstats[tid]
+			if ts.Served+ts.Shed+ts.Failed != ts.Requests {
+				s.failf("admission: %s tenant %s served %d + shed %d + failed %d != requests %d",
+					name, tid, ts.Served, ts.Shed, ts.Failed, ts.Requests)
+			}
 		}
 	}
 	s.logf("check live=%d copies=%d stale=%d failures=%d", len(live), checked, stale, len(s.failures))

@@ -103,6 +103,9 @@ func (m *memNet) call(ctx context.Context, method, rawurl string, body []byte, o
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tid := node.TenantFromContext(ctx); tid != "" {
+		req.Header.Set(node.TenantHeader, tid)
+	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	resp := rec.Result()

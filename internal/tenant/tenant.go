@@ -1,0 +1,171 @@
+// Package tenant makes tenancy a first-class dimension of the cache
+// cloud: a registry of tenants with per-tenant quotas (resident-byte
+// caps and admission weights), tenant-scoped key folding (delegating to
+// internal/document so every layer agrees byte-for-byte on the fold),
+// and a weighted-fair admission share that keeps one tenant's flash
+// crowd from starving the others out of the node-wide admission
+// capacity.
+//
+// The default tenant is the empty ID: its keys are the raw URLs, it has
+// no quota, and it is always admitted — so a cluster that never
+// configures tenants behaves exactly as before, byte-identical down to
+// hashes, golden files, and rng streams.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cachecloud/internal/document"
+)
+
+// Default is the default tenant ID: unscoped keys, no quota, always
+// admitted.
+const Default = ""
+
+// Key folds a tenant ID into a document URL (see document.TenantKey).
+func Key(tenant, url string) string { return document.TenantKey(tenant, url) }
+
+// Split inverts Key (see document.SplitTenantKey).
+func Split(key string) (tenant, url string) { return document.SplitTenantKey(key) }
+
+// ValidID reports whether an ID may name a tenant: the default (empty)
+// ID is always valid; otherwise the ID must be at most 64 bytes and
+// contain neither the key separator nor control characters, which keeps
+// Key injective and IDs safe on the wire (headers, query strings, JSON).
+func ValidID(id string) bool {
+	if id == Default {
+		return true
+	}
+	if len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return false
+		}
+	}
+	return !strings.Contains(id, document.TenantSep)
+}
+
+// Quota is one tenant's resource envelope.
+type Quota struct {
+	// Weight is the tenant's share of the node's admission capacity
+	// relative to the other registered tenants. Weight 0 means the
+	// tenant is admitted nothing: every request sheds.
+	Weight int `json:"weight"`
+	// Bytes caps the tenant's resident cache bytes per node. 0 means
+	// unlimited (only the cache's global capacity applies).
+	Bytes int64 `json:"bytes"`
+}
+
+// Registry is the mutable tenant table a node consults on every
+// tenant-scoped decision. The zero value is not usable; construct with
+// NewRegistry. Unregistered tenants (including the default tenant) are
+// unconstrained: full admission share, no byte quota.
+type Registry struct {
+	mu     sync.RWMutex
+	quotas map[string]Quota
+	total  int // sum of registered weights (cached)
+}
+
+// NewRegistry builds a registry seeded with the given quotas. Invalid
+// tenant IDs are rejected.
+func NewRegistry(quotas map[string]Quota) (*Registry, error) {
+	r := &Registry{quotas: make(map[string]Quota, len(quotas))}
+	for id, q := range quotas {
+		if err := r.Set(id, q); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Set registers or updates a tenant's quota. Registering the default
+// tenant is allowed (it gives the unscoped key space a quota too).
+func (r *Registry) Set(id string, q Quota) error {
+	if !ValidID(id) {
+		return fmt.Errorf("tenant: invalid tenant ID %q", id)
+	}
+	if q.Weight < 0 || q.Bytes < 0 {
+		return fmt.Errorf("tenant: negative quota for %q", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, had := r.quotas[id]
+	if had {
+		r.total -= old.Weight
+	}
+	r.quotas[id] = q
+	r.total += q.Weight
+	return nil
+}
+
+// Remove deregisters a tenant; its subsequent requests are
+// unconstrained again (mid-churn removal must never wedge traffic).
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, had := r.quotas[id]; had {
+		r.total -= old.Weight
+		delete(r.quotas, id)
+	}
+}
+
+// Get returns the tenant's quota and whether it is registered.
+func (r *Registry) Get(id string) (Quota, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	q, ok := r.quotas[id]
+	return q, ok
+}
+
+// TotalWeight returns the sum of all registered tenants' weights.
+func (r *Registry) TotalWeight() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.total
+}
+
+// IDs returns the registered tenant IDs in sorted order (deterministic
+// iteration for stats, sweeps, and fan-outs).
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.quotas))
+	for id := range r.quotas {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered tenants.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.quotas)
+}
+
+// ByteQuota returns the tenant's resident-byte cap on one node, or 0
+// when the tenant is unregistered or uncapped.
+func (r *Registry) ByteQuota(id string) int64 {
+	q, ok := r.Get(id)
+	if !ok {
+		return 0
+	}
+	return q.Bytes
+}
+
+// Snapshot returns a copy of the full quota table.
+func (r *Registry) Snapshot() map[string]Quota {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Quota, len(r.quotas))
+	for id, q := range r.quotas {
+		out[id] = q
+	}
+	return out
+}
